@@ -1,0 +1,114 @@
+"""Ablations: LPC capacity (restore path) and DDFS write-buffer size.
+
+* The LPC sweep shows the knee the paper's 99.3 % elimination sits past:
+  once the cache covers a stream's container working set, restores cost
+  one random lookup per container instead of one per chunk.
+* The write-buffer sweep shows why DDFS pauses hurt: a smaller buffer
+  flushes (sequentially rewrites the index) more often, degrading inline
+  throughput — the dips of Figure 9.
+"""
+
+from conftest import print_table, save_series
+
+from repro.baselines.ddfs import DdfsServer
+from repro.core.disk_index import DiskIndex
+from repro.core.fingerprint import SyntheticFingerprints
+from repro.core.tpds import TwoPhaseDeduplicator
+from repro.server.chunk_store import ChunkStore
+from repro.storage import ChunkRepository
+from repro.util import fmt_rate
+
+
+def _stored_tpds(chunks=2000):
+    tpds = TwoPhaseDeduplicator(
+        DiskIndex(10, bucket_bytes=512),
+        ChunkRepository(),
+        filter_capacity=1 << 14,
+        cache_capacity=1 << 18,
+        container_bytes=512 * 1024,  # ~63 chunks per container
+    )
+    fps = SyntheticFingerprints(0).fresh(chunks)
+    tpds.dedup1_backup([(fp, 8192) for fp in fps])
+    tpds.dedup2()
+    return tpds, fps
+
+
+def bench_ablation_lpc_capacity(benchmark, results_dir):
+    tpds, fps = _stored_tpds()
+    capacities = (1, 4, 16, 64)
+
+    def run():
+        rows = {}
+        for capacity in capacities:
+            store = ChunkStore(tpds, lpc_containers=capacity)
+            t0 = tpds.clock.now
+            for fp in fps:  # sequential restore of the whole stream
+                store.read_chunk(fp)
+            rows[capacity] = {
+                "hit_rate": store.lpc_hit_rate,
+                "random_lookups": store.random_lookups,
+                "time": tpds.clock.now - t0,
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Hit rate is monotone in capacity and passes 98 % once the cache
+    # covers the working set; lookups collapse to ~one per container.
+    hit_rates = [rows[c]["hit_rate"] for c in capacities]
+    assert hit_rates == sorted(hit_rates)
+    assert rows[64]["hit_rate"] > 0.98
+    containers = len(tpds.repository)
+    assert rows[64]["random_lookups"] <= containers + 1
+    # Even a single-container LPC beats nothing for a SISL stream.
+    assert rows[1]["hit_rate"] > 0.9
+
+    print_table(
+        "Ablation — LPC capacity on sequential restore",
+        ["containers cached", "hit rate", "random lookups", "restore time (s)"],
+        [
+            (c, f"{rows[c]['hit_rate']:.2%}", rows[c]["random_lookups"],
+             f"{rows[c]['time']:.3f}")
+            for c in capacities
+        ],
+    )
+    save_series(results_dir, "ablation_lpc_capacity", {str(c): rows[c] for c in capacities})
+
+
+def bench_ablation_ddfs_write_buffer(benchmark, results_dir):
+    fps = SyntheticFingerprints(1).fresh(3000)
+    stream = [(fp, 8192) for fp in fps]
+    buffers = (64, 512, 1 << 14)
+
+    def run():
+        rows = {}
+        for capacity in buffers:
+            server = DdfsServer(
+                DiskIndex(10, bucket_bytes=512),
+                ChunkRepository(),
+                bloom_bits=1 << 18,
+                lpc_containers=16,
+                write_buffer_capacity=capacity,
+                container_bytes=512 * 1024,
+            )
+            stats = server.backup_stream(stream)
+            rows[capacity] = {
+                "flushes": stats.buffer_flushes,
+                "throughput": stats.throughput,
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Smaller buffer -> more pauses -> lower inline throughput.
+    assert rows[64]["flushes"] > rows[512]["flushes"] > rows[1 << 14]["flushes"]
+    assert rows[64]["throughput"] < rows[1 << 14]["throughput"]
+
+    print_table(
+        "Ablation — DDFS write-buffer size",
+        ["buffer (fps)", "flush pauses", "inline throughput"],
+        [
+            (c, rows[c]["flushes"], fmt_rate(rows[c]["throughput"]))
+            for c in buffers
+        ],
+    )
+    save_series(results_dir, "ablation_ddfs_write_buffer", {str(c): rows[c] for c in buffers})

@@ -1,0 +1,96 @@
+"""Ablation: defragmentation (Section 6.3).
+
+Cross-stream de-duplication scatters a stream's chunks over repository
+nodes; restores then pay a network hop per remote container.  The paper's
+defragmentation "automatically aggregates file chunks to one or few
+storage nodes ... retaining high read throughput".  This bench restores a
+deliberately fragmented run before and after a defragmentation pass and
+compares simulated restore time and remote-read share.
+"""
+
+from conftest import print_table, save_series
+
+from repro.core.fingerprint import SyntheticFingerprints
+from repro.server import BackupServerConfig
+from repro.system import DebarCluster
+from repro.util import fmt_duration
+
+
+def _fragmented_cluster():
+    cfg = BackupServerConfig(
+        index_n_bits=10, index_bucket_bytes=512, container_bytes=256 * 1024,
+        filter_capacity=1 << 14, cache_capacity=1 << 18, lpc_containers=4,
+    )
+    cluster = DebarCluster(w_bits=2, config=cfg)
+    gens = [SyntheticFingerprints(i) for i in range(4)]
+    shared = gens[0].fresh(600)
+    assignments = []
+    jobs = []
+    for i in range(4):
+        job = cluster.director.define_job(f"j{i}", f"c{i}", [])
+        jobs.append(job)
+        own = gens[i].fresh(600) if i else shared
+        stream = [(fp, 8192) for fp in (own + shared if i else own)]
+        assignments.append((job, stream))
+    cluster.backup_streams(assignments)
+    cluster.run_dedup2(force_psiu=True)
+    # Job 1's run mixes its own chunks (on its server's node) with the
+    # shared chunks (stored by job 0's server): fragmented.
+    run = cluster.director.chain(jobs[1]).latest()
+    return cluster, run
+
+
+def _restore_time(cluster, run):
+    server = run.server
+    fps = []
+    for entry in cluster.director.metadata.files_for_run(run.run_id):
+        fps.extend(entry.fingerprints)
+    # Cold cache for a fair comparison.
+    cluster.servers[server].chunk_store.lpc._groups.clear()
+    cluster.servers[server].chunk_store.lpc._fp_to_cid.clear()
+    lane = cluster.servers[server].clock
+    remote_key = "restore.remote_container"
+    remote0 = cluster.servers[server].meter.by_category.get(remote_key, 0.0)
+    t0 = lane.now
+    for fp in fps:
+        cluster.read_chunk(fp, via_server=server)
+    elapsed = lane.now - t0
+    remote = cluster.servers[server].meter.by_category.get(remote_key, 0.0) - remote0
+    return elapsed, remote
+
+
+def bench_ablation_defrag(benchmark, results_dir):
+    def run():
+        cluster, job_run = _fragmented_cluster()
+        before_time, before_remote = _restore_time(cluster, job_run)
+        report = cluster.defragment_run(job_run.run_id, threshold=0.05)
+        after_time, after_remote = _restore_time(cluster, job_run)
+        return {
+            "fragmentation_before": report.fragmentation_before,
+            "fragmentation_after": report.fragmentation_after,
+            "moves": report.moves,
+            "restore_before_s": before_time,
+            "restore_after_s": after_time,
+            "remote_before_s": before_remote,
+            "remote_after_s": after_remote,
+        }
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert r["fragmentation_before"] > 0.05
+    assert r["fragmentation_after"] == 0.0
+    assert r["moves"] > 0
+    # Restores get faster and the remote-read share collapses.
+    assert r["restore_after_s"] < r["restore_before_s"]
+    assert r["remote_after_s"] < 0.2 * max(r["remote_before_s"], 1e-9)
+
+    print_table(
+        "Ablation — defragmentation (Section 6.3)",
+        ["metric", "before", "after"],
+        [
+            ("stream fragmentation", f"{r['fragmentation_before']:.1%}", f"{r['fragmentation_after']:.1%}"),
+            ("restore time", fmt_duration(r["restore_before_s"]), fmt_duration(r["restore_after_s"])),
+            ("remote-read time", fmt_duration(r["remote_before_s"]), fmt_duration(r["remote_after_s"])),
+        ],
+    )
+    save_series(results_dir, "ablation_defrag", r)

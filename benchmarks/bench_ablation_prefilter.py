@@ -1,0 +1,98 @@
+"""Ablation: the preliminary filter (DESIGN.md design-choice #1).
+
+TPDS's dedup-1 filter is what lifts backup throughput above the NIC rate
+and shrinks dedup-2's input.  This ablation runs the same two-session
+workload three ways:
+
+* **full**     — filter seeded from the job chain (DEBAR as designed);
+* **no-chain** — filter runs but is never seeded with the previous run
+  (catches only internal duplication);
+* **tiny**     — a 2-entry filter (effectively no filtering), everything
+  goes to the chunk log and dedup-2.
+
+Dedup-2 keeps stored bytes identical in all three — the filter is purely a
+bandwidth/time optimisation, never a correctness mechanism.
+"""
+
+from conftest import print_table, save_series
+
+from repro.core.disk_index import DiskIndex
+from repro.core.fingerprint import SyntheticFingerprints
+from repro.core.tpds import TwoPhaseDeduplicator
+from repro.storage import ChunkRepository
+from repro.util import MB, fmt_rate
+
+
+def _workload(sessions=4, chunks=4000, dup=0.85):
+    """A nightly chain: each session ~85 % its predecessor."""
+    gen = SyntheticFingerprints(0)
+    out = [gen.fresh(chunks)]
+    keep = int(chunks * dup)
+    for _ in range(sessions - 1):
+        out.append(out[-1][:keep] + gen.fresh(chunks - keep))
+    return [[(fp, 8192) for fp in s] for s in out]
+
+
+def _run(filter_capacity, seed_chain):
+    sessions = _workload()
+    tpds = TwoPhaseDeduplicator(
+        DiskIndex(11, bucket_bytes=512),
+        ChunkRepository(),
+        filter_capacity=filter_capacity,
+        cache_capacity=1 << 18,
+        container_bytes=512 * 1024,
+    )
+    transferred = logical = input_chunks = 0
+    previous = None
+    for session in sessions:
+        filtering = previous if seed_chain else None
+        stats, _ = tpds.dedup1_backup(session, filtering_fps=filtering)
+        tpds.dedup2()
+        transferred += stats.transferred_bytes
+        logical += stats.logical_bytes
+        input_chunks += stats.transferred_chunks
+        previous = [fp for fp, _ in session]
+    return {
+        "transferred_bytes": transferred,
+        "logical_bytes": logical,
+        "elapsed": tpds.clock.now,
+        "throughput": logical / tpds.clock.now,
+        "stored_bytes": tpds.physical_chunk_bytes(),
+        "dedup2_input_chunks": input_chunks,
+    }
+
+
+def bench_ablation_prefilter(benchmark, results_dir):
+    def run_all():
+        return {
+            "full": _run(1 << 16, seed_chain=True),
+            "no-chain": _run(1 << 16, seed_chain=False),
+            "tiny": _run(2, seed_chain=False),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    full, nochain, tiny = results["full"], results["no-chain"], results["tiny"]
+
+    # Correctness is filter-independent: identical physical bytes.
+    assert full["stored_bytes"] == nochain["stored_bytes"] == tiny["stored_bytes"]
+    # The chain-seeded filter transfers far less and runs faster.
+    assert full["transferred_bytes"] < 0.5 * tiny["transferred_bytes"]
+    assert full["throughput"] > 1.5 * tiny["throughput"]
+    assert full["throughput"] >= nochain["throughput"]
+    # And it shrinks dedup-2's input (the paper's second benefit).
+    assert full["dedup2_input_chunks"] < tiny["dedup2_input_chunks"]
+
+    print_table(
+        "Ablation — preliminary filter",
+        ["variant", "transferred", "dedup-2 input", "throughput"],
+        [
+            (
+                name,
+                f"{r['transferred_bytes'] / MB:.1f}MB",
+                r["dedup2_input_chunks"],
+                fmt_rate(r["throughput"]),
+            )
+            for name, r in results.items()
+        ],
+    )
+    save_series(results_dir, "ablation_prefilter", results)

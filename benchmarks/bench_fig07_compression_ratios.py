@@ -1,0 +1,87 @@
+"""Figure 7: daily and cumulative compression ratios over the month.
+
+Paper's series and anchors:
+
+* DEBAR dedup-1 cumulative stabilises around 3.6:1 — adjacent-version and
+  internal duplication caught by the preliminary filter;
+* DEBAR dedup-2 cumulative reaches ~2.6:1 by day 31 and its daily ratio
+  trends upward (1.65:1 -> 4.05:1 over the 14 runs);
+* DEBAR overall and DDFS cumulative ratios both *increase over time*
+  (global dedup gets better as the store fills) and end around 9.39:1;
+* in the first days the fresh preliminary filter matches DDFS daily
+  ratios, after which DDFS daily exceeds dedup-1 daily (it sees global
+  duplicates, the filter only adjacent ones).
+"""
+
+from conftest import print_table, save_series
+
+
+def _series(result):
+    rows = []
+    for r in result.days:
+        rows.append(
+            {
+                "day": r.day + 1,
+                "dedup1_daily": r.dedup1_ratio_daily,
+                "dedup1_cum": result.dedup1_ratio_cum(r.day),
+                "dedup2_daily": r.dedup2_ratio_daily if r.dedup2_ran else None,
+                "dedup2_cum": result.dedup2_ratio_cum(r.day),
+                "debar_cum": result.debar_ratio_cum(r.day),
+                "ddfs_daily": r.ddfs_ratio_daily,
+                "ddfs_cum": result.ddfs_ratio_cum(r.day),
+            }
+        )
+    return rows
+
+
+def bench_fig07_compression_ratios(benchmark, hust_result, results_dir):
+    rows = benchmark(_series, hust_result)
+    final = rows[-1]
+
+    # Anchor values (paper: 3.6 / 2.6 / 9.39).
+    assert 3.0 < final["dedup1_cum"] < 4.4
+    assert 2.0 < final["dedup2_cum"] < 3.2
+    assert 7.5 < final["debar_cum"] < 11.5
+    assert 7.5 < final["ddfs_cum"] < 11.5
+
+    # Cumulative global ratios increase over time.
+    debar_cum = [row["debar_cum"] for row in rows[1:]]
+    ddfs_cum = [row["ddfs_cum"] for row in rows[1:]]
+    assert debar_cum[-1] > debar_cum[0]
+    assert ddfs_cum[-1] > ddfs_cum[0]
+
+    # Dedup-1 daily is lower than DDFS daily after the first days (the
+    # filter only sees adjacent-version duplicates).
+    late = rows[7:]
+    worse = sum(1 for row in late if row["dedup1_daily"] < row["ddfs_daily"])
+    assert worse > 0.8 * len(late)
+
+    # Dedup-2 ran on a subset of days, like the paper's 14 of 31.
+    ran = [row for row in rows if row["dedup2_daily"] is not None]
+    assert 6 <= len(ran) <= 20
+
+    print_table(
+        "Figure 7 — compression ratios (sampled days)",
+        ["day", "d1 daily", "d1 cum", "d2 daily", "d2 cum", "DEBAR cum", "DDFS daily", "DDFS cum"],
+        [
+            (
+                row["day"],
+                f"{row['dedup1_daily']:.2f}",
+                f"{row['dedup1_cum']:.2f}",
+                "-" if row["dedup2_daily"] is None else f"{row['dedup2_daily']:.2f}",
+                f"{row['dedup2_cum']:.2f}",
+                f"{row['debar_cum']:.2f}",
+                f"{row['ddfs_daily']:.2f}",
+                f"{row['ddfs_cum']:.2f}",
+            )
+            for row in rows[::4] + [rows[-1]]
+        ],
+    )
+    save_series(
+        results_dir,
+        "fig07_compression_ratios",
+        {
+            "rows": rows,
+            "paper": {"dedup1_cum": 3.6, "dedup2_cum": 2.6, "overall": 9.39},
+        },
+    )

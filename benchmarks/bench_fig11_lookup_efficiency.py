@@ -1,0 +1,97 @@
+"""Figure 11: fingerprint lookup/update efficiency (log scale).
+
+Paper anchors: with a 32 GB index and 3 GB cache, SIL runs at ~917 k and
+SIU at ~376 k fingerprints/s — speedups of 1757x and 1392x over random
+on-disk lookup (522 fps) and update (270 fps).  Even the worst case
+plotted (512 GB index, 1 GB cache) sustains 19 660 / 7 884 fps, 37x / 29x
+over random.
+"""
+
+import pytest
+from conftest import print_table, save_series
+
+from repro.analysis import (
+    random_lookup_speed,
+    random_update_speed,
+    sil_efficiency,
+    siu_efficiency,
+)
+from repro.util import GB
+
+INDEX_SIZES_GB = (32, 64, 128, 256, 512)
+CACHE_SIZES_GB = (1, 2, 3)
+
+
+def _grid():
+    rows = []
+    for s in INDEX_SIZES_GB:
+        row = {"index_gb": s}
+        for c in CACHE_SIZES_GB:
+            row[f"sil_{c}gb"] = sil_efficiency(s * GB, c * GB)
+            row[f"siu_{c}gb"] = siu_efficiency(s * GB, c * GB)
+        rows.append(row)
+    return rows
+
+
+def bench_fig11_efficiency(benchmark, results_dir):
+    rows = benchmark(_grid)
+    by_size = {row["index_gb"]: row for row in rows}
+
+    # Paper anchor points.
+    assert by_size[32]["sil_3gb"] == pytest.approx(917_000, rel=0.12)
+    assert by_size[32]["siu_3gb"] == pytest.approx(376_000, rel=0.12)
+    assert by_size[512]["sil_1gb"] == pytest.approx(19_660, rel=0.12)
+    assert by_size[512]["siu_1gb"] == pytest.approx(7_884, rel=0.12)
+    assert random_lookup_speed() == pytest.approx(522, rel=0.02)
+    assert random_update_speed() == pytest.approx(270, rel=0.05)
+
+    # Orderings: bigger cache faster, bigger index slower, SIL > SIU, and
+    # everything beats random by orders of magnitude.
+    for row in rows:
+        assert row["sil_1gb"] < row["sil_2gb"] < row["sil_3gb"]
+        for c in CACHE_SIZES_GB:
+            assert row[f"sil_{c}gb"] > row[f"siu_{c}gb"]
+            assert row[f"sil_{c}gb"] > 30 * random_lookup_speed()
+            assert row[f"siu_{c}gb"] > 25 * random_update_speed()
+    sil_1gb = [row["sil_1gb"] for row in rows]
+    assert sil_1gb == sorted(sil_1gb, reverse=True)
+
+    # The paper's headline speedup factors.
+    assert by_size[32]["sil_3gb"] / random_lookup_speed() == pytest.approx(1757, rel=0.15)
+    assert by_size[32]["siu_3gb"] / random_update_speed() == pytest.approx(1392, rel=0.15)
+
+    print_table(
+        "Figure 11 — lookup/update efficiency (fingerprints/s)",
+        ["index", "SIL-1GB", "SIL-2GB", "SIL-3GB", "SIU-1GB", "SIU-2GB", "SIU-3GB"],
+        [
+            (
+                f"{row['index_gb']}GB",
+                f"{row['sil_1gb']:,.0f}",
+                f"{row['sil_2gb']:,.0f}",
+                f"{row['sil_3gb']:,.0f}",
+                f"{row['siu_1gb']:,.0f}",
+                f"{row['siu_2gb']:,.0f}",
+                f"{row['siu_3gb']:,.0f}",
+            )
+            for row in rows
+        ],
+    )
+    print(
+        f"random lookup {random_lookup_speed():.0f} fps (paper 522), "
+        f"random update {random_update_speed():.0f} fps (paper 270)"
+    )
+    save_series(
+        results_dir,
+        "fig11_lookup_efficiency",
+        {
+            "rows": rows,
+            "random_lookup": random_lookup_speed(),
+            "random_update": random_update_speed(),
+            "paper": {
+                "sil_3gb_32gb": 917_000,
+                "siu_3gb_32gb": 376_000,
+                "sil_1gb_512gb": 19_660,
+                "siu_1gb_512gb": 7_884,
+            },
+        },
+    )

@@ -1,0 +1,81 @@
+"""Figure 13: PSIL/PSIU speeds with 16 backup servers.
+
+Paper anchors (16 servers x 1 GB cache): 3710 k / 1524 k fingerprints per
+second at a 0.5 TB total index, decaying to 338 k / 135 k at 8 TB.
+
+The measurement drives the real cluster machinery — partition, exchange,
+owner-side SIL sweeps, chunk storing, PSIU — at sigma-scaled volumes (see
+``repro.analysis.cluster_experiment``); speeds are scale-invariant up to
+fixed seek/RTT terms, which cost us ~15-25 % versus the paper at the ends
+of the range.
+"""
+
+from conftest import volume_scale, print_table, save_series
+
+from repro.analysis.cluster_experiment import measure_psil_psiu
+from repro.util import GB, TB, fmt_bytes
+
+#: Index-part sizes: 32 GB/server x 16 = 0.5 TB total, up to 8 TB.
+PART_SIZES_GB = (32, 64, 128, 256, 512)
+
+PAPER_ENDPOINTS = {0.5 * TB: (3710, 1524), 8 * TB: (338, 135)}
+
+
+def bench_fig13_psil_psiu(benchmark, results_dir):
+    sigma = (1.0 / 2048) * min(1.0, volume_scale())
+
+    def run():
+        return [measure_psil_psiu(gb * GB, sigma=sigma) for gb in PART_SIZES_GB]
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Monotone decay with index size; PSIL above PSIU everywhere.
+    psil = [p.psil_kfps for p in points]
+    psiu = [p.psiu_kfps for p in points]
+    assert psil == sorted(psil, reverse=True)
+    assert psiu == sorted(psiu, reverse=True)
+    assert all(a > b for a, b in zip(psil, psiu))
+
+    # Paper endpoints within a 2x band (fixed latencies cost us ~15-25 %).
+    for point in points:
+        paper = PAPER_ENDPOINTS.get(point.total_index_modeled_bytes)
+        if paper:
+            assert 0.5 * paper[0] < point.psil_kfps < 1.5 * paper[0]
+            assert 0.5 * paper[1] < point.psiu_kfps < 1.5 * paper[1]
+
+    # The aggregate far exceeds a single server's SIL: parallel scaling.
+    from repro.analysis import sil_efficiency
+
+    single = sil_efficiency(32 * GB, 1 * GB) / 1e3
+    assert points[0].psil_kfps > 8 * single
+
+    print_table(
+        "Figure 13 — PSIL/PSIU speed, 16 servers",
+        ["total index", "PSIL (k fps)", "PSIU (k fps)", "paper PSIL", "paper PSIU"],
+        [
+            (
+                fmt_bytes(p.total_index_modeled_bytes),
+                f"{p.psil_kfps:,.0f}",
+                f"{p.psiu_kfps:,.0f}",
+                PAPER_ENDPOINTS.get(p.total_index_modeled_bytes, ("-", "-"))[0],
+                PAPER_ENDPOINTS.get(p.total_index_modeled_bytes, ("-", "-"))[1],
+            )
+            for p in points
+        ],
+    )
+    save_series(
+        results_dir,
+        "fig13_psil_psiu",
+        {
+            "sigma": sigma,
+            "points": [
+                {
+                    "total_index_bytes": p.total_index_modeled_bytes,
+                    "psil_kfps": p.psil_kfps,
+                    "psiu_kfps": p.psiu_kfps,
+                }
+                for p in points
+            ],
+            "paper": {str(k): v for k, v in PAPER_ENDPOINTS.items()},
+        },
+    )

@@ -1,0 +1,139 @@
+"""Figure 14: aggregate throughput of DEBAR with 16 backup servers.
+
+(a) Write: dedup-1 stays above ~9 GB/s regardless of index size (the
+    preliminary filter keeps duplicate bytes off the wire across 16 NICs);
+    total write throughput decays with total index size — the paper
+    reports 4.3 / 2.5 / 1.7 GB/s at 0.5 / 4 / 8 TB.
+
+(b) Read: 64 clients restore their version chains in parallel; the first
+    version reads fastest (~1620 MB/s — fresh, locally placed containers)
+    and later versions settle around ~1520 MB/s as cross-stream duplicates
+    pull containers from other repository nodes.  SISL + LPC keep the
+    random-lookup elimination above 99 %.
+"""
+
+from conftest import volume_scale, print_table, save_series
+
+from repro.analysis.cluster_experiment import run_read_experiment, run_write_experiment
+from repro.util import GB, MB, TB, fmt_bytes, fmt_rate
+
+#: (part size GB) -> paper total write throughput (GB/s) where given.
+PAPER_WRITE = {32: 4.3, 256: 2.5, 512: 1.7}
+
+
+def bench_fig14a_cluster_write(benchmark, results_dir):
+    scale = min(1.0, volume_scale())
+    version_chunks = max(256, int(3200 * scale))
+
+    def run():
+        # 6 versions with the cache-driven trigger reproduce the paper's
+        # "2 dedup-2 processes (2 PSIL, 1 PSIU) per run mode".
+        return [
+            run_write_experiment(
+                w_bits=4, part_modeled_bytes=gb * GB, versions=6,
+                version_chunks=version_chunks,
+            )
+            for gb in (32, 256, 512)
+        ]
+
+    modes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # dedup-1 aggregate: multi-GB/s, roughly flat across index sizes.
+    for mode in modes:
+        assert mode.dedup1_throughput > 4 * GB
+    d1 = [m.dedup1_throughput for m in modes]
+    assert max(d1) / min(d1) < 1.5
+
+    # Total write throughput decays with index size; endpoints near paper.
+    totals = [m.total_throughput for m in modes]
+    assert totals == sorted(totals, reverse=True)
+    assert 0.5 * 4.3 * GB < totals[0] < 1.6 * 4.3 * GB
+    assert 0.5 * 1.7 * GB < totals[-1] < 1.9 * 1.7 * GB
+
+    print_table(
+        "Figure 14(a) — aggregate write throughput, 16 servers",
+        ["total index", "dedup-1", "dedup-2", "total", "paper total"],
+        [
+            (
+                fmt_bytes(m.part_modeled_bytes * m.n_servers),
+                fmt_rate(m.dedup1_throughput),
+                fmt_rate(m.dedup2_throughput),
+                fmt_rate(m.total_throughput),
+                f"{PAPER_WRITE.get(int(m.part_modeled_bytes / GB), '-')}GB/s",
+            )
+            for m in modes
+        ],
+    )
+    save_series(
+        results_dir,
+        "fig14a_cluster_write",
+        {
+            "version_chunks": version_chunks,
+            "modes": [
+                {
+                    "total_index_bytes": m.part_modeled_bytes * m.n_servers,
+                    "dedup1_GBps": m.dedup1_throughput / GB,
+                    "dedup2_GBps": m.dedup2_throughput / GB,
+                    "total_GBps": m.total_throughput / GB,
+                }
+                for m in modes
+            ],
+            "paper_total_GBps": PAPER_WRITE,
+        },
+    )
+
+
+def bench_fig14b_cluster_read(benchmark, results_dir):
+    scale = min(1.0, volume_scale())
+    version_chunks = max(256, int(3200 * scale))
+
+    def run():
+        write = run_write_experiment(
+            w_bits=4, part_modeled_bytes=128 * GB, versions=4,
+            version_chunks=version_chunks, section_chunks=2048,
+            keep_cluster=True,
+        )
+        return run_read_experiment(write)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Aggregate read throughput in the paper's GB/s regime (our absolute
+    # sits ~0.5x the paper's 1520-1620 MB/s: scaled duplicate sections
+    # straddle container boundaries, halving per-fetch consumption —
+    # see EXPERIMENTS.md).
+    for p in points:
+        assert 0.3 * GB < p.throughput < 3.0 * GB
+
+    # Version 1 reads fastest; later versions settle lower (cross-stream
+    # sharing pulls containers from remote nodes) but stay the same order.
+    assert points[0].throughput >= max(p.throughput for p in points[1:])
+    later = [p.throughput for p in points[1:]]
+    assert max(later) / min(later) < 2.2
+
+    # SISL + LPC eliminate ~99 % of random lookups (paper: 99.3 %).
+    for p in points:
+        assert p.lpc_hit_rate > 0.97
+
+    print_table(
+        "Figure 14(b) — aggregate read throughput per version",
+        ["version", "throughput", "LPC hit rate"],
+        [
+            (p.version, fmt_rate(p.throughput), f"{p.lpc_hit_rate:.2%}")
+            for p in points
+        ],
+    )
+    save_series(
+        results_dir,
+        "fig14b_cluster_read",
+        {
+            "points": [
+                {
+                    "version": p.version,
+                    "throughput_MBps": p.throughput / MB,
+                    "lpc_hit_rate": p.lpc_hit_rate,
+                }
+                for p in points
+            ],
+            "paper": {"v1_MBps": 1620, "steady_MBps": 1520, "lookup_elimination": 0.993},
+        },
+    )

@@ -1,0 +1,94 @@
+"""Figure 15: write throughput and capacity vs number of backup servers.
+
+Paper shape: running modes (x, y) for x = 1..16 servers and y = 32/64 GB
+index parts, both the aggregate write throughput and the supported system
+capacity grow linearly with the server count; the 64 GB-part modes support
+twice the capacity of the 32 GB modes at slightly lower throughput (longer
+PSIL/PSIU scans).
+"""
+
+import numpy as np
+from conftest import volume_scale, print_table, save_series
+
+from repro.analysis.cluster_experiment import run_write_experiment
+from repro.util import GB, MB, TB, fmt_bytes, fmt_rate
+
+W_BITS = (0, 1, 2, 3, 4)  # 1, 2, 4, 8, 16 servers
+PART_SIZES_GB = (32, 64)
+
+
+def bench_fig15_server_scaling(benchmark, results_dir):
+    scale = min(1.0, volume_scale())
+    version_chunks = max(256, int(1600 * scale))
+
+    def run():
+        modes = []
+        for part_gb in PART_SIZES_GB:
+            for w in W_BITS:
+                result = run_write_experiment(
+                    w_bits=w,
+                    part_modeled_bytes=part_gb * GB,
+                    versions=4,
+                    version_chunks=version_chunks,
+                    seed=23 + w,
+                )
+                modes.append(result)
+        return modes
+
+    modes = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_part = {
+        part_gb: [m for m in modes if m.part_modeled_bytes == part_gb * GB]
+        for part_gb in PART_SIZES_GB
+    }
+
+    for part_gb, series in by_part.items():
+        throughputs = [m.total_throughput for m in series]
+        servers = [m.n_servers for m in series]
+        # Throughput grows with servers, and near-linearly: the 16-server
+        # mode delivers at least 8x the single server.
+        assert throughputs == sorted(throughputs)
+        assert throughputs[-1] > 8 * throughputs[0]
+        # Linearity of the trend on log-log (slope ~1).
+        slope = np.polyfit(np.log(servers), np.log(throughputs), 1)[0]
+        assert 0.8 < slope < 1.2
+        # Capacity is exactly linear in servers.
+        capacities = [m.supported_capacity_bytes for m in series]
+        for m in series:
+            assert m.supported_capacity_bytes == series[0].supported_capacity_bytes * (
+                m.n_servers / series[0].n_servers
+            )
+
+    # 64 GB parts: double the capacity, somewhat lower throughput.
+    for a, b in zip(by_part[32], by_part[64]):
+        assert b.supported_capacity_bytes == 2 * a.supported_capacity_bytes
+        assert b.total_throughput < a.total_throughput * 1.05
+
+    print_table(
+        "Figure 15 — write throughput and capacity vs servers",
+        ["servers", "part", "throughput", "capacity"],
+        [
+            (
+                m.n_servers,
+                fmt_bytes(m.part_modeled_bytes),
+                fmt_rate(m.total_throughput),
+                fmt_bytes(m.supported_capacity_bytes),
+            )
+            for m in modes
+        ],
+    )
+    save_series(
+        results_dir,
+        "fig15_server_scaling",
+        {
+            "version_chunks": version_chunks,
+            "modes": [
+                {
+                    "n_servers": m.n_servers,
+                    "part_gb": m.part_modeled_bytes / GB,
+                    "throughput_MBps": m.total_throughput / MB,
+                    "capacity_tb": m.supported_capacity_bytes / TB,
+                }
+                for m in modes
+            ],
+        },
+    )

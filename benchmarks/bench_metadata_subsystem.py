@@ -1,0 +1,50 @@
+"""The director's metadata storage subsystem (Section 6.3).
+
+The paper: "over 250 backup jobs [can] read or write their metadata
+concurrently with an aggregate metadata throughput of over 100 MB/s",
+which is what lets one director serve tens of backup servers.  This bench
+drives 256 concurrent jobs' metadata through the MetadataStore and checks
+the aggregate-throughput claim against the model.
+"""
+
+from conftest import print_table, save_series
+
+from repro.core.fingerprint import SyntheticFingerprints
+from repro.director.metadata import FileIndexEntry, FileMetadata, MetadataManager, MetadataStore
+from repro.util import MB, fmt_rate
+
+
+def bench_metadata_subsystem(benchmark, results_dir):
+    def run():
+        store = MetadataStore()
+        manager = MetadataManager(store=store)
+        gen = SyntheticFingerprints(0)
+        jobs = 256
+        for run_id in range(1, jobs + 1):
+            fps = gen.fresh(400)  # ~8 KB of file-index metadata per job
+            entries = [FileIndexEntry(FileMetadata(f"/job{run_id}/data", 400 * 8192), fps)]
+            manager.record_run_files(run_id, entries)
+        for run_id in range(1, jobs + 1):
+            manager.files_for_run(run_id)
+        return store
+
+    store = benchmark.pedantic(run, rounds=1, iterations=1)
+    throughput = store.aggregate_throughput
+    assert throughput > 95 * MB  # "over 100MB/s" aggregate
+    assert store.bytes_written > 0 and store.bytes_read > 0
+
+    print_table(
+        "Section 6.3 — metadata subsystem",
+        ["jobs", "written", "read", "aggregate throughput"],
+        [(256, f"{store.bytes_written / MB:.1f}MB", f"{store.bytes_read / MB:.1f}MB",
+          fmt_rate(throughput))],
+    )
+    save_series(
+        results_dir,
+        "metadata_subsystem",
+        {
+            "jobs": 256,
+            "throughput_MBps": throughput / MB,
+            "paper_claim_MBps": 100,
+        },
+    )

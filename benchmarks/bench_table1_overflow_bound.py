@@ -1,0 +1,79 @@
+"""Table 1: calculated upper bound of Pr(D) per bucket size.
+
+Regenerates, for every bucket size the paper lists (0.5 KB – 64 KB on a
+512 GB index), the formula-(1) bound at the paper's utilization point and
+the maximum utilization our exact Poisson tail certifies for a 2 % bound.
+
+Paper-vs-measured: the paper's bound column sits at 1.0–2.2 %; our exact
+tail is tighter (their arithmetic appears to round the tail up), so we
+check the *utilization* column — where the 2 % envelope lands — which
+matches within a few points of utilization everywhere.
+"""
+
+from conftest import print_table, save_series
+
+from repro.analysis import pr_c_upper_bound, utilization_for_target_bound
+from repro.analysis.overflow import TABLE1_BUCKETS, bucket_parameters
+from repro.util import KB
+
+#: (bucket size, eta) pairs exactly as printed in Table 1.
+PAPER_TABLE1 = [
+    (512, 0.35),
+    (1 * KB, 0.45),
+    (2 * KB, 0.55),
+    (4 * KB, 0.70),
+    (8 * KB, 0.80),
+    (16 * KB, 0.85),
+    (32 * KB, 0.90),
+    (64 * KB, 0.92),
+]
+
+
+def _compute_table1():
+    rows = []
+    for size, paper_eta in PAPER_TABLE1:
+        b, n = bucket_parameters(size)
+        bound_at_paper_eta = pr_c_upper_bound(b, paper_eta, n)
+        eta_for_2pct = utilization_for_target_bound(b, n, target=0.02)
+        rows.append(
+            {
+                "bucket_bytes": size,
+                "b": b,
+                "n": n,
+                "paper_eta": paper_eta,
+                "bound_at_paper_eta": bound_at_paper_eta,
+                "eta_for_2pct_bound": eta_for_2pct,
+            }
+        )
+    return rows
+
+
+def bench_table1_bound(benchmark, results_dir):
+    rows = benchmark(_compute_table1)
+
+    # Shape checks: the bound is small at every paper point, and the
+    # certified utilization grows with bucket size exactly as in Table 1.
+    for row in rows:
+        assert row["bound_at_paper_eta"] < 0.03
+    etas = [row["eta_for_2pct_bound"] for row in rows]
+    assert etas == sorted(etas)
+    # The certified utilizations track the paper's column closely.
+    for row in rows:
+        assert row["eta_for_2pct_bound"] >= row["paper_eta"] - 0.02
+
+    print_table(
+        "Table 1 — upper bound of Pr(D)",
+        ["bucket", "b", "n", "eta(paper)", "bound@eta", "eta@2% (ours)"],
+        [
+            (
+                f"{row['bucket_bytes'] / KB:g}KB",
+                row["b"],
+                row["n"],
+                f"{row['paper_eta']:.0%}",
+                f"{row['bound_at_paper_eta']:.3%}",
+                f"{row['eta_for_2pct_bound']:.1%}",
+            )
+            for row in rows
+        ],
+    )
+    save_series(results_dir, "table1_overflow_bound", {"rows": rows})

@@ -1,0 +1,129 @@
+"""Table 2: measured disk-index utilization at the capacity-scaling trigger.
+
+Re-runs the paper's counter-array experiment: insert uniformly random
+fingerprints, overflowing to random adjacent buckets, until an arrival
+finds its bucket and both neighbours full; record the utilization eta, the
+full-bucket fraction rho, and the counts of 3-adjacent / >=4-adjacent full
+runs at exit.
+
+Scaling note: the paper simulates a 512 GB index (2^23–2^30 buckets); we
+hold the total entry capacity at ~2^21 so a full sweep of 8 bucket sizes x
+several runs completes in seconds.  Fewer buckets means fewer triples for
+the trigger, so eta at our scale sits a few points above the paper's.  The
+bridge is formula (1) itself: solving it for the utilization where the
+bound reaches 1/2 (the trigger's median) predicts eta at *any* bucket
+count — the bench verifies our measurements against that prediction at our
+scale, and verifies the same prediction against the paper's measured eta
+at the paper's scale (it matches within 1–2 points everywhere).
+"""
+
+import numpy as np
+from conftest import volume_scale, print_table, save_series
+
+from repro.analysis import UtilizationSimulator, utilization_for_target_bound
+from repro.analysis.overflow import TABLE2_ETA_AVG, bucket_parameters
+from repro.util import KB
+
+#: Bucket entry capacities per Table 2 (20 entries per 512-byte block).
+BUCKET_SIZES = [512, 1 * KB, 2 * KB, 4 * KB, 8 * KB, 16 * KB, 32 * KB, 64 * KB]
+
+#: Total entry capacity held constant across bucket sizes.
+TOTAL_CAPACITY_LOG2 = 21
+
+
+def _n_bits_for(bucket_capacity: int) -> int:
+    return max(2, TOTAL_CAPACITY_LOG2 - round(np.log2(bucket_capacity)))
+
+
+def _run_table2(runs: int):
+    rows = []
+    for size in BUCKET_SIZES:
+        b = (size // 512) * 20
+        n_bits = _n_bits_for(b)
+        results = [
+            UtilizationSimulator(n_bits, b, seed=97 * r + size).run_fast()
+            for r in range(runs)
+        ]
+        etas = [r.eta for r in results]
+        b_paper, n_paper = bucket_parameters(size)
+        rows.append(
+            {
+                "bucket_bytes": size,
+                "b": b,
+                "n_bits": n_bits,
+                "eta_min": min(etas),
+                "eta_max": max(etas),
+                "eta_avg": float(np.mean(etas)),
+                "rho_avg": float(np.mean([r.rho for r in results])),
+                "n3": int(sum(r.n3 for r in results)),
+                "n4": int(sum(r.n4 for r in results)),
+                # Formula-(1) median-trigger prediction at our bucket count
+                # and at the paper's (the scale bridge).
+                "eta_theory_ours": utilization_for_target_bound(b, n_bits, target=0.5),
+                "eta_theory_paper": utilization_for_target_bound(
+                    b_paper, n_paper, target=0.5
+                ),
+                "paper_eta_avg": TABLE2_ETA_AVG[size],
+            }
+        )
+    return rows
+
+
+def bench_table2_utilization(benchmark, results_dir):
+    runs = max(3, int(5 * min(volume_scale(), 2.0)))
+    rows = benchmark.pedantic(_run_table2, args=(runs,), rounds=1, iterations=1)
+
+    # The headline trend: utilization at the trigger grows with bucket size
+    # exactly as in Table 2, and the full-bucket fraction stays tiny.
+    avgs = [row["eta_avg"] for row in rows]
+    assert avgs == sorted(avgs)
+    for row in rows:
+        # Measurement matches theory at our bucket count...
+        assert abs(row["eta_avg"] - row["eta_theory_ours"]) < 0.07
+        # ...and theory at the paper's bucket count matches the paper.
+        assert abs(row["eta_theory_paper"] - row["paper_eta_avg"]) < 0.03
+        assert row["rho_avg"] < 0.08
+        assert row["eta_min"] <= row["eta_avg"] <= row["eta_max"]
+
+    print_table(
+        "Table 2 — index utilization at the scaling trigger",
+        [
+            "bucket", "eta(min)", "eta(max)", "eta(avg)", "theory@ours",
+            "theory@paper-n", "paper", "rho", "n3", "n4",
+        ],
+        [
+            (
+                f"{row['bucket_bytes'] / KB:g}KB",
+                f"{row['eta_min']:.2%}",
+                f"{row['eta_max']:.2%}",
+                f"{row['eta_avg']:.2%}",
+                f"{row['eta_theory_ours']:.2%}",
+                f"{row['eta_theory_paper']:.2%}",
+                f"{row['paper_eta_avg']:.2%}",
+                f"{row['rho_avg']:.3%}",
+                row["n3"],
+                row["n4"],
+            )
+            for row in rows
+        ],
+    )
+    save_series(results_dir, "table2_utilization", {"runs": runs, "rows": rows})
+
+
+def bench_table2_bucket_count_trend(benchmark, results_dir):
+    """Eta falls slowly as the bucket count grows (toward the paper's n=26)."""
+
+    def sweep():
+        b = 320  # the 8 KB bucket
+        return {
+            n_bits: float(
+                np.mean(
+                    [UtilizationSimulator(n_bits, b, seed=s).run_fast().eta for s in range(3)]
+                )
+            )
+            for n_bits in (10, 13)
+        }
+
+    etas = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert etas[13] <= etas[10] + 0.01  # more buckets -> earlier trigger
+    save_series(results_dir, "table2_bucket_count_trend", etas)

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Head-to-head: DEBAR vs DDFS vs Venti-style random-index dedup.
+
+Feeds the same two-session backup workload (fresh data, then a 70 %
+duplicate second session) through all three systems and compares the
+simulated time each needed — the motivating comparison of Sections 1-2:
+
+* Venti pays one random disk I/O per fingerprint (hundreds of fps/s);
+* DDFS avoids most random I/O with its Bloom filter + LPC but receives
+  every logical byte over the NIC and pauses to flush its write buffer;
+* DEBAR filters duplicates before they cross the wire and batches all
+  index I/O into sequential SIL/SIU sweeps.
+
+Run:  python examples/compare_baselines.py
+"""
+
+from repro.baselines import DdfsServer, VentiServer
+from repro.core.disk_index import DiskIndex
+from repro.core.fingerprint import SyntheticFingerprints
+from repro.server import BackupServerConfig
+from repro.storage import ChunkRepository
+from repro.system import DebarSystem
+from repro.util import fmt_bytes, fmt_duration, fmt_rate
+
+
+def build_sessions(n_sessions: int = 5, session_chunks: int = 3000, dup: float = 0.9):
+    """A nightly-backup chain: each session is ~90 % its predecessor."""
+    gen = SyntheticFingerprints(0)
+    sessions = [gen.fresh(session_chunks)]
+    keep = int(session_chunks * dup)
+    for _ in range(n_sessions - 1):
+        sessions.append(sessions[-1][:keep] + gen.fresh(session_chunks - keep))
+    return [[(fp, 8192) for fp in s] for s in sessions]
+
+
+def run_debar(sessions):
+    system = DebarSystem(
+        config=BackupServerConfig(
+            index_n_bits=10, index_bucket_bytes=512, container_bytes=512 * 1024,
+            filter_capacity=1 << 14, cache_capacity=1 << 18, siu_every=2,
+        )
+    )
+    job = system.define_job("nightly", client="host")
+    for t, session in enumerate(sessions):
+        system.backup_stream(job, session, timestamp=float(t), auto_dedup2=False)
+        system.run_dedup2(force_siu=(t == len(sessions) - 1))
+    return system.elapsed, system.physical_bytes_stored
+
+
+def run_ddfs(sessions):
+    server = DdfsServer(
+        DiskIndex(10, bucket_bytes=512), ChunkRepository(),
+        bloom_bits=1 << 18, lpc_containers=64,
+        write_buffer_capacity=1 << 12, container_bytes=512 * 1024,
+    )
+    for session in sessions:
+        server.backup_stream(session)
+        server.finish_backup()
+    return server.clock.now, server.repository.stored_chunk_bytes
+
+
+def run_venti(sessions):
+    server = VentiServer(
+        DiskIndex(10, bucket_bytes=512), ChunkRepository(), container_bytes=512 * 1024
+    )
+    for session in sessions:
+        server.backup_stream(session)
+    return server.clock.now, server.repository.stored_chunk_bytes
+
+
+def main() -> None:
+    sessions = build_sessions()
+    logical = sum(size for s in sessions for _, size in s)
+    print(f"Workload: {len(sessions)} nightly sessions, {fmt_bytes(logical)} logical "
+          f"({sum(len(s) for s in sessions)} chunks, ~90% session-to-session duplication)\n")
+
+    rows = []
+    for name, runner in (("DEBAR", run_debar), ("DDFS", run_ddfs), ("Venti", run_venti)):
+        elapsed, stored = runner(sessions)
+        rows.append((name, elapsed, stored))
+
+    print(f"{'system':>7} {'time':>12} {'throughput':>14} {'stored':>10}")
+    for name, elapsed, stored in rows:
+        print(f"{name:>7} {fmt_duration(elapsed):>12} "
+              f"{fmt_rate(logical / elapsed):>14} {fmt_bytes(stored):>10}")
+
+    debar_t = rows[0][1]
+    print(f"\nDEBAR vs DDFS : {rows[1][1] / debar_t:.1f}x faster")
+    print(f"DEBAR vs Venti: {rows[2][1] / debar_t:.0f}x faster "
+          f"(Venti is pinned at ~{522:.0f} random lookups/s)")
+    stored = {stored for _, _, stored in rows}
+    print(f"All three stored the same physical bytes: {len(stored) == 1}")
+
+
+if __name__ == "__main__":
+    main()

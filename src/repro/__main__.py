@@ -1,0 +1,5 @@
+"""``python -m repro`` — the DEBAR vault CLI."""
+
+from repro.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""Analytic models and simulators for the paper's tables and figures."""
+
+from repro.analysis.overflow import (
+    pr_c_upper_bound,
+    utilization_for_target_bound,
+    UtilizationSimulator,
+    UtilizationResult,
+    TABLE1_BUCKETS,
+)
+from repro.analysis.capacity import (
+    WorkloadRates,
+    DebarCapacityModel,
+    DdfsCapacityModel,
+    sil_time,
+    siu_time,
+    sil_efficiency,
+    siu_efficiency,
+    random_lookup_speed,
+    random_update_speed,
+    index_supported_capacity,
+)
+
+__all__ = [
+    "pr_c_upper_bound",
+    "utilization_for_target_bound",
+    "UtilizationSimulator",
+    "UtilizationResult",
+    "TABLE1_BUCKETS",
+    "WorkloadRates",
+    "DebarCapacityModel",
+    "DdfsCapacityModel",
+    "sil_time",
+    "siu_time",
+    "sil_efficiency",
+    "siu_efficiency",
+    "random_lookup_speed",
+    "random_update_speed",
+    "index_supported_capacity",
+]

@@ -1,0 +1,16 @@
+"""Baseline systems the paper compares DEBAR against: DDFS and random-index
+(Venti-style) de-duplication."""
+
+from repro.baselines.bloom import BloomFilter, bloom_false_positive_rate, optimal_hash_count
+from repro.baselines.ddfs import DdfsServer, DdfsBackupStats
+from repro.baselines.venti import VentiServer, VentiStats
+
+__all__ = [
+    "BloomFilter",
+    "bloom_false_positive_rate",
+    "optimal_hash_count",
+    "DdfsServer",
+    "DdfsBackupStats",
+    "VentiServer",
+    "VentiStats",
+]

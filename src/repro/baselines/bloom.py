@@ -1,0 +1,112 @@
+"""A Bloom filter: DDFS's in-memory summary vector (BLOOM70, Section 1).
+
+The summary vector compactly represents the fingerprint set of the entire
+system; a negative answer proves a chunk is new (no index lookup needed),
+while a positive answer is only probably-right and must be confirmed by a
+disk-index lookup.  The false-positive probability for an ``m``-bit filter
+holding ``n`` keys with ``k`` hash functions is ``(1 - e^(-kn/m))^k``
+(Section 6.1.3); its growth as ``m/n`` shrinks is exactly why DDFS's
+capacity is bounded by memory, the limitation DEBAR removes.
+
+Hashing: a fingerprint is already a 160-bit uniformly random value, so the
+``k`` hash functions are ``k`` disjoint bit-slices of the fingerprint itself
+— the standard trick for content-addressed keys.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.fingerprint import FINGERPRINT_SIZE, Fingerprint
+
+
+def bloom_false_positive_rate(m_bits: float, n_keys: float, k_hashes: int) -> float:
+    """Theoretical false-positive probability ``(1 - e^(-kn/m))^k``."""
+    if m_bits <= 0 or k_hashes < 1:
+        raise ValueError("need a positive filter size and at least one hash")
+    if n_keys < 0:
+        raise ValueError("n_keys must be non-negative")
+    if n_keys == 0:
+        return 0.0
+    return (1.0 - math.exp(-k_hashes * n_keys / m_bits)) ** k_hashes
+
+
+def optimal_hash_count(m_bits: float, n_keys: float) -> int:
+    """The ``k = (m/n) ln 2`` minimising the false-positive rate."""
+    if m_bits <= 0 or n_keys <= 0:
+        raise ValueError("sizes must be positive")
+    return max(1, round(m_bits / n_keys * math.log(2)))
+
+
+class BloomFilter:
+    """A bit-array Bloom filter keyed by chunk fingerprints.
+
+    Parameters
+    ----------
+    m_bits:
+        Filter size in bits; must leave ``k * ceil(log2(m))`` bits available
+        in a 160-bit fingerprint for slicing.
+    k_hashes:
+        Number of hash functions (DDFS's measured configuration uses 4).
+    """
+
+    def __init__(self, m_bits: int, k_hashes: int = 4) -> None:
+        if m_bits < 2:
+            raise ValueError("filter must have at least 2 bits")
+        if k_hashes < 1:
+            raise ValueError("need at least one hash function")
+        self.m_bits = m_bits
+        self.k_hashes = k_hashes
+        self._index_bits = max(1, (m_bits - 1).bit_length())
+        if k_hashes * self._index_bits > FINGERPRINT_SIZE * 8:
+            raise ValueError(
+                f"{k_hashes} hashes x {self._index_bits} bits exceed the "
+                f"{FINGERPRINT_SIZE * 8}-bit fingerprint"
+            )
+        self._bits = np.zeros((m_bits + 7) // 8, dtype=np.uint8)
+        self.n_keys = 0
+
+    # -- hashing --------------------------------------------------------------
+    def _positions(self, fp: Fingerprint) -> Iterable[int]:
+        value = int.from_bytes(fp, "big")
+        mask = (1 << self._index_bits) - 1
+        for i in range(self.k_hashes):
+            slice_value = (value >> (i * self._index_bits)) & mask
+            yield slice_value % self.m_bits
+
+    # -- filter operations ---------------------------------------------------------
+    def add(self, fp: Fingerprint) -> None:
+        """Insert a fingerprint."""
+        for pos in self._positions(fp):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+        self.n_keys += 1
+
+    def __contains__(self, fp: Fingerprint) -> bool:
+        """Probably-present test: False is definitive, True is probabilistic."""
+        for pos in self._positions(fp):
+            if not self._bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+        return True
+
+    def add_many(self, fps: Iterable[Fingerprint]) -> None:
+        for fp in fps:
+            self.add(fp)
+
+    # -- analysis ---------------------------------------------------------------------
+    @property
+    def load_ratio(self) -> float:
+        """Bits per key, the ``m/n`` the paper sweeps in Figure 12."""
+        return self.m_bits / self.n_keys if self.n_keys else float("inf")
+
+    @property
+    def expected_false_positive_rate(self) -> float:
+        """Theoretical false-positive rate at the current load."""
+        return bloom_false_positive_rate(self.m_bits, self.n_keys, self.k_hashes)
+
+    @property
+    def fill_fraction(self) -> float:
+        """Fraction of bits set (diagnostic)."""
+        return float(np.unpackbits(self._bits).sum()) / self.m_bits

@@ -1,0 +1,16 @@
+"""Content-defined chunking: Rabin fingerprints, CDC anchoring, fixed baseline."""
+
+from repro.chunking.rabin import RabinFingerprint, RABIN_WINDOW_SIZE
+from repro.chunking.cdc import ContentDefinedChunker, Chunk, chunk_bytes
+from repro.chunking.fixed import FixedSizeChunker
+from repro.chunking.tttd import TTTDChunker
+
+__all__ = [
+    "RabinFingerprint",
+    "RABIN_WINDOW_SIZE",
+    "ContentDefinedChunker",
+    "Chunk",
+    "chunk_bytes",
+    "FixedSizeChunker",
+    "TTTDChunker",
+]

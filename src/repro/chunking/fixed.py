@@ -1,0 +1,39 @@
+"""Fixed-size blocking: the baseline CDC is compared against (Section 3.2).
+
+The paper motivates CDC by the weakness reproduced here: with fixed-size
+blocks, inserting one byte at the front of a file shifts every subsequent
+block boundary, so nothing after the edit de-duplicates against the
+previous version.  Kept as a baseline for the chunking ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.chunking.cdc import Chunk
+from repro.core.fingerprint import fingerprint
+
+
+class FixedSizeChunker:
+    """Divide a stream into fixed-size blocks (last block may be short)."""
+
+    def __init__(self, block_size: int = 8 * 1024) -> None:
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        self.block_size = block_size
+
+    def cut_points(self, data: bytes) -> List[int]:
+        """End offsets of every block."""
+        n = len(data)
+        cuts = list(range(self.block_size, n, self.block_size))
+        if n:
+            cuts.append(n)
+        return cuts
+
+    def chunks(self, data: bytes) -> Iterator[Chunk]:
+        """Yield fixed-size blocks with SHA-1 fingerprints."""
+        start = 0
+        for cut in self.cut_points(data):
+            payload = data[start:cut]
+            yield Chunk(payload, fingerprint(payload), start)
+            start = cut

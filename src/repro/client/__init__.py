@@ -1,0 +1,5 @@
+"""Backup clients: the Backup Engine (anchoring, fingerprinting, transfer)."""
+
+from repro.client.backup_client import BackupEngine
+
+__all__ = ["BackupEngine"]

@@ -1,0 +1,60 @@
+"""The paper's primary contribution: the DEBAR disk index and TPDS.
+
+Submodules
+----------
+fingerprint
+    20-byte SHA-1 fingerprints and prefix/bucket arithmetic.
+disk_index
+    The sorted on-disk hash index (Section 4): overflow to adjacent buckets,
+    capacity scaling and performance scaling.
+index_cache
+    The in-memory 2^m-bucket hash table that SIL/SIU sort fingerprints into.
+preliminary_filter
+    The dedup-1 in-memory filter seeded from the previous run of a job chain.
+sil, siu
+    Sequential index lookup / update (Section 5.2, 5.4).
+checking
+    The checking fingerprint file for asynchronous SIU (Section 5.4).
+tpds
+    Single-server orchestration of the two-phase scheme.
+"""
+
+from repro.core.fingerprint import (
+    FINGERPRINT_SIZE,
+    NULL_CONTAINER,
+    Fingerprint,
+    fingerprint,
+    fp_bucket,
+    fp_hex,
+    SyntheticFingerprints,
+)
+from repro.core.disk_index import Bucket, DiskIndex, IndexFullError
+from repro.core.index_cache import IndexCache
+from repro.core.preliminary_filter import PreliminaryFilter, FilterDecision
+from repro.core.sil import SequentialIndexLookup, LookupResult
+from repro.core.siu import SequentialIndexUpdate
+from repro.core.checking import CheckingFile
+from repro.core.tpds import TwoPhaseDeduplicator, Dedup1Stats, Dedup2Stats
+
+__all__ = [
+    "FINGERPRINT_SIZE",
+    "NULL_CONTAINER",
+    "Fingerprint",
+    "fingerprint",
+    "fp_bucket",
+    "fp_hex",
+    "SyntheticFingerprints",
+    "Bucket",
+    "DiskIndex",
+    "IndexFullError",
+    "IndexCache",
+    "PreliminaryFilter",
+    "FilterDecision",
+    "SequentialIndexLookup",
+    "LookupResult",
+    "SequentialIndexUpdate",
+    "CheckingFile",
+    "TwoPhaseDeduplicator",
+    "Dedup1Stats",
+    "Dedup2Stats",
+]

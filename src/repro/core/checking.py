@@ -1,0 +1,82 @@
+"""The checking fingerprint file (Section 5.4).
+
+With *asynchronous* SIU — one SIU servicing several SILs — a window opens
+between "chunk stored in a container" and "fingerprint registered in the
+disk index".  A second SIL inside that window would mis-classify such a
+fingerprint as new and store its chunk again.  Each backup server therefore
+keeps a checking fingerprint file:
+
+* after every SIL, the lookup result is further de-duplicated against the
+  checking file (fingerprints found there are already stored — they are
+  duplicates, with known container IDs), and the surviving new fingerprints
+  are appended to the file;
+* after every SIU, the fingerprints just written to the disk index are
+  removed from the file.
+
+A single-server DEBAR reuses its unregistered fingerprint file for the same
+check; this class implements both roles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.fingerprint import Fingerprint
+
+
+class CheckingFile:
+    """Fingerprints stored in containers but not yet registered by SIU."""
+
+    def __init__(self) -> None:
+        self._pending: Dict[Fingerprint, int] = {}
+
+    def screen(self, new_fps: Iterable[Fingerprint]) -> Tuple[List[Fingerprint], Dict[Fingerprint, int]]:
+        """Split a SIL "new" result into (genuinely new, already pending).
+
+        The second element maps each already-pending fingerprint to the
+        container that stores its chunk, so callers can treat it exactly
+        like a SIL duplicate.
+        """
+        genuinely_new: List[Fingerprint] = []
+        already_pending: Dict[Fingerprint, int] = {}
+        for fp in new_fps:
+            cid = self._pending.get(fp)
+            if cid is None:
+                genuinely_new.append(fp)
+            else:
+                already_pending[fp] = cid
+        return genuinely_new, already_pending
+
+    def append(self, stored: Dict[Fingerprint, int]) -> None:
+        """Record fingerprints whose chunks chunk-storing just wrote."""
+        for fp, cid in stored.items():
+            if cid is None or cid < 0:
+                raise ValueError(f"fingerprint {fp.hex()[:12]} has no real container ID")
+            existing = self._pending.get(fp)
+            if existing is not None and existing != cid:
+                raise ValueError(
+                    f"fingerprint {fp.hex()[:12]} pending in two containers "
+                    f"({existing} and {cid}) — duplicate store"
+                )
+            self._pending[fp] = cid
+
+    def registered(self, fps: Iterable[Fingerprint]) -> int:
+        """Drop fingerprints that an SIU just wrote to the disk index."""
+        removed = 0
+        for fp in fps:
+            if self._pending.pop(fp, None) is not None:
+                removed += 1
+        return removed
+
+    def pending(self) -> Dict[Fingerprint, int]:
+        """Snapshot of everything awaiting registration."""
+        return dict(self._pending)
+
+    def get(self, fp: Fingerprint) -> Optional[int]:
+        return self._pending.get(fp)
+
+    def __contains__(self, fp: Fingerprint) -> bool:
+        return fp in self._pending
+
+    def __len__(self) -> int:
+        return len(self._pending)

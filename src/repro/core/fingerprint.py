@@ -1,0 +1,139 @@
+"""Chunk fingerprints.
+
+DEBAR identifies a chunk by the SHA-1 hash of its content (160 bits,
+Section 3.2).  A fingerprint's leading bits route it everywhere in the
+system: the first ``w`` bits pick the backup server that owns it, the next
+bits pick its disk-index bucket, and the first ``m`` bits pick its bucket in
+the in-memory index cache and preliminary filter.
+
+This module also implements the paper's synthetic fingerprint generator
+(Section 6.2): SHA-1 over an incrementing 64-bit counter.  SHA-1 output is
+uniformly random regardless of input similarity, so a counter subspace gives
+a reproducible, non-colliding stream of "random" fingerprints — exactly how
+the paper builds its scalability workloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator, List
+
+from repro.util import bit_prefix
+
+#: Size of a SHA-1 fingerprint in bytes.
+FINGERPRINT_SIZE = 20
+
+#: Container-ID sentinel meaning "identified as new, not yet stored".
+#: Real container IDs are 40-bit non-negative integers (Section 3.4).
+NULL_CONTAINER = -1
+
+#: Largest valid container ID (40-bit IDs; with 8 MB containers this
+#: addresses 8 EB of physical storage, per Section 3.4).
+MAX_CONTAINER_ID = (1 << 40) - 1
+
+#: A fingerprint is an immutable 20-byte string.
+Fingerprint = bytes
+
+
+def fingerprint(data: bytes) -> Fingerprint:
+    """SHA-1 fingerprint of chunk content."""
+    return hashlib.sha1(data).digest()
+
+
+def fp_bucket(fp: Fingerprint, n_bits: int) -> int:
+    """The paper's bucket-number function: the first ``n_bits`` of ``fp``."""
+    return bit_prefix(fp, n_bits)
+
+
+def fp_hex(fp: Fingerprint) -> str:
+    """Short human-readable form for logs and error messages."""
+    return fp.hex()[:12]
+
+
+def validate_fingerprint(fp: Fingerprint) -> Fingerprint:
+    """Raise ``ValueError`` unless ``fp`` is a well-formed fingerprint."""
+    if not isinstance(fp, (bytes, bytearray)):
+        raise ValueError(f"fingerprint must be bytes, got {type(fp).__name__}")
+    if len(fp) != FINGERPRINT_SIZE:
+        raise ValueError(f"fingerprint must be {FINGERPRINT_SIZE} bytes, got {len(fp)}")
+    return bytes(fp)
+
+
+def validate_container_id(cid: int) -> int:
+    """Raise ``ValueError`` unless ``cid`` is a valid stored container ID."""
+    if not isinstance(cid, int):
+        raise ValueError(f"container ID must be int, got {type(cid).__name__}")
+    if not 0 <= cid <= MAX_CONTAINER_ID:
+        raise ValueError(f"container ID {cid} out of 40-bit range")
+    return cid
+
+
+class SyntheticFingerprints:
+    """The paper's counter→SHA-1 fingerprint source (Section 6.2).
+
+    The 64-bit counter value space is divided into non-intersecting
+    contiguous subspaces, one per backup client, each able to produce up to
+    2^58 distinct fingerprints.  Because SHA-1 is collision-resistant and
+    uniform, consecutive counter values yield independent random
+    fingerprints, while *re-reading a counter range reproduces the same
+    fingerprints* — which is how the paper builds cross-stream duplicates
+    and version-to-version sharing.
+
+    Parameters
+    ----------
+    subspace:
+        Which contiguous subspace of the counter space this source draws
+        from (the paper uses 64 subspaces for 64 clients).
+    subspace_bits:
+        log2 of the subspace size (paper: 58).
+    """
+
+    def __init__(self, subspace: int = 0, subspace_bits: int = 58) -> None:
+        if subspace_bits <= 0 or subspace_bits > 64:
+            raise ValueError("subspace_bits must be in (0, 64]")
+        n_subspaces = 1 << (64 - subspace_bits)
+        if not 0 <= subspace < n_subspaces:
+            raise ValueError(f"subspace must be in [0, {n_subspaces})")
+        self.subspace = subspace
+        self.subspace_bits = subspace_bits
+        self._base = subspace << subspace_bits
+        self._size = 1 << subspace_bits
+        self._next = 0  # next unused offset within the subspace
+
+    @property
+    def generated(self) -> int:
+        """Number of distinct fingerprints drawn so far from this subspace."""
+        return self._next
+
+    def at(self, offset: int) -> Fingerprint:
+        """The fingerprint at a given counter offset within the subspace."""
+        if not 0 <= offset < self._size:
+            raise ValueError(f"offset {offset} outside subspace of size {self._size}")
+        counter = self._base + offset
+        return hashlib.sha1(counter.to_bytes(8, "big")).digest()
+
+    def range(self, start: int, count: int) -> List[Fingerprint]:
+        """The fingerprints of a contiguous counter section.
+
+        Contiguous sections model the paper's duplicate locality: a backup
+        stream re-uses "a contiguous section of the variable value space" so
+        that duplicates arrive with the spatial locality SISL exploits.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.at(start + i) for i in range(count)]
+
+    def fresh(self, count: int) -> List[Fingerprint]:
+        """Draw ``count`` never-before-seen fingerprints from this subspace."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if self._next + count > self._size:
+            raise ValueError("subspace exhausted")
+        out = self.range(self._next, count)
+        self._next += count
+        return out
+
+    def iter_fresh(self, count: int) -> Iterator[Fingerprint]:
+        """Streaming variant of :meth:`fresh`."""
+        for fp in self.fresh(count):
+            yield fp

@@ -1,0 +1,155 @@
+"""The in-memory index cache used by SIL and SIU (Section 5.2, Figure 4).
+
+Fingerprints inserted into the cache are "automatically sorted ... in the
+order of their numbers": cache bucket ``k`` (first ``m`` bits) corresponds
+exactly to the ``2^(n-m)`` consecutive disk-index buckets
+``[k * 2^(n-m), (k+1) * 2^(n-m))``, which is what lets SIL/SIU stream the
+disk index once, in order, and resolve every cached fingerprint on the way
+past.
+
+Capacity is counted in fingerprints: the paper's 1 GB cache holds about
+44 million fingerprint nodes, and SIL/SIU efficiency is proportional to how
+many fingerprints one index sweep serves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.fingerprint import Fingerprint, fp_bucket
+from repro.util import GB
+
+#: Fingerprint nodes per byte of cache memory, from the paper's "using the
+#: about 1GB memory cache, we can provide lookups for about 44 million
+#: fingerprints" (Section 5.2).
+FINGERPRINTS_PER_GB = 44_000_000
+
+#: Sentinel container ID meaning "written to the currently open container,
+#: real ID pending seal" (see chunk storing in Section 5.3).
+PENDING_CONTAINER = -2
+
+
+def cache_capacity_for_memory(memory_bytes: float) -> int:
+    """Fingerprint capacity of an index cache of the given memory size."""
+    if memory_bytes <= 0:
+        raise ValueError("memory_bytes must be positive")
+    return int(memory_bytes / GB * FINGERPRINTS_PER_GB)
+
+
+class CacheFullError(Exception):
+    """Raised when inserting into a full index cache.
+
+    DEBAR avoids this by splitting large dedup-2 batches: each SIL round
+    processes at most a cache-full of undetermined fingerprints.
+    """
+
+
+class IndexCache:
+    """A capacity-bounded map from fingerprint to (optional) container ID.
+
+    ``None`` means "undetermined / new, no container yet";
+    :data:`PENDING_CONTAINER` means "in the open container";
+    a non-negative value is a real container ID.
+    """
+
+    def __init__(self, capacity: Optional[int] = None, m_bits: int = 20) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive")
+        if m_bits < 1:
+            raise ValueError("m_bits must be >= 1")
+        self.capacity = capacity
+        self.m_bits = m_bits
+        self._nodes: Dict[Fingerprint, Optional[int]] = {}
+
+    # -- basic map operations ---------------------------------------------------
+    def insert(self, fp: Fingerprint, container_id: Optional[int] = None) -> bool:
+        """Insert a fingerprint node; returns False if it was already present
+        (batch-internal duplicate — the node is kept, not overwritten)."""
+        if fp in self._nodes:
+            return False
+        if self.capacity is not None and len(self._nodes) >= self.capacity:
+            raise CacheFullError(f"index cache full at {self.capacity} fingerprints")
+        self._nodes[fp] = container_id
+        return True
+
+    def get(self, fp: Fingerprint) -> Optional[int]:
+        """Container ID of a cached node (None if undetermined).
+
+        Raises ``KeyError`` if the fingerprint is not cached at all.
+        """
+        return self._nodes[fp]
+
+    def set_container(self, fp: Fingerprint, container_id: int) -> None:
+        """Point a cached node at a container (chunk storing's back-fill)."""
+        if fp not in self._nodes:
+            raise KeyError(f"fingerprint {fp.hex()[:12]} not in cache")
+        self._nodes[fp] = container_id
+
+    def remove(self, fp: Fingerprint) -> Optional[int]:
+        """Delete a node (SIL removes duplicates); returns its container ID."""
+        return self._nodes.pop(fp)
+
+    def __contains__(self, fp: Fingerprint) -> bool:
+        return fp in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def clear(self) -> None:
+        self._nodes.clear()
+
+    # -- ordered views -------------------------------------------------------------
+    def sorted_fingerprints(self) -> List[Fingerprint]:
+        """All cached fingerprints in numeric (= disk bucket) order.
+
+        Fingerprints are big-endian byte strings, so lexicographic order is
+        numeric order — sorting *is* the paper's "automatically sorted to
+        the buckets of the index cache".
+        """
+        return sorted(self._nodes)
+
+    def items(self) -> Iterator[Tuple[Fingerprint, Optional[int]]]:
+        """All (fingerprint, container ID) nodes, unordered."""
+        return iter(self._nodes.items())
+
+    def by_disk_bucket(
+        self, n_bits: int, prefix_bits: int = 0
+    ) -> Iterator[Tuple[int, List[Fingerprint]]]:
+        """Group cached fingerprints by their disk-index bucket, in order.
+
+        This is the view SIL consumes while sweeping the disk index: bucket
+        numbers arrive strictly increasing, so disk reads stay sequential.
+        For an index *part* of a performance-scaled index, ``prefix_bits``
+        is the server-prefix width and buckets are addressed by the bits
+        after it — sorting by full fingerprint still yields increasing
+        bucket numbers because every cached fingerprint of a part shares
+        the same prefix.
+        """
+        mask = (1 << n_bits) - 1
+        group: List[Fingerprint] = []
+        current = -1
+        for fp in self.sorted_fingerprints():
+            k = fp_bucket(fp, prefix_bits + n_bits) & mask
+            if k != current:
+                if group:
+                    yield current, group
+                group = []
+                current = k
+            group.append(fp)
+        if group:
+            yield current, group
+
+    def cache_bucket(self, fp: Fingerprint) -> int:
+        """The cache bucket (first ``m`` bits) a fingerprint hashes to."""
+        return fp_bucket(fp, self.m_bits)
+
+    def disk_range_for_cache_bucket(self, k: int, n_bits: int) -> Tuple[int, int]:
+        """Disk buckets ``[start, start+count)`` covered by cache bucket ``k``.
+
+        Figure 4's mapping: cache bucket ``k`` maps to disk buckets
+        ``k * 2^(n-m)`` through ``(k+1) * 2^(n-m) - 1``.
+        """
+        if n_bits < self.m_bits:
+            raise ValueError("disk index must have at least as many bucket bits as the cache")
+        span = 1 << (n_bits - self.m_bits)
+        return k * span, span

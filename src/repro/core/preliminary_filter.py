@@ -1,0 +1,125 @@
+"""The dedup-1 preliminary filter (Section 5.1).
+
+Index lookups are postponed to dedup-2, so dedup-1 cannot prove a chunk is
+*new* — but it can prove most duplicates are duplicates.  DEBAR exploits job
+chain semantics: successive runs of the same job object share most of their
+data, so the filter is preloaded with the *filtering fingerprints* of the
+previous run of the job (``Job_x(t_{n-1})`` filters ``Job_x(t_n)``), and
+additionally catches all internal duplication within the running job.
+
+For an incoming fingerprint ``F``:
+
+* miss  -> ``F`` is inserted and marked *new*; its chunk ``D(F)`` must be
+  transferred from the client and appended to the chunk log, and ``F`` joins
+  the *undetermined fingerprint file* for dedup-2;
+* hit   -> the chunk is a duplicate of something already transferred (this
+  job or the previous run); it is neither transferred nor logged.
+
+When the filter is full, victims are selected FIFO-first with LRU refresh:
+entries sit in an insertion-ordered queue and a hit moves an entry to the
+back, so the evicted entry is the least-recently-useful of the oldest ones
+(the paper's "FIFO ... combined with the LRU replacement policy").
+Evicting a *new* entry is safe because its membership in the undetermined
+file was recorded at insertion time; the only cost is that a later duplicate
+of it would be re-transferred and re-logged, which dedup-2's chunk-storing
+pass discards.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from enum import Enum
+from typing import Iterable, List
+
+from repro.core.fingerprint import Fingerprint
+
+
+class FilterDecision(Enum):
+    """Outcome of checking one fingerprint against the preliminary filter."""
+
+    #: Not seen before: transfer the chunk, log it, mark undetermined.
+    NEW = "new"
+    #: Duplicate of a filtering fingerprint or of an earlier chunk this job.
+    DUPLICATE = "duplicate"
+
+
+class PreliminaryFilter:
+    """In-memory hash filter with FIFO+LRU replacement.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum fingerprints held (the paper's 1 GB filter at ~24 bytes per
+        node holds tens of millions; scaled runs pass smaller values).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("filter capacity must be positive")
+        self.capacity = capacity
+        # fp -> is_new flag; OrderedDict order is the FIFO/LRU queue.
+        self._nodes: "OrderedDict[Fingerprint, bool]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.replaced_new = 0
+
+    # -- setup -------------------------------------------------------------------
+    def preload(self, filtering_fps: Iterable[Fingerprint]) -> int:
+        """Install filtering fingerprints (previous job run); returns count.
+
+        For large jobs the caller may preload group by group in logical
+        order, interleaved with :meth:`check` calls, as Section 5.1 allows.
+        """
+        count = 0
+        for fp in filtering_fps:
+            if fp in self._nodes:
+                continue
+            self._make_room()
+            self._nodes[fp] = False
+            count += 1
+        return count
+
+    # -- the filter ---------------------------------------------------------------
+    def check(self, fp: Fingerprint) -> FilterDecision:
+        """Classify one incoming fingerprint and update filter state."""
+        if fp in self._nodes:
+            self._nodes.move_to_end(fp)  # LRU refresh within the FIFO queue
+            self.hits += 1
+            return FilterDecision.DUPLICATE
+        self._make_room()
+        self._nodes[fp] = True
+        self.misses += 1
+        return FilterDecision.NEW
+
+    def _make_room(self) -> None:
+        while len(self._nodes) >= self.capacity:
+            _, was_new = self._nodes.popitem(last=False)
+            self.evictions += 1
+            if was_new:
+                self.replaced_new += 1
+
+    # -- inspection -----------------------------------------------------------------
+    def new_fingerprints(self) -> List[Fingerprint]:
+        """The *new*-marked fingerprints currently resident, in FIFO order.
+
+        This is the paper's end-of-transmission collection into the
+        undetermined fingerprint file; callers that record undetermined
+        fingerprints eagerly (to survive eviction) use it only for stats.
+        """
+        return [fp for fp, is_new in self._nodes.items() if is_new]
+
+    def __contains__(self, fp: Fingerprint) -> bool:
+        return fp in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def duplicate_rate(self) -> float:
+        """Fraction of checked fingerprints filtered as duplicates."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.evictions = self.replaced_new = 0

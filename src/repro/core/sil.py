@@ -1,0 +1,121 @@
+"""Sequential index lookup — SIL (Section 5.2, Figure 4).
+
+Given a batch of undetermined fingerprints, SIL sorts them into an index
+cache and makes one sequential pass over the disk index.  Each fingerprint
+found on the way past is a duplicate (its node is deleted from the cache,
+its container ID recorded); fingerprints still in the cache afterwards are
+new to the system and flow into chunk storing.
+
+The cost of a SIL is ``t = s / r`` — index size over sequential transfer
+rate — *independent of the number of fingerprints processed*; its
+efficiency is therefore ``eta = f * r / s`` fingerprints per second, which
+is the quantity Figures 10, 11 and 13 sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.core.disk_index import DiskIndex
+from repro.core.fingerprint import Fingerprint
+from repro.core.index_cache import IndexCache
+from repro.simdisk.cpu import CpuModel
+from repro.simdisk.disk import DiskModel
+from repro.simdisk.ledger import Meter
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one SIL run."""
+
+    #: Fingerprints found in the index, with their container IDs.
+    duplicates: Dict[Fingerprint, int] = field(default_factory=dict)
+    #: Cache retaining exactly the new fingerprints (container ID ``None``),
+    #: handed onward to chunk storing.
+    new_cache: IndexCache = field(default_factory=IndexCache)
+    #: Fingerprints submitted (before batch-internal de-duplication).
+    fingerprints_processed: int = 0
+    #: Distinct fingerprints actually looked up.
+    fingerprints_distinct: int = 0
+    #: Bytes of index charged as one sequential scan.
+    index_bytes_read: int = 0
+    #: Distinct disk buckets that had to be parsed.
+    buckets_probed: int = 0
+
+    @property
+    def new_fingerprints(self) -> int:
+        return len(self.new_cache)
+
+    @property
+    def duplicate_fingerprints(self) -> int:
+        return len(self.duplicates)
+
+
+class SequentialIndexLookup:
+    """Runs SIL against one disk index (or index part)."""
+
+    def __init__(
+        self,
+        index: DiskIndex,
+        cache_capacity: Optional[int] = None,
+        cache_m_bits: int = 20,
+    ) -> None:
+        self.index = index
+        self.cache_capacity = cache_capacity
+        self.cache_m_bits = min(cache_m_bits, index.n_bits)
+
+    def run(
+        self,
+        fingerprints: Iterable[Fingerprint],
+        meter: Optional[Meter] = None,
+        disk: Optional[DiskModel] = None,
+        cpu: Optional[CpuModel] = None,
+    ) -> LookupResult:
+        """Classify a batch of fingerprints as duplicate or new.
+
+        If the batch exceeds the cache capacity a
+        :class:`~repro.core.index_cache.CacheFullError` propagates — DEBAR
+        splits oversized batches into multiple SIL rounds at a higher level.
+        """
+        result = LookupResult(new_cache=IndexCache(self.cache_capacity, self.cache_m_bits))
+        cache = result.new_cache
+        for fp in fingerprints:
+            result.fingerprints_processed += 1
+            if not self.index.owns(fp):
+                raise ValueError(
+                    f"fingerprint {fp.hex()[:12]} routed to the wrong index part"
+                )
+            cache.insert(fp)  # batch-internal duplicates collapse here
+        result.fingerprints_distinct = len(cache)
+
+        # One sequential sweep: cache buckets arrive in disk-bucket order.
+        for bucket_no, fps in list(
+            cache.by_disk_bucket(self.index.n_bits, self.index.prefix_bits)
+        ):
+            bucket = self.index.read_bucket(bucket_no)
+            result.buckets_probed += 1
+            neighbours = None
+            for fp in fps:
+                cid = bucket.find(fp)
+                if cid is None and bucket.full:
+                    # The entry may have overflowed to an adjacent bucket.
+                    if neighbours is None:
+                        left = self.index.read_bucket((bucket_no - 1) % self.index.n_buckets)
+                        right = self.index.read_bucket((bucket_no + 1) % self.index.n_buckets)
+                        neighbours = (left, right)
+                        result.buckets_probed += 2
+                    cid = neighbours[0].find(fp)
+                    if cid is None:
+                        cid = neighbours[1].find(fp)
+                if cid is not None:
+                    result.duplicates[fp] = cid
+                    cache.remove(fp)
+
+        result.index_bytes_read = self.index.size_bytes
+        if meter is not None:
+            if disk is not None:
+                meter.charge("sil.scan", disk.seq_read_time(result.index_bytes_read))
+            if cpu is not None:
+                meter.charge("sil.cpu", cpu.fp_search_time(result.fingerprints_distinct))
+        return result

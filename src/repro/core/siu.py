@@ -1,0 +1,103 @@
+"""Sequential index update — SIU (Section 5.4).
+
+SIU registers a batch of (fingerprint, container ID) pairs in the disk
+index the same way SIL looks them up: fingerprints are sorted into an index
+cache, the index is streamed once — read, merged, written back — and every
+new entry lands in its home bucket on the way past.  All I/O is large and
+sequential, which is what makes SIU orders of magnitude faster than random
+per-fingerprint updates.
+
+Cost: a sequential read *and* a sequential write of the whole index
+(6.16 min vs SIL's 2.53 min on the paper's 32 GB index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.disk_index import DiskIndex
+from repro.core.fingerprint import Fingerprint
+from repro.core.index_cache import IndexCache
+from repro.simdisk.cpu import CpuModel
+from repro.simdisk.disk import DiskModel
+from repro.simdisk.ledger import Meter
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of one SIU run."""
+
+    fingerprints_registered: int = 0
+    #: Entries that overflowed their home bucket into a neighbour.
+    overflowed: int = 0
+    index_bytes_read: int = 0
+    index_bytes_written: int = 0
+    buckets_touched: int = 0
+
+
+class SequentialIndexUpdate:
+    """Runs SIU against one disk index (or index part)."""
+
+    def __init__(self, index: DiskIndex) -> None:
+        self.index = index
+
+    def run(
+        self,
+        entries: Dict[Fingerprint, int],
+        meter: Optional[Meter] = None,
+        disk: Optional[DiskModel] = None,
+        cpu: Optional[CpuModel] = None,
+    ) -> UpdateResult:
+        """Register all entries; raises :class:`IndexFullError` if the index
+        needs capacity scaling first (the caller scales and retries).
+
+        The merge is grouped per home bucket — one read and one write per
+        touched bucket — with the rare overflow entries falling back to the
+        adjacent-bucket placement rule.
+        """
+        result = UpdateResult()
+        cache = IndexCache(m_bits=min(20, self.index.n_bits))
+        for fp, cid in entries.items():
+            if cid is None or cid < 0:
+                raise ValueError(
+                    f"fingerprint {fp.hex()[:12]} has no real container ID; "
+                    "chunk storing must complete before SIU"
+                )
+            if not self.index.owns(fp):
+                raise ValueError(
+                    f"fingerprint {fp.hex()[:12]} routed to the wrong index part"
+                )
+            cache.insert(fp, cid)
+
+        overflow: Dict[Fingerprint, int] = {}
+        for bucket_no, fps in list(
+            cache.by_disk_bucket(self.index.n_bits, self.index.prefix_bits)
+        ):
+            bucket = self.index.read_bucket(bucket_no)
+            result.buckets_touched += 1
+            room = bucket.capacity - len(bucket.entries)
+            accepted, spilled = fps[:room], fps[room:]
+            for fp in accepted:
+                bucket.entries.append((fp, cache.get(fp)))
+            if accepted:
+                self.index.write_bucket(bucket)
+            for fp in spilled:
+                overflow[fp] = cache.get(fp)
+
+        # Overflow entries use the point-insert path (random adjacent bucket);
+        # IndexFullError propagates to trigger capacity scaling upstream.
+        for fp, cid in overflow.items():
+            self.index.insert(fp, cid)
+            result.overflowed += 1
+
+        result.fingerprints_registered = len(cache)
+        result.index_bytes_read = self.index.size_bytes
+        result.index_bytes_written = self.index.size_bytes
+        if meter is not None:
+            if disk is not None:
+                meter.charge("siu.read", disk.seq_read_time(result.index_bytes_read))
+                meter.charge("siu.write", disk.seq_write_time(result.index_bytes_written))
+            if cpu is not None:
+                meter.charge("siu.cpu", cpu.fp_search_time(len(cache)))
+        return result

@@ -1,0 +1,136 @@
+"""A cluster of directors (the paper's Section 6.3 future work).
+
+"Using a cluster of directors to build an ultra large-scale DEBAR system
+that stores exabytes of logical data with hundreds of backup servers is a
+potential challenge for our future work."
+
+The design implemented here: jobs are partitioned across directors by a
+stable hash of the job name, so each director owns a disjoint slice of job
+chains and metadata; backup servers are shared.  The ensemble exposes the
+same interface a :class:`~repro.director.director.Director` presents to
+:class:`~repro.system.cluster.DebarCluster`, so a cluster can be built over
+one director or many without code changes.  Dedup-2 remains a cluster-wide
+rendezvous: any director's trigger fires it, and completions are broadcast
+to all (they each track the global cycle).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Sequence
+
+from repro.core.fingerprint import Fingerprint
+from repro.director.director import Director
+from repro.director.jobs import JobChain, JobObject, JobRun
+from repro.director.metadata import FileIndexEntry
+from repro.director.scheduler import Dedup2Policy
+
+
+class _EnsembleMetadataView:
+    """Read-side facade over every member director's metadata manager."""
+
+    def __init__(self, ensemble: "DirectorEnsemble") -> None:
+        self._ensemble = ensemble
+
+    def files_for_run(self, run_id: int) -> List[FileIndexEntry]:
+        for director in self._ensemble.directors:
+            if run_id in director.metadata:
+                return director.metadata.files_for_run(run_id)
+        raise KeyError(f"no metadata recorded for run {run_id}")
+
+    def fingerprints_for_run(self, run_id: int) -> List[Fingerprint]:
+        for director in self._ensemble.directors:
+            if run_id in director.metadata:
+                return director.metadata.fingerprints_for_run(run_id)
+        raise KeyError(f"no metadata recorded for run {run_id}")
+
+    def __contains__(self, run_id: int) -> bool:
+        return any(run_id in d.metadata for d in self._ensemble.directors)
+
+
+class DirectorEnsemble:
+    """``n_directors`` directors sharing one pool of backup servers."""
+
+    def __init__(
+        self,
+        n_directors: int,
+        n_servers: int = 1,
+        policy: Optional[Dedup2Policy] = None,
+    ) -> None:
+        if n_directors < 1:
+            raise ValueError("need at least one director")
+        self.policy = policy if policy is not None else Dedup2Policy()
+        self.directors = [
+            Director(n_servers=n_servers, policy=self.policy)
+            for _ in range(n_directors)
+        ]
+        self.metadata = _EnsembleMetadataView(self)
+        self.dedup2_runs = 0
+
+    # -- routing ------------------------------------------------------------------
+    def director_for(self, job_name: str) -> Director:
+        """The member that owns a job, by stable hash of its name."""
+        digest = hashlib.sha1(job_name.encode()).digest()
+        return self.directors[int.from_bytes(digest[:4], "big") % len(self.directors)]
+
+    def _owner_of(self, job: JobObject) -> Director:
+        return self.director_for(job.name)
+
+    # -- the Director interface used by DebarCluster -----------------------------------
+    def define_job(
+        self,
+        name: str,
+        client: str,
+        dataset: Sequence[str],
+        schedule: str = "daily at 1.05am",
+    ) -> JobObject:
+        return self.director_for(name).define_job(name, client, dataset, schedule)
+
+    def job_by_name(self, name: str) -> JobObject:
+        return self.director_for(name).job_by_name(name)
+
+    def chain(self, job: JobObject) -> JobChain:
+        return self._owner_of(job).chain(job)
+
+    def assign_backup(self, job: JobObject, expected_bytes: int = 0) -> int:
+        return self._owner_of(job).assign_backup(job, expected_bytes)
+
+    def begin_run(self, job: JobObject, timestamp: float, server: int) -> JobRun:
+        return self._owner_of(job).begin_run(job, timestamp, server)
+
+    def complete_run(self, run: JobRun, file_entries: Sequence[FileIndexEntry]) -> None:
+        self._owner_of(run.job).complete_run(run, file_entries)
+
+    def filtering_fingerprints(self, job: JobObject) -> Optional[List[Fingerprint]]:
+        return self._owner_of(job).filtering_fingerprints(job)
+
+    def find_run(self, run_id: int) -> Optional[JobRun]:
+        for director in self.directors:
+            run = director.find_run(run_id)
+            if run is not None:
+                return run
+        return None
+
+    def should_run_dedup2(
+        self, undetermined_counts: Sequence[int], log_bytes: Sequence[int]
+    ) -> bool:
+        return self.policy.should_run(undetermined_counts, log_bytes)
+
+    def record_dedup2(self) -> None:
+        self.dedup2_runs += 1
+        for director in self.directors:
+            director.record_dedup2()
+
+    # -- introspection ------------------------------------------------------------------
+    @property
+    def scheduler(self):
+        """Schedulers are per-director; expose the first for compatibility
+        with single-director call sites (prefer :meth:`server_for_job`)."""
+        return self.directors[0].scheduler
+
+    def server_for_job(self, job: JobObject) -> int:
+        return self._owner_of(job).scheduler.server_for(job)
+
+    def job_counts(self) -> List[int]:
+        """Jobs owned per director (balance diagnostic)."""
+        return [len(d._jobs) for d in self.directors]

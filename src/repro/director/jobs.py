@@ -1,0 +1,125 @@
+"""Job objects and job chains (Sections 3.1 and 5.1).
+
+A backup job object carries at least a *client* (which backup client hosts
+the data), a *dataset* (the files and directories to protect) and a
+*schedule* ("daily at 1.05am").  Multiple runs of the same job object form a
+chronologically ordered *job chain* ``Job_x(t0), Job_x(t1), ...`` — and the
+observation that adjacent chain members share most of their data is what
+the preliminary filter exploits: run ``t_{n-1}``'s fingerprints filter run
+``t_n``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+_job_ids = itertools.count(1)
+_run_ids = itertools.count(1)
+
+_SCHEDULE_RE = re.compile(r"^(daily|weekly|hourly) at (\d{1,2})[.:](\d{2})(am|pm)?$")
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A recurrence rule like the paper's example ``daily at 1.05am``."""
+
+    period: str  # "hourly" | "daily" | "weekly"
+    hour: int
+    minute: int
+
+    _PERIOD_SECONDS = {"hourly": 3600, "daily": 86400, "weekly": 7 * 86400}
+
+    def __post_init__(self) -> None:
+        if self.period not in self._PERIOD_SECONDS:
+            raise ValueError(f"unknown period {self.period!r}")
+        if not 0 <= self.hour < 24 or not 0 <= self.minute < 60:
+            raise ValueError("invalid time of day")
+
+    @classmethod
+    def parse(cls, text: str) -> "Schedule":
+        """Parse ``"daily at 1.05am"``-style schedule strings."""
+        m = _SCHEDULE_RE.match(text.strip().lower())
+        if not m:
+            raise ValueError(f"cannot parse schedule {text!r}")
+        period, hour, minute, ampm = m.groups()
+        hour = int(hour)
+        if ampm == "pm" and hour != 12:
+            hour += 12
+        elif ampm == "am" and hour == 12:
+            hour = 0
+        return cls(period, hour, int(minute))
+
+    @property
+    def period_seconds(self) -> int:
+        return self._PERIOD_SECONDS[self.period]
+
+    def next_run_time(self, after: float) -> float:
+        """First scheduled time strictly after ``after`` (seconds since an
+        epoch whose t=0 is midnight)."""
+        offset = self.hour * 3600 + self.minute * 60
+        period = self.period_seconds
+        k = int((after - offset) // period) + 1
+        t = k * period + offset
+        if t <= after:  # guard float edge cases
+            t += period
+        return t
+
+
+@dataclass
+class JobObject:
+    """What/where/when for one recurring backup task."""
+
+    name: str
+    client: str
+    dataset: Sequence[str]
+    schedule: Schedule = field(default_factory=lambda: Schedule("daily", 1, 5))
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("job needs a name")
+        if not self.client:
+            raise ValueError("job needs a client")
+
+
+@dataclass
+class JobRun:
+    """One executed instance ``Job_x(t_n)`` of a job object."""
+
+    job: JobObject
+    timestamp: float
+    run_id: int = field(default_factory=lambda: next(_run_ids))
+    server: Optional[int] = None
+    logical_bytes: int = 0
+    transferred_bytes: int = 0
+    chunk_count: int = 0
+
+
+class JobChain:
+    """The chronologically ordered runs of one job object."""
+
+    def __init__(self, job: JobObject) -> None:
+        self.job = job
+        self._runs: List[JobRun] = []
+
+    def record(self, run: JobRun) -> None:
+        if run.job.job_id != self.job.job_id:
+            raise ValueError("run belongs to a different job object")
+        if self._runs and run.timestamp < self._runs[-1].timestamp:
+            raise ValueError("job chain must be chronologically ordered")
+        self._runs.append(run)
+
+    @property
+    def runs(self) -> Tuple[JobRun, ...]:
+        return tuple(self._runs)
+
+    def latest(self) -> Optional[JobRun]:
+        """The most recent run — the filtering-fingerprint source for the
+        next run of this job (Section 5.1)."""
+        return self._runs[-1] if self._runs else None
+
+    def __len__(self) -> int:
+        return len(self._runs)

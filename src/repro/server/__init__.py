@@ -1,0 +1,13 @@
+"""Backup servers: File Store (dedup-1), Chunk Store (dedup-2 + retrieval)."""
+
+from repro.server.file_store import FileStore, BackupSession
+from repro.server.chunk_store import ChunkStore
+from repro.server.backup_server import BackupServer, BackupServerConfig
+
+__all__ = [
+    "FileStore",
+    "BackupSession",
+    "ChunkStore",
+    "BackupServer",
+    "BackupServerConfig",
+]

@@ -1,0 +1,111 @@
+"""A DEBAR backup server: TPDS engine + File Store + Chunk Store (Section 3.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.disk_index import DiskIndex
+from repro.core.tpds import TwoPhaseDeduplicator
+from repro.server.chunk_store import ChunkStore
+from repro.server.file_store import FileStore
+from repro.simdisk import ClockLane, PaperRig, paper_rig
+from repro.storage.blockstore import SparseMemoryBlockStore
+from repro.storage.container import CONTAINER_SIZE
+from repro.storage.repository import ChunkRepository
+
+
+@dataclass
+class BackupServerConfig:
+    """Sizing knobs for one backup server.
+
+    Defaults are scaled-down analogues of the paper's configuration (1 GB
+    preliminary filter, 1 GB index cache, 8 MB containers, 128 MB LPC).
+    """
+
+    index_n_bits: int = 16
+    index_bucket_bytes: int = 8 * 1024
+    filter_capacity: int = 1 << 16
+    cache_capacity: int = 1 << 20
+    container_bytes: int = CONTAINER_SIZE
+    lpc_containers: int = 16
+    siu_every: int = 1
+    materialize: bool = False
+    #: Back the index with a page-sparse store (large scaled geometries).
+    sparse_index: bool = False
+
+
+class BackupServer:
+    """One backup server of a DEBAR deployment.
+
+    In a single-server system it owns the whole disk index; in a cluster of
+    ``2^w`` servers it owns index part ``server_id`` (fingerprints whose
+    first ``w`` bits equal its number).
+    """
+
+    def __init__(
+        self,
+        server_id: int,
+        repository: ChunkRepository,
+        config: Optional[BackupServerConfig] = None,
+        index: Optional[DiskIndex] = None,
+        rig: Optional[PaperRig] = None,
+        w_bits: int = 0,
+    ) -> None:
+        self.server_id = server_id
+        self.config = config if config is not None else BackupServerConfig()
+        self.w_bits = w_bits
+        if index is None:
+            store = None
+            if self.config.sparse_index:
+                store = SparseMemoryBlockStore(
+                    (1 << self.config.index_n_bits) * self.config.index_bucket_bytes
+                )
+            index = DiskIndex(
+                self.config.index_n_bits,
+                bucket_bytes=self.config.index_bucket_bytes,
+                store=store,
+                prefix_bits=w_bits,
+                prefix_value=server_id if w_bits else 0,
+                seed=server_id,
+            )
+        self.clock = ClockLane(f"server-{server_id}")
+        self.rig = rig if rig is not None else paper_rig()
+        self.tpds = TwoPhaseDeduplicator(
+            index,
+            repository,
+            filter_capacity=self.config.filter_capacity,
+            cache_capacity=self.config.cache_capacity,
+            container_bytes=self.config.container_bytes,
+            materialize=self.config.materialize,
+            siu_every=self.config.siu_every,
+            rig=self.rig,
+            clock=self.clock,
+            affinity=server_id,
+        )
+        self.file_store = FileStore(self.tpds)
+        self.chunk_store = ChunkStore(self.tpds, lpc_containers=self.config.lpc_containers)
+
+    # -- convenience passthroughs ----------------------------------------------
+    @property
+    def index(self) -> DiskIndex:
+        return self.tpds.index
+
+    @property
+    def meter(self):
+        return self.tpds.meter
+
+    @property
+    def undetermined_count(self) -> int:
+        return self.tpds.undetermined_count
+
+    @property
+    def chunk_log_bytes(self) -> int:
+        return self.tpds.chunk_log.size_bytes
+
+    def owns(self, fp: bytes) -> bool:
+        """True iff this server's index part is responsible for ``fp``."""
+        return self.index.owns(fp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BackupServer({self.server_id}, index={self.index!r})"

@@ -1,0 +1,86 @@
+"""The File Store module: the backup server's dedup-1 face (Section 3.3).
+
+A :class:`BackupSession` receives one job run's data stream from a backup
+client: per file it records metadata, builds the file index (the
+fingerprint sequence referencing the file's chunks), and pushes the chunk
+stream through the TPDS preliminary filter into the chunk log.  Closing the
+session hands the file index entries to the director.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.chunking.cdc import Chunk
+from repro.core.fingerprint import Fingerprint
+from repro.core.tpds import Dedup1Stats, StreamChunk, TwoPhaseDeduplicator
+from repro.director.metadata import FileIndexEntry, FileMetadata
+
+
+class BackupSession:
+    """One job run's dedup-1 session against a File Store."""
+
+    def __init__(
+        self,
+        tpds: TwoPhaseDeduplicator,
+        filtering_fps: Optional[Iterable[Fingerprint]] = None,
+    ) -> None:
+        self._tpds = tpds
+        self._filtering_fps = list(filtering_fps) if filtering_fps is not None else None
+        self._entries: List[FileIndexEntry] = []
+        self._buffer: List[Tuple[FileMetadata, List[StreamChunk]]] = []
+        self._closed = False
+        self.stats: Optional[Dedup1Stats] = None
+
+    def add_file(self, metadata: FileMetadata, chunks: Iterable[Chunk]) -> FileIndexEntry:
+        """Receive one file: metadata backup, then its chunk stream."""
+        if self._closed:
+            raise RuntimeError("session already closed")
+        stream: List[StreamChunk] = []
+        fps: List[Fingerprint] = []
+        for chunk in chunks:
+            stream.append((chunk.fingerprint, chunk.size, chunk.data))
+            fps.append(chunk.fingerprint)
+        entry = FileIndexEntry(metadata, fps)
+        self._entries.append(entry)
+        self._buffer.append((metadata, stream))
+        return entry
+
+    def add_fingerprint_stream(self, stream: Iterable[StreamChunk], path: str = "<stream>") -> FileIndexEntry:
+        """Receive a raw fingerprint stream (workload-model backups)."""
+        if self._closed:
+            raise RuntimeError("session already closed")
+        elements = list(stream)
+        fps = [e[0] for e in elements]
+        size = sum(e[1] for e in elements)
+        entry = FileIndexEntry(FileMetadata(path, size), fps)
+        self._entries.append(entry)
+        self._buffer.append((entry.metadata, elements))
+        return entry
+
+    def close(self) -> Tuple[Dedup1Stats, List[FileIndexEntry]]:
+        """Run the buffered stream through dedup-1; return stats + indices."""
+        if self._closed:
+            raise RuntimeError("session already closed")
+        self._closed = True
+
+        def whole_stream():
+            for _, elements in self._buffer:
+                yield from elements
+
+        self.stats, _ = self._tpds.dedup1_backup(whole_stream(), self._filtering_fps)
+        return self.stats, list(self._entries)
+
+
+class FileStore:
+    """Session factory plus the restore read path's file-level entry point."""
+
+    def __init__(self, tpds: TwoPhaseDeduplicator) -> None:
+        self._tpds = tpds
+
+    def begin_session(
+        self, filtering_fps: Optional[Iterable[Fingerprint]] = None
+    ) -> BackupSession:
+        """Open a dedup-1 session, preloading the preliminary filter with
+        the previous run's fingerprints when the director supplies them."""
+        return BackupSession(self._tpds, filtering_fps)

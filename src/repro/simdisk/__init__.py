@@ -1,0 +1,42 @@
+"""Device cost models and the simulated clock.
+
+DEBAR's evaluation is dominated by device service times: sequential index
+scans, random index probes, chunk-log replays, container appends and NIC
+transfers.  This package provides a deterministic :class:`SimClock` plus
+parametric :class:`DiskModel`, :class:`NetworkModel` and :class:`CpuModel`
+cost models.  The de-duplication logic elsewhere in :mod:`repro` runs for
+real; only *time* is simulated, using models calibrated to the paper's
+measured hardware rates (see :mod:`repro.simdisk.presets`).
+"""
+
+from repro.simdisk.clock import SimClock, ClockLane, barrier
+from repro.simdisk.ledger import Meter
+from repro.simdisk.disk import DiskModel
+from repro.simdisk.network import NetworkModel
+from repro.simdisk.cpu import CpuModel
+from repro.simdisk.presets import (
+    paper_index_disk,
+    paper_log_disk,
+    paper_repository_disk,
+    paper_network,
+    paper_cpu,
+    PaperRig,
+    paper_rig,
+)
+
+__all__ = [
+    "SimClock",
+    "ClockLane",
+    "barrier",
+    "Meter",
+    "DiskModel",
+    "NetworkModel",
+    "CpuModel",
+    "paper_index_disk",
+    "paper_log_disk",
+    "paper_repository_disk",
+    "paper_network",
+    "paper_cpu",
+    "PaperRig",
+    "paper_rig",
+]

@@ -1,0 +1,78 @@
+"""Deterministic simulated time.
+
+A :class:`SimClock` is a monotone accumulator of simulated seconds.  Each
+backup server in a multi-server run owns a :class:`ClockLane`; cluster-wide
+barriers (fingerprint exchange, end of PSIL/PSIU rounds) synchronise lanes to
+the maximum, which models the paper's "all servers cooperate" phases where the
+slowest server gates the round.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class SimClock:
+    """A monotone simulated clock measured in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before t=0")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by a non-negative duration; return the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by negative time ({seconds})")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock forward to absolute time ``t`` (no-op if already past)."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def elapsed_since(self, t0: float) -> float:
+        """Simulated seconds elapsed since an earlier reading ``t0``."""
+        if t0 > self._now:
+            raise ValueError("t0 is in the future")
+        return self._now - t0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimClock(now={self._now:.6f})"
+
+
+class ClockLane(SimClock):
+    """A named per-server clock that can be barrier-synchronised with peers."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, start: float = 0.0) -> None:
+        super().__init__(start)
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ClockLane({self.name!r}, now={self.now:.6f})"
+
+
+def barrier(lanes: Iterable[SimClock]) -> float:
+    """Synchronise all lanes to the latest one; return the barrier time.
+
+    Models a cluster-wide rendezvous: no server proceeds until every server
+    has finished the current phase.
+    """
+    lanes = list(lanes)
+    if not lanes:
+        raise ValueError("barrier over no lanes")
+    t = max(lane.now for lane in lanes)
+    for lane in lanes:
+        lane.advance_to(t)
+    return t

@@ -1,0 +1,43 @@
+"""Network service-time model for client→server and server↔server transfers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import MB
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """A point-to-point link (or a server's aggregate NIC capacity).
+
+    Parameters
+    ----------
+    bandwidth:
+        Sustained payload bandwidth in bytes/second.  The paper's servers
+        measured 210 MB/s over two bonded gigabit NICs.
+    rtt:
+        Round-trip latency in seconds, charged once per message exchange.
+    """
+
+    bandwidth: float = 210.0 * MB
+    rtt: float = 0.2e-3
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.rtt < 0:
+            raise ValueError("rtt must be non-negative")
+
+    def transfer_time(self, nbytes: float, messages: int = 1) -> float:
+        """Time to move ``nbytes`` in ``messages`` request/response exchanges."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if messages < 0:
+            raise ValueError("messages must be non-negative")
+        return nbytes / self.bandwidth + messages * self.rtt
+
+    def exchange_time(self, send_bytes: float, recv_bytes: float) -> float:
+        """Time for a full-duplex exchange; the link is limited by the larger
+        direction (the PSIL all-to-all shuffles are symmetric in practice)."""
+        return self.transfer_time(max(send_bytes, recv_bytes))

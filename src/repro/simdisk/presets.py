@@ -1,0 +1,97 @@
+"""Cost-model presets calibrated to the paper's measured hardware.
+
+Calibration sources (all from the paper):
+
+* random on-disk fingerprint lookup: 522 fps on an 8-disk RAID
+  (Section 6.1.3) -> per-disk positioning delay 8/522 s = 15.33 ms; a random
+  update is a read-modify-write (two accesses), giving 261 fps vs the
+  measured 270 fps — within 4 %.
+* sequential index scan: "a disk index supporting a 200 MB/s sequential disk
+  I/O transfer rate" (Section 5.2); SIL over 32 GB measured 2.53 min, i.e.
+  an effective ~216 MB/s — we use 216 MB/s so Figure 10's absolute times
+  land on the paper's measurements.
+* SIU over 32 GB measured 6.16 min = 2.43x SIL: a read + an update pass plus
+  write-back overheads; we model SIU as a full sequential read plus a full
+  sequential write with a write rate chosen to match (see below).
+* chunk-log sustained read: 224 MB/s (Section 6.1.2, "exactly the sustained
+  read throughput of the disk log").
+* server NIC: 210 MB/s sustained (Section 6.1.2, "exactly the sustained
+  throughput of the network card").
+* in-memory fingerprint search: 2.749 M searches/s (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simdisk.cpu import CpuModel
+from repro.simdisk.disk import DiskModel
+from repro.simdisk.network import NetworkModel
+from repro.util import GB, MB
+
+#: SIL effective index-scan read rate implied by "2.53 min for 32 GB".
+INDEX_SEQ_READ_RATE = 32 * GB / (2.53 * 60)
+
+#: SIU is a sequential read plus a sequential write of the index; the write
+#: rate below makes 32 GB take the measured 6.16 min total
+#: (6.16 min - 2.53 min read = 3.63 min writing 32 GB -> 150.5 MB/s).
+INDEX_SEQ_WRITE_RATE = 32 * GB / ((6.16 - 2.53) * 60)
+
+#: Random-probe positioning delay implied by "522 lookups/s on 8 disks".
+RANDOM_PROBE_TIME = 8 / 522.0
+
+
+def paper_index_disk() -> DiskModel:
+    """The 8-disk RAID that holds the DEBAR/DDFS disk index."""
+    return DiskModel(
+        seq_read_rate=INDEX_SEQ_READ_RATE,
+        seq_write_rate=INDEX_SEQ_WRITE_RATE,
+        random_io_time=RANDOM_PROBE_TIME,
+        raid_width=8,
+    )
+
+
+def paper_log_disk() -> DiskModel:
+    """The 8-disk RAID that holds the dedup-1 chunk log (224 MB/s reads)."""
+    return DiskModel(
+        seq_read_rate=224 * MB,
+        seq_write_rate=224 * MB,
+        random_io_time=RANDOM_PROBE_TIME,
+        raid_width=8,
+    )
+
+
+def paper_repository_disk() -> DiskModel:
+    """A chunk-repository storage node (container log appends/reads)."""
+    return DiskModel(
+        seq_read_rate=224 * MB,
+        seq_write_rate=224 * MB,
+        random_io_time=RANDOM_PROBE_TIME,
+        raid_width=8,
+    )
+
+
+def paper_network() -> NetworkModel:
+    """A backup server's NIC capacity (two bonded GigE, 210 MB/s sustained)."""
+    return NetworkModel(bandwidth=210 * MB, rtt=0.2e-3)
+
+
+def paper_cpu() -> CpuModel:
+    """The 3.0 GHz Xeon CPU model."""
+    return CpuModel()
+
+
+@dataclass
+class PaperRig:
+    """One backup server's worth of calibrated device models."""
+
+    index_disk: DiskModel = field(default_factory=paper_index_disk)
+    log_disk: DiskModel = field(default_factory=paper_log_disk)
+    repository_disk: DiskModel = field(default_factory=paper_repository_disk)
+    network: NetworkModel = field(default_factory=paper_network)
+    cpu: CpuModel = field(default_factory=paper_cpu)
+
+
+def paper_rig() -> PaperRig:
+    """A fresh bundle of paper-calibrated device models."""
+    return PaperRig()

@@ -1,0 +1,171 @@
+"""Fixed-size random-access byte stores backing the disk index.
+
+The disk index needs only three primitives — read a range, write a range,
+report its size — so both an in-memory store (fast, for tests and scaled
+benchmarks) and a real file-backed store (for the on-disk examples) satisfy
+one small interface.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Union
+
+
+class BlockStore(ABC):
+    """A fixed-size byte store with range reads and writes."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Total capacity in bytes."""
+
+    @abstractmethod
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset``."""
+
+    @abstractmethod
+    def write(self, offset: int, data: bytes) -> None:
+        """Write ``data`` at ``offset``."""
+
+    def _check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise ValueError(
+                f"range [{offset}, {offset + length}) outside store of size {self.size}"
+            )
+
+
+class MemoryBlockStore(BlockStore):
+    """A zero-initialised in-memory store."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self._buf = bytearray(size)
+
+    @property
+    def size(self) -> int:
+        return len(self._buf)
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._check_range(offset, length)
+        return bytes(self._buf[offset : offset + length])
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._check_range(offset, len(data))
+        self._buf[offset : offset + len(data)] = data
+
+
+class SparseMemoryBlockStore(BlockStore):
+    """An in-memory store that only materialises written pages.
+
+    A disk index is mostly zeros until well filled; backing it with a
+    page-sparse store lets the cluster experiments address multi-hundred-MB
+    index geometries while allocating only the touched buckets.
+    """
+
+    PAGE = 4096
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self._size = size
+        self._pages: dict = {}
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def _page(self, number: int) -> bytearray:
+        page = self._pages.get(number)
+        if page is None:
+            page = bytearray(self.PAGE)
+            self._pages[number] = page
+        return page
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._check_range(offset, length)
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            page_no, page_off = divmod(offset + pos, self.PAGE)
+            take = min(self.PAGE - page_off, length - pos)
+            page = self._pages.get(page_no)
+            if page is not None:
+                out[pos : pos + take] = page[page_off : page_off + take]
+            pos += take
+        return bytes(out)
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._check_range(offset, len(data))
+        pos = 0
+        while pos < len(data):
+            page_no, page_off = divmod(offset + pos, self.PAGE)
+            take = min(self.PAGE - page_off, len(data) - pos)
+            self._page(page_no)[page_off : page_off + take] = data[pos : pos + take]
+            pos += take
+
+    @property
+    def resident_bytes(self) -> int:
+        """Memory actually allocated (diagnostic)."""
+        return len(self._pages) * self.PAGE
+
+
+class FileBlockStore(BlockStore):
+    """A store backed by a real sparse file.
+
+    Created (and truncated to ``size``) if missing; reopened in place if
+    present, so an on-disk index survives process restarts.
+    """
+
+    def __init__(self, path: Union[str, Path], size: int) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self._path = Path(path)
+        self._size = size
+        exists = self._path.exists()
+        self._fh = open(self._path, "r+b" if exists else "w+b")
+        current = os.fstat(self._fh.fileno()).st_size
+        if current < size:
+            self._fh.truncate(size)
+        elif current > size:
+            raise ValueError(
+                f"{self._path} is {current} bytes, larger than requested size {size}"
+            )
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._check_range(offset, length)
+        self._fh.seek(offset)
+        data = self._fh.read(length)
+        if len(data) < length:  # sparse tail reads return short on some OSes
+            data += b"\x00" * (length - len(data))
+        return data
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._check_range(offset, len(data))
+        self._fh.seek(offset)
+        self._fh.write(data)
+
+    def flush(self) -> None:
+        """Flush buffered writes to the OS."""
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Close the backing file; further access raises."""
+        self._fh.close()
+
+    def __enter__(self) -> "FileBlockStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

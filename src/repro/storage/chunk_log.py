@@ -1,0 +1,72 @@
+"""The dedup-1 on-disk chunk log (Sections 3.3 and 5.1).
+
+During dedup-1 the File Store appends every chunk that survives the
+preliminary filter as a ``<F, D(F)>`` group.  Dedup-2's chunk-storing pass
+later replays the log *sequentially* — that sequential replay, at the log
+disk's streaming rate, is what makes chunk storing fast and what preserves
+SISL locality in the containers it fills.
+
+Like containers, log records may be virtualized (size recorded, payload
+regenerable) for fingerprint-stream workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.core.fingerprint import FINGERPRINT_SIZE, Fingerprint
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One ``<F, D(F)>`` group in the chunk log."""
+
+    fingerprint: Fingerprint
+    size: int
+    data: Optional[bytes] = None
+
+    @property
+    def log_bytes(self) -> int:
+        """On-disk footprint of the group (fingerprint + payload)."""
+        return FINGERPRINT_SIZE + self.size
+
+
+class ChunkLog:
+    """An append-only log of chunk groups with sequential replay."""
+
+    def __init__(self) -> None:
+        self._records: List[LogRecord] = []
+        self._bytes = 0
+
+    def append(self, fp: Fingerprint, data: Optional[bytes] = None, size: Optional[int] = None) -> None:
+        """Append one group (pass ``data``, or ``size`` alone when virtual)."""
+        if data is not None:
+            size = len(data)
+        elif size is None:
+            raise ValueError("either data or size is required")
+        if size < 0:
+            raise ValueError("chunk size must be non-negative")
+        record = LogRecord(fp, size, data)
+        self._records.append(record)
+        self._bytes += record.log_bytes
+
+    def replay(self) -> Iterator[LogRecord]:
+        """Sequentially iterate all groups in append order."""
+        return iter(self._records)
+
+    def clear(self) -> None:
+        """Truncate the log (after dedup-2 has consumed it)."""
+        self._records.clear()
+        self._bytes = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-disk bytes the log occupies (drives replay time)."""
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __bool__(self) -> bool:
+        return bool(self._records)

@@ -1,0 +1,127 @@
+"""Defragmentation (Section 6.3).
+
+De-duplication shares chunks across streams and, as a side effect, spreads
+a stream's chunks over many repository nodes, which erodes read
+throughput.  The paper's remedy: "a defragmentation mechanism that
+automatically aggregates file chunks to one or few storage nodes".
+
+This module implements that mechanism as a policy object: given a stream's
+fingerprint sequence and a fingerprint->container resolver, it computes the
+stream's container set and fragmentation, and aggregates the stragglers
+onto the stream's majority node when fragmentation crosses a threshold.
+Moves cost one container read + one container write (+ a network transfer
+between nodes), charged to a meter when one is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.fingerprint import Fingerprint
+from repro.simdisk.disk import DiskModel
+from repro.simdisk.ledger import Meter
+from repro.simdisk.network import NetworkModel
+from repro.storage.repository import ChunkRepository
+
+
+@dataclass
+class DefragReport:
+    """Outcome of one defragmentation pass."""
+
+    containers: int = 0
+    fragmentation_before: float = 0.0
+    fragmentation_after: float = 0.0
+    moves: int = 0
+    bytes_moved: int = 0
+    target_node: Optional[int] = None
+    triggered: bool = False
+
+
+class DefragmentationManager:
+    """Aggregates a stream's containers onto its majority node."""
+
+    def __init__(
+        self,
+        repository: ChunkRepository,
+        threshold: float = 0.25,
+    ) -> None:
+        if not 0 <= threshold < 1:
+            raise ValueError("threshold must be in [0, 1)")
+        self.repository = repository
+        self.threshold = threshold
+        self.passes = 0
+        self.total_moves = 0
+
+    def stream_containers(
+        self,
+        fingerprints: Iterable[Fingerprint],
+        resolve: Callable[[Fingerprint], Optional[int]],
+    ) -> List[int]:
+        """Distinct containers referenced by a stream, in first-use order."""
+        seen: Dict[int, None] = {}
+        for fp in fingerprints:
+            cid = resolve(fp)
+            if cid is None:
+                raise KeyError(f"fingerprint {fp.hex()[:12]} not stored")
+            if cid not in seen:
+                seen[cid] = None
+        return list(seen)
+
+    def majority_node(self, container_ids: Iterable[int]) -> int:
+        """The node already holding the largest share of the containers."""
+        counts: Dict[int, int] = {}
+        for cid in container_ids:
+            node = self.repository.locate(cid)
+            counts[node] = counts.get(node, 0) + 1
+        if not counts:
+            raise ValueError("stream references no containers")
+        return max(counts, key=lambda n: (counts[n], -n))
+
+    def run(
+        self,
+        fingerprints: Iterable[Fingerprint],
+        resolve: Callable[[Fingerprint], Optional[int]],
+        target_node: Optional[int] = None,
+        meter: Optional[Meter] = None,
+        disk: Optional[DiskModel] = None,
+        network: Optional[NetworkModel] = None,
+        force: bool = False,
+    ) -> DefragReport:
+        """One defragmentation pass over one stream.
+
+        Aggregation happens only when fragmentation exceeds the threshold
+        (or ``force``); it never splits containers — chunks shared with
+        other streams ride along, which is why the paper aggregates to
+        "one or few" nodes rather than guaranteeing perfect locality for
+        every stream simultaneously.
+        """
+        report = DefragReport()
+        cids = self.stream_containers(fingerprints, resolve)
+        report.containers = len(cids)
+        if not cids:
+            return report
+        report.fragmentation_before = self.repository.fragmentation(cids)
+        if target_node is None:
+            target_node = self.majority_node(cids)
+        report.target_node = target_node
+        if not force and report.fragmentation_before <= self.threshold:
+            report.fragmentation_after = report.fragmentation_before
+            return report
+
+        to_move = [cid for cid in cids if self.repository.locate(cid) != target_node]
+        capacity = 0
+        for cid in to_move:
+            capacity = self.repository.fetch(cid).capacity
+            if meter is not None and disk is not None:
+                meter.charge("defrag.read", disk.seq_read_time(capacity))
+                meter.charge("defrag.write", disk.append_write_time(capacity))
+                if network is not None:
+                    meter.charge("defrag.network", network.transfer_time(capacity))
+            report.bytes_moved += capacity
+        report.moves = self.repository.defragment(to_move, target_node)
+        report.fragmentation_after = self.repository.fragmentation(cids)
+        report.triggered = True
+        self.passes += 1
+        self.total_moves += report.moves
+        return report

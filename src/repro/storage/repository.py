@@ -1,0 +1,173 @@
+"""The chunk repository: a global container-log storage pool (Section 3.4).
+
+A repository is a set of storage nodes, each holding an append-only log of
+fixed-size containers.  In a single-server DEBAR the repository lives on the
+backup server's own block devices; in a cluster it spans many nodes with
+potentially petabytes of capacity.  Container IDs are 40-bit and global, so
+any backup server can fetch any container.
+
+De-duplication makes chunks shared across streams spread over nodes, which
+degrades restore locality; the repository therefore also implements the
+defragmentation pass the paper sketches in Section 6.3, re-aggregating the
+containers referenced by one stream onto one (or few) nodes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.core.fingerprint import MAX_CONTAINER_ID
+from repro.storage.container import Container
+
+
+class StorageNode:
+    """One node of the chunk repository: an append-only container log."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self._containers: Dict[int, Container] = {}
+        self.bytes_appended = 0
+
+    def append(self, container: Container) -> None:
+        if container.container_id in self._containers:
+            raise ValueError(f"container {container.container_id} already on node {self.node_id}")
+        self._containers[container.container_id] = container
+        self.bytes_appended += container.capacity
+
+    def fetch(self, container_id: int) -> Container:
+        try:
+            return self._containers[container_id]
+        except KeyError:
+            raise KeyError(f"container {container_id} not on node {self.node_id}")
+
+    def remove(self, container_id: int) -> Container:
+        try:
+            return self._containers.pop(container_id)
+        except KeyError:
+            raise KeyError(f"container {container_id} not on node {self.node_id}")
+
+    def __contains__(self, container_id: int) -> bool:
+        return container_id in self._containers
+
+    def __len__(self) -> int:
+        return len(self._containers)
+
+    def container_ids(self) -> List[int]:
+        return list(self._containers)
+
+
+class ChunkRepository:
+    """A cluster-wide pool of storage nodes with global container IDs.
+
+    Placement: a container written with an ``affinity`` (the writing backup
+    server's number) lands on ``node affinity % n_nodes``, which keeps one
+    stream's containers together; without affinity, round-robin.
+    """
+
+    def __init__(self, n_nodes: int = 1) -> None:
+        if n_nodes < 1:
+            raise ValueError("repository needs at least one node")
+        self.nodes = [StorageNode(i) for i in range(n_nodes)]
+        self._location: Dict[int, int] = {}
+        self._next_id = 0
+        self._rr = 0
+
+    # -- identity ------------------------------------------------------------
+    def allocate_id(self) -> int:
+        """Hand out the next 40-bit container ID."""
+        cid = self._next_id
+        if cid > MAX_CONTAINER_ID:
+            raise OverflowError("40-bit container ID space exhausted")
+        self._next_id += 1
+        return cid
+
+    # -- placement and I/O ------------------------------------------------------
+    def store(self, container: Container, affinity: Optional[int] = None) -> int:
+        """Append a sealed container; return the node that received it."""
+        if container.container_id in self._location:
+            raise ValueError(f"container {container.container_id} already stored")
+        if affinity is None:
+            node_idx = self._rr
+            self._rr = (self._rr + 1) % len(self.nodes)
+        else:
+            node_idx = affinity % len(self.nodes)
+        self.nodes[node_idx].append(container)
+        self._location[container.container_id] = node_idx
+        return node_idx
+
+    def fetch(self, container_id: int) -> Container:
+        """Read a container from whichever node holds it."""
+        return self.nodes[self.locate(container_id)].fetch(container_id)
+
+    def locate(self, container_id: int) -> int:
+        """Node index holding a container (for network-hop cost accounting)."""
+        try:
+            return self._location[container_id]
+        except KeyError:
+            raise KeyError(f"container {container_id} not in repository")
+
+    def __contains__(self, container_id: int) -> bool:
+        return container_id in self._location
+
+    def __len__(self) -> int:
+        return len(self._location)
+
+    @property
+    def physical_bytes(self) -> int:
+        """Fixed-size container bytes occupied across all nodes."""
+        return len(self._location) * (
+            next(iter(self.iter_containers())).capacity if self._location else 0
+        )
+
+    @property
+    def stored_chunk_bytes(self) -> int:
+        """Payload bytes actually described by stored containers."""
+        return sum(c.data_bytes for c in self.iter_containers())
+
+    def iter_containers(self) -> Iterator[Container]:
+        """All containers, across all nodes."""
+        for node in self.nodes:
+            for cid in node.container_ids():
+                yield node.fetch(cid)
+
+    def iter_index_entries(self) -> Iterator[tuple]:
+        """(fingerprint, container ID) pairs from every metadata section.
+
+        This is the scan that rebuilds a corrupted disk index
+        (Section 4.1's recovery path).
+        """
+        for container in self.iter_containers():
+            for record in container.records:
+                yield record.fingerprint, container.container_id
+
+    # -- defragmentation (Section 6.3 extension) ---------------------------------
+    def defragment(self, container_ids: Iterable[int], target_node: int) -> int:
+        """Aggregate the given containers onto one node; return moves made.
+
+        Models the paper's automatic defragmentation that keeps one stream's
+        chunks on one or few storage nodes to retain read throughput.
+        """
+        if not 0 <= target_node < len(self.nodes):
+            raise ValueError(f"no node {target_node}")
+        moves = 0
+        for cid in container_ids:
+            src = self.locate(cid)
+            if src == target_node:
+                continue
+            container = self.nodes[src].remove(cid)
+            self.nodes[target_node].append(container)
+            self._location[cid] = target_node
+            moves += 1
+        return moves
+
+    def fragmentation(self, container_ids: Iterable[int]) -> float:
+        """Fraction of a stream's containers *not* on its majority node."""
+        counts: Dict[int, int] = defaultdict(int)
+        total = 0
+        for cid in container_ids:
+            counts[self.locate(cid)] += 1
+            total += 1
+        if total == 0:
+            return 0.0
+        return 1.0 - max(counts.values()) / total

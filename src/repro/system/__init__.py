@@ -1,0 +1,17 @@
+"""System facades: single-server DEBAR, the multi-server cluster, and DDFS."""
+
+from repro.system.debar import DebarSystem
+from repro.system.cluster import DebarCluster, ClusterDedup2Stats, ClusterBackupStats
+from repro.system.ddfs_system import DdfsSystem
+from repro.system.vault import DebarVault, VaultError, VaultRun
+
+__all__ = [
+    "DebarSystem",
+    "DebarCluster",
+    "ClusterDedup2Stats",
+    "ClusterBackupStats",
+    "DdfsSystem",
+    "DebarVault",
+    "VaultError",
+    "VaultRun",
+]

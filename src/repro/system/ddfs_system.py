@@ -1,0 +1,73 @@
+"""A DDFS deployment facade, mirroring :class:`DebarSystem` for comparisons.
+
+DDFS is inherently single-server (Figure 1(b)): one backup server performs
+inline de-duplication for all clients, with no director tier.  This facade
+exists so the Figure 6-9 and Figure 12 benchmarks can drive DEBAR and DDFS
+with identical workloads and read identical accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.baselines.ddfs import DdfsBackupStats, DdfsServer
+from repro.core.disk_index import DiskIndex
+from repro.core.tpds import StreamChunk
+from repro.simdisk import PaperRig
+from repro.storage.container import CONTAINER_SIZE
+from repro.storage.repository import ChunkRepository
+
+
+class DdfsSystem:
+    """One DDFS backup server plus its container storage."""
+
+    def __init__(
+        self,
+        index_n_bits: int = 16,
+        index_bucket_bytes: int = 8 * 1024,
+        bloom_bits: int = 1 << 23,
+        bloom_hashes: int = 4,
+        lpc_containers: int = 16,
+        write_buffer_capacity: int = 1 << 16,
+        container_bytes: int = CONTAINER_SIZE,
+        materialize: bool = False,
+        rig: Optional[PaperRig] = None,
+    ) -> None:
+        self.repository = ChunkRepository(1)
+        index = DiskIndex(index_n_bits, bucket_bytes=index_bucket_bytes)
+        self.server = DdfsServer(
+            index,
+            self.repository,
+            bloom_bits=bloom_bits,
+            bloom_hashes=bloom_hashes,
+            lpc_containers=lpc_containers,
+            write_buffer_capacity=write_buffer_capacity,
+            container_bytes=container_bytes,
+            materialize=materialize,
+            rig=rig,
+        )
+        self._logical_bytes = 0
+
+    def backup_stream(self, stream: Iterable[StreamChunk]) -> DdfsBackupStats:
+        """Inline-deduplicate one backup session."""
+        stats = self.server.backup_stream(stream)
+        self.server.finish_backup()
+        self._logical_bytes += stats.logical_bytes
+        return stats
+
+    @property
+    def logical_bytes_protected(self) -> int:
+        return self._logical_bytes
+
+    @property
+    def physical_bytes_stored(self) -> int:
+        return self.repository.stored_chunk_bytes
+
+    @property
+    def compression_ratio(self) -> float:
+        physical = self.physical_bytes_stored
+        return self._logical_bytes / physical if physical else float("inf")
+
+    @property
+    def elapsed(self) -> float:
+        return self.server.clock.now

@@ -1,0 +1,442 @@
+"""DebarVault: a persistent, single-server DEBAR deployment on local disk.
+
+Everything the paper's single-server system keeps on disk, actually on
+disk:
+
+::
+
+    vault/
+      catalog.json     jobs, runs, file metadata + hex fingerprint indices
+      index.bin        the DEBAR disk index (FileBlockStore-backed)
+      containers/      one self-described file per sealed container
+
+A vault survives process restarts: reopening re-attaches the index (bucket
+counts are rebuilt from the file), rescans the container directory, and
+reloads the catalog.  Each ``backup()`` runs dedup-1 and a full dedup-2
+(with SIU) before returning, so a closed vault never has in-flight state.
+If ``index.bin`` is lost, :meth:`recover_index` rebuilds it from the
+containers' metadata sections (Section 4.1's recovery path).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.chunking.cdc import ContentDefinedChunker
+from repro.client.backup_client import BackupEngine
+from repro.core.disk_index import DiskIndex
+from repro.core.tpds import TwoPhaseDeduplicator
+from repro.director.metadata import FileIndexEntry, FileMetadata
+from repro.server.chunk_store import ChunkStore
+from repro.server.file_store import FileStore
+from repro.storage.blockstore import FileBlockStore
+from repro.storage.file_repository import FileChunkRepository
+
+PathLike = Union[str, Path]
+
+_CATALOG = "catalog.json"
+_INDEX = "index.bin"
+_CONTAINERS = "containers"
+
+#: Catalog schema version (bumped on incompatible layout changes).
+CATALOG_VERSION = 1
+
+
+@dataclass
+class GcReport:
+    """Outcome of one garbage-collection pass."""
+
+    containers_scanned: int = 0
+    containers_removed: int = 0
+    containers_rewritten: int = 0
+    containers_kept_with_dead: int = 0
+    live_chunks_copied: int = 0
+    dead_chunks_dropped: int = 0
+    bytes_reclaimed: int = 0
+
+
+@dataclass
+class VaultRun:
+    """One completed backup recorded in the catalog."""
+
+    run_id: int
+    job: str
+    timestamp: float
+    logical_bytes: int
+    transferred_bytes: int
+    files: List[FileIndexEntry]
+
+
+class VaultError(Exception):
+    """Raised on catalog/layout problems."""
+
+
+class DebarVault:
+    """Open (or create) a DEBAR vault rooted at a directory."""
+
+    def __init__(
+        self,
+        root: PathLike,
+        *,
+        index_n_bits: int = 12,
+        index_bucket_bytes: int = 512,
+        container_bytes: int = 1 << 20,
+        filter_capacity: int = 1 << 16,
+        cache_capacity: int = 1 << 20,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        catalog_path = self.root / _CATALOG
+        if catalog_path.exists():
+            self._catalog = json.loads(catalog_path.read_text())
+            if self._catalog.get("version") != CATALOG_VERSION:
+                raise VaultError(
+                    f"catalog version {self._catalog.get('version')} unsupported"
+                )
+            index_n_bits = self._catalog["index_n_bits"]
+            index_bucket_bytes = self._catalog["index_bucket_bytes"]
+            container_bytes = self._catalog["container_bytes"]
+        else:
+            self._catalog = {
+                "version": CATALOG_VERSION,
+                "index_n_bits": index_n_bits,
+                "index_bucket_bytes": index_bucket_bytes,
+                "container_bytes": container_bytes,
+                "runs": [],
+            }
+        self.container_bytes = container_bytes
+        self.repository = FileChunkRepository(
+            self.root / _CONTAINERS, container_bytes=container_bytes
+        )
+        index_size = (1 << index_n_bits) * index_bucket_bytes
+        self._index_store = FileBlockStore(self.root / _INDEX, index_size)
+        index = DiskIndex(
+            index_n_bits, bucket_bytes=index_bucket_bytes, store=self._index_store
+        )
+        self.tpds = TwoPhaseDeduplicator(
+            index,
+            self.repository,
+            filter_capacity=filter_capacity,
+            cache_capacity=cache_capacity,
+            container_bytes=container_bytes,
+            materialize=True,
+            siu_every=1,
+        )
+        self.file_store = FileStore(self.tpds)
+        self.chunk_store = ChunkStore(self.tpds)
+        self.engine = BackupEngine("vault", chunker=ContentDefinedChunker())
+        self._save_catalog()
+
+    # -- catalog ------------------------------------------------------------------
+    def _save_catalog(self) -> None:
+        tmp = self.root / (_CATALOG + ".tmp")
+        tmp.write_text(json.dumps(self._catalog, indent=1))
+        tmp.replace(self.root / _CATALOG)
+
+    def _record_run(self, run: VaultRun) -> None:
+        self._catalog["runs"].append(
+            {
+                "run_id": run.run_id,
+                "job": run.job,
+                "timestamp": run.timestamp,
+                "logical_bytes": run.logical_bytes,
+                "transferred_bytes": run.transferred_bytes,
+                "files": [
+                    {
+                        "path": e.metadata.path,
+                        "size": e.metadata.size,
+                        "mode": e.metadata.mode,
+                        "mtime": e.metadata.mtime,
+                        "fingerprints": [fp.hex() for fp in e.fingerprints],
+                    }
+                    for e in run.files
+                ],
+            }
+        )
+        self._save_catalog()
+
+    def _load_run(self, payload: dict) -> VaultRun:
+        return VaultRun(
+            run_id=payload["run_id"],
+            job=payload["job"],
+            timestamp=payload["timestamp"],
+            logical_bytes=payload["logical_bytes"],
+            transferred_bytes=payload["transferred_bytes"],
+            files=[
+                FileIndexEntry(
+                    FileMetadata(f["path"], f["size"], f["mode"], f["mtime"]),
+                    [bytes.fromhex(h) for h in f["fingerprints"]],
+                )
+                for f in payload["files"]
+            ],
+        )
+
+    # -- public API --------------------------------------------------------------------
+    def runs(self, job: Optional[str] = None) -> List[VaultRun]:
+        """All recorded runs, oldest first (optionally one job's chain)."""
+        runs = [self._load_run(p) for p in self._catalog["runs"]]
+        if job is not None:
+            runs = [r for r in runs if r.job == job]
+        return runs
+
+    def latest_run(self, job: str) -> Optional[VaultRun]:
+        chain = self.runs(job)
+        return chain[-1] if chain else None
+
+    def backup(self, job: str, dataset: List[PathLike], timestamp: float = 0.0) -> VaultRun:
+        """Back up a dataset under a job name; dedup-2 completes inline.
+
+        The previous run of the same job seeds the preliminary filter, per
+        the paper's job-chain semantics.
+        """
+        if not job:
+            raise VaultError("job name required")
+        previous = self.latest_run(job)
+        filtering = None
+        if previous is not None:
+            filtering = [fp for e in previous.files for fp in e.fingerprints]
+        session = self.file_store.begin_session(filtering)
+        for metadata, chunks in self.engine.iter_dataset([Path(p) for p in dataset]):
+            session.add_file(metadata, chunks)
+        stats, entries = session.close()
+        self.tpds.dedup2(force_siu=True)
+        self._index_store.flush()
+        run = VaultRun(
+            run_id=len(self._catalog["runs"]) + 1,
+            job=job,
+            timestamp=timestamp,
+            logical_bytes=stats.logical_bytes,
+            transferred_bytes=stats.transferred_bytes,
+            files=entries,
+        )
+        self._record_run(run)
+        return run
+
+    def restore(
+        self,
+        run_id: int,
+        dest: PathLike,
+        strip_prefix: PathLike = "/",
+    ) -> List[Path]:
+        """Restore every file of a recorded run into ``dest``."""
+        for payload in self._catalog["runs"]:
+            if payload["run_id"] == run_id:
+                run = self._load_run(payload)
+                break
+        else:
+            raise VaultError(f"no run {run_id} in this vault")
+        return self.engine.restore_run(run.files, self.chunk_store, dest, strip_prefix)
+
+    def verify(self, deep: bool = False) -> Dict[str, int]:
+        """Integrity check: every catalogued fingerprint must resolve.
+
+        ``deep=True`` additionally reads every referenced chunk and
+        recomputes its SHA-1 — content addressing makes silent corruption
+        detectable end to end (a flipped bit in any container payload
+        changes the digest).  Returns counters; raises
+        :class:`VaultError` on the first inconsistency.
+        """
+        from repro.core.fingerprint import fingerprint as sha1
+
+        checked = 0
+        deep_checked = 0
+        verified_payload: set = set()
+        for payload in self._catalog["runs"]:
+            for f in payload["files"]:
+                for h in f["fingerprints"]:
+                    fp = bytes.fromhex(h)
+                    cid = self.tpds.index.lookup(fp)
+                    if cid is None:
+                        raise VaultError(f"fingerprint {h[:12]} missing from index")
+                    checked += 1
+                    if deep and fp not in verified_payload:
+                        container = self.repository.fetch(cid)
+                        if fp not in container:
+                            raise VaultError(
+                                f"index points fingerprint {h[:12]} at container "
+                                f"{cid}, which does not hold it"
+                            )
+                        data = container.get(fp)
+                        if sha1(data) != fp:
+                            raise VaultError(
+                                f"payload of {h[:12]} does not match its "
+                                f"fingerprint — container {cid} is corrupt"
+                            )
+                        verified_payload.add(fp)
+                        deep_checked += 1
+        return {
+            "runs": len(self._catalog["runs"]),
+            "fingerprints": checked,
+            "payloads_verified": deep_checked,
+        }
+
+    def diff(self, run_a: int, run_b: int) -> Dict[str, List[str]]:
+        """Compare two runs at file granularity via their fingerprints.
+
+        Returns paths ``added``/``removed``/``changed``/``unchanged`` going
+        from ``run_a`` to ``run_b`` — fingerprint sequences make equality
+        exact with no byte comparison.
+        """
+        def files_of(run_id: int) -> Dict[str, tuple]:
+            for payload in self._catalog["runs"]:
+                if payload["run_id"] == run_id:
+                    return {
+                        f["path"]: tuple(f["fingerprints"]) for f in payload["files"]
+                    }
+            raise VaultError(f"no run {run_id} in this vault")
+
+        a, b = files_of(run_a), files_of(run_b)
+        return {
+            "added": sorted(set(b) - set(a)),
+            "removed": sorted(set(a) - set(b)),
+            "changed": sorted(p for p in set(a) & set(b) if a[p] != b[p]),
+            "unchanged": sorted(p for p in set(a) & set(b) if a[p] == b[p]),
+        }
+
+    def recover_index(self) -> int:
+        """Rebuild the disk index from container metadata (Section 4.1).
+
+        Used when ``index.bin`` is lost or corrupted; returns the number of
+        entries recovered.
+        """
+        index = self.tpds.index
+        fresh = DiskIndex(
+            index.n_bits,
+            bucket_bytes=index.bucket_bytes,
+            store=None,
+        )
+        for fp, cid in self.repository.iter_index_entries():
+            fresh.insert(fp, cid)
+        # Persist the rebuilt index over the file store.
+        for k in range(fresh.n_buckets):
+            index.write_bucket(fresh.read_bucket(k))
+        self._index_store.flush()
+        return len(fresh)
+
+    # -- retention and garbage collection ---------------------------------------
+    def forget(self, run_id: int) -> None:
+        """Drop a run from the catalog; its chunks remain until :meth:`gc`.
+
+        This is the retention operation the paper leaves open: deletion in
+        a de-duplicating store cannot remove chunks inline because later
+        runs may share them — reclamation is a separate, reference-counted
+        sweep.
+        """
+        runs = self._catalog["runs"]
+        for i, payload in enumerate(runs):
+            if payload["run_id"] == run_id:
+                del runs[i]
+                self._save_catalog()
+                return
+        raise VaultError(f"no run {run_id} in this vault")
+
+    def live_fingerprints(self) -> set:
+        """Fingerprints referenced by any catalogued run."""
+        live = set()
+        for payload in self._catalog["runs"]:
+            for f in payload["files"]:
+                live.update(bytes.fromhex(h) for h in f["fingerprints"])
+        return live
+
+    def gc(self, rewrite_threshold: float = 0.5) -> GcReport:
+        """Reclaim space from chunks no catalogued run references.
+
+        Three-way disposition per container: fully live -> keep; fully
+        dead -> delete (and purge its index entries); partially live with
+        a live fraction at or below ``rewrite_threshold`` -> copy the live
+        chunks forward into fresh containers, repoint their index entries,
+        and delete the original.  Mostly-live containers are kept and the
+        dead space tolerated, bounding GC write amplification.
+        """
+        if not 0 <= rewrite_threshold <= 1:
+            raise VaultError("rewrite_threshold must be in [0, 1]")
+        live = self.live_fingerprints()
+        report = GcReport()
+        index = self.tpds.index
+        writer: Optional["ContainerWriter"] = None
+        pending: List[bytes] = []
+
+        from repro.storage.container import ContainerWriter
+
+        def seal_writer() -> None:
+            nonlocal writer
+            if writer is None or not len(writer):
+                writer = None
+                return
+            cid = self.repository.allocate_id()
+            container = writer.seal(cid)
+            self.repository.store(container)
+            for fp in pending:
+                if not index.update(fp, cid):
+                    index.insert(fp, cid)
+            pending.clear()
+            writer = None
+
+        for cid in list(self.repository.container_ids()):
+            container = self.repository.fetch(cid)
+            report.containers_scanned += 1
+            live_records = [r for r in container.records if r.fingerprint in live]
+            dead = len(container.records) - len(live_records)
+            if dead == 0:
+                continue
+            if not live_records:
+                for record in container.records:
+                    index.delete(record.fingerprint)
+                self.repository.remove(cid)
+                report.containers_removed += 1
+                report.dead_chunks_dropped += dead
+                report.bytes_reclaimed += container.data_bytes
+                continue
+            live_fraction = len(live_records) / len(container.records)
+            if live_fraction > rewrite_threshold:
+                report.containers_kept_with_dead += 1
+                continue
+            # Copy-forward: live chunks move, dead chunks vanish.
+            for record in live_records:
+                payload = container.get(record.fingerprint)
+                if writer is None:
+                    writer = ContainerWriter(self.container_bytes, materialize=True)
+                if not writer.fits(record.size):
+                    seal_writer()
+                    writer = ContainerWriter(self.container_bytes, materialize=True)
+                writer.add(record.fingerprint, data=payload)
+                pending.append(record.fingerprint)
+                report.live_chunks_copied += 1
+            for record in container.records:
+                if record.fingerprint not in live:
+                    index.delete(record.fingerprint)
+                    report.dead_chunks_dropped += 1
+                    report.bytes_reclaimed += record.size
+            self.repository.remove(cid)
+            report.containers_rewritten += 1
+        seal_writer()
+        self._index_store.flush()
+        return report
+
+    def stats(self) -> Dict[str, float]:
+        """Vault-level accounting."""
+        logical = sum(p["logical_bytes"] for p in self._catalog["runs"])
+        physical = self.repository.stored_chunk_bytes
+        return {
+            "runs": len(self._catalog["runs"]),
+            "logical_bytes": logical,
+            "physical_bytes": physical,
+            "compression_ratio": logical / physical if physical else float("inf"),
+            "containers": len(self.repository),
+            "index_entries": len(self.tpds.index),
+            "index_utilization": self.tpds.index.utilization,
+        }
+
+    def close(self) -> None:
+        """Flush and release the on-disk index."""
+        self._index_store.flush()
+        self._index_store.close()
+
+    def __enter__(self) -> "DebarVault":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,43 @@
+"""Small shared utilities: byte-size units, bit arithmetic, RNG helpers."""
+
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    TB,
+    PB,
+    KiB,
+    MiB,
+    GiB,
+    TiB,
+    PiB,
+    fmt_bytes,
+    fmt_duration,
+    fmt_rate,
+)
+from repro.util.bits import (
+    bit_prefix,
+    is_power_of_two,
+    log2_exact,
+    required_bits,
+)
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "PB",
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "PiB",
+    "fmt_bytes",
+    "fmt_duration",
+    "fmt_rate",
+    "bit_prefix",
+    "is_power_of_two",
+    "log2_exact",
+    "required_bits",
+]

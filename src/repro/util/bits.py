@@ -1,0 +1,40 @@
+"""Bit-level helpers shared by the disk index and the fingerprint module."""
+
+from __future__ import annotations
+
+
+def is_power_of_two(x: int) -> bool:
+    """True iff ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def log2_exact(x: int) -> int:
+    """Return ``n`` such that ``2**n == x``; raise if ``x`` is not a power of two."""
+    if not is_power_of_two(x):
+        raise ValueError(f"{x} is not a power of two")
+    return x.bit_length() - 1
+
+
+def required_bits(n_values: int) -> int:
+    """Number of bits needed to address ``n_values`` distinct values."""
+    if n_values <= 0:
+        raise ValueError("n_values must be positive")
+    return max(1, (n_values - 1).bit_length())
+
+
+def bit_prefix(data: bytes, bits: int) -> int:
+    """Return the first ``bits`` bits of ``data`` as an unsigned integer.
+
+    This is the paper's bucket-number function: DEBAR maps a fingerprint to
+    disk-index bucket ``first n bits``, to a backup server by its first ``w``
+    bits, and to an index-cache bucket by its first ``m`` bits (Sections 4-5).
+    """
+    if bits < 0:
+        raise ValueError("bits must be non-negative")
+    if bits == 0:
+        return 0
+    nbytes = (bits + 7) // 8
+    if nbytes > len(data):
+        raise ValueError(f"need {nbytes} bytes for a {bits}-bit prefix, got {len(data)}")
+    value = int.from_bytes(data[:nbytes], "big")
+    return value >> (nbytes * 8 - bits)

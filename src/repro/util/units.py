@@ -1,0 +1,52 @@
+"""Byte-size constants and human-readable formatting.
+
+The de-duplication literature (and the DEBAR paper) uses power-of-two units
+throughout ("8KB chunk", "1GB Bloom filter", "32GB disk index"), so the short
+names ``KB``/``MB``/... are binary units here.  The explicit ``KiB``/``MiB``
+aliases are provided for readers who prefer unambiguous names.
+"""
+
+from __future__ import annotations
+
+KiB = 1 << 10
+MiB = 1 << 20
+GiB = 1 << 30
+TiB = 1 << 40
+PiB = 1 << 50
+
+# The paper's units: binary.
+KB = KiB
+MB = MiB
+GB = GiB
+TB = TiB
+PB = PiB
+
+_SCALES = [(PiB, "PB"), (TiB, "TB"), (GiB, "GB"), (MiB, "MB"), (KiB, "KB")]
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with the paper's binary units, e.g. ``1.82TB``."""
+    if n < 0:
+        return "-" + fmt_bytes(-n)
+    for scale, suffix in _SCALES:
+        if n >= scale:
+            return f"{n / scale:.2f}{suffix}"
+    return f"{n:.0f}B"
+
+
+def fmt_duration(seconds: float) -> str:
+    """Format a duration as seconds/minutes/hours, e.g. ``2.53min``."""
+    if seconds < 0:
+        return "-" + fmt_duration(-seconds)
+    if seconds < 1:
+        return f"{seconds * 1e3:.2f}ms"
+    if seconds < 120:
+        return f"{seconds:.2f}s"
+    if seconds < 2 * 3600:
+        return f"{seconds / 60:.2f}min"
+    return f"{seconds / 3600:.2f}h"
+
+
+def fmt_rate(bytes_per_second: float) -> str:
+    """Format a data rate, e.g. ``329.2MB/s``."""
+    return fmt_bytes(bytes_per_second) + "/s"

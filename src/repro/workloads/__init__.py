@@ -1,0 +1,16 @@
+"""Workload models: the paper's synthetic fingerprint streams (Section 6.2),
+the HUSt data-center 31-day model (Section 6.1), and an on-disk file-tree
+generator for the file-mode examples."""
+
+from repro.workloads.synthetic import SyntheticUniverse, SyntheticConfig
+from repro.workloads.hust import HustWorkload, HustConfig
+from repro.workloads.filetree import FileTreeGenerator, mutate_tree
+
+__all__ = [
+    "SyntheticUniverse",
+    "SyntheticConfig",
+    "HustWorkload",
+    "HustConfig",
+    "FileTreeGenerator",
+    "mutate_tree",
+]

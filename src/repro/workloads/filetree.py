@@ -1,0 +1,106 @@
+"""On-disk file-tree generation and mutation for the file-mode examples.
+
+Creates realistic directory trees of compressible-ish binary files and
+applies version-to-version edits (insert bytes at the front, append, modify
+a region, add and delete files) — the edit patterns CDC chunking is designed
+to survive and fixed-size blocking is not.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Dict, List, Union
+
+PathLike = Union[str, Path]
+
+
+class FileTreeGenerator:
+    """Deterministic random file trees under a root directory."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def _file_bytes(self, size: int) -> bytes:
+        # Blocks of repeated randomness: compressible structure with enough
+        # entropy that CDC anchors land naturally.
+        rng = self._rng
+        out = bytearray()
+        while len(out) < size:
+            block = rng.randbytes(rng.randint(256, 4096))
+            out.extend(block * rng.randint(1, 3))
+        return bytes(out[:size])
+
+    def generate(
+        self,
+        root: PathLike,
+        n_files: int = 12,
+        n_dirs: int = 3,
+        min_size: int = 16 * 1024,
+        max_size: int = 256 * 1024,
+    ) -> List[Path]:
+        """Create a tree of ``n_files`` files spread over ``n_dirs`` dirs."""
+        if n_files < 1 or n_dirs < 1:
+            raise ValueError("need at least one file and one directory")
+        root = Path(root)
+        dirs = [root] + [root / f"dir{i:02d}" for i in range(1, n_dirs)]
+        for d in dirs:
+            d.mkdir(parents=True, exist_ok=True)
+        files = []
+        for i in range(n_files):
+            directory = self._rng.choice(dirs)
+            path = directory / f"file{i:03d}.bin"
+            size = self._rng.randint(min_size, max_size)
+            path.write_bytes(self._file_bytes(size))
+            files.append(path)
+        return files
+
+
+def mutate_tree(
+    root: PathLike,
+    seed: int = 1,
+    edit_fraction: float = 0.4,
+    new_files: int = 2,
+    delete_files: int = 1,
+) -> Dict[str, int]:
+    """Apply one backup cycle's worth of edits to a tree; returns counts.
+
+    Edits per touched file (chosen at random): prepend a few bytes (the
+    fixed-size-blocking killer), append, or overwrite an interior region.
+    """
+    rng = random.Random(seed)
+    root = Path(root)
+    files = sorted(p for p in root.rglob("*") if p.is_file())
+    if not files:
+        raise ValueError(f"no files under {root}")
+    stats = {"edited": 0, "created": 0, "deleted": 0}
+
+    n_edit = max(1, int(len(files) * edit_fraction))
+    for path in rng.sample(files, min(n_edit, len(files))):
+        data = bytearray(path.read_bytes())
+        kind = rng.choice(["prepend", "append", "overwrite"])
+        blob = rng.randbytes(rng.randint(64, 2048))
+        if kind == "prepend":
+            data[:0] = blob
+        elif kind == "append":
+            data.extend(blob)
+        else:
+            if len(data) > len(blob):
+                at = rng.randrange(0, len(data) - len(blob))
+                data[at : at + len(blob)] = blob
+            else:
+                data.extend(blob)
+        path.write_bytes(bytes(data))
+        stats["edited"] += 1
+
+    gen = FileTreeGenerator(seed=seed + 1000)
+    for i in range(new_files):
+        path = root / f"new{seed:02d}_{i:02d}.bin"
+        path.write_bytes(gen._file_bytes(rng.randint(8 * 1024, 64 * 1024)))
+        stats["created"] += 1
+
+    deletable = [p for p in files if p.exists()]
+    for path in rng.sample(deletable, min(delete_files, len(deletable))):
+        path.unlink()
+        stats["deleted"] += 1
+    return stats

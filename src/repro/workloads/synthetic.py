@@ -1,0 +1,187 @@
+"""The paper's synthetic fingerprint workload (Section 6.2).
+
+The 64-bit counter value space is divided into non-intersecting contiguous
+subspaces, one per backup stream; SHA-1 over counter values yields random,
+reproducible fingerprints.  Each stream is an ordered series of versions;
+each successor version is derived from its predecessor by
+
+1. *reordering and deleting* some existing fingerprint sections,
+2. *adding new fingerprints* from a contiguous section of the stream's own
+   subspace, and
+3. *adding duplicate fingerprints* from small contiguous sections of the
+   value space used by previous versions of this or other subspaces — the
+   cross-stream duplication that spreads chunks over repository nodes.
+
+The paper's headline configuration: ~90 % duplicate fingerprints per
+version, of which ~30 points are cross-stream, for an average version
+compression ratio of 10.  Duplicate *locality* is preserved by drawing
+duplicates as contiguous sections, which is what SISL and the LPC exploit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from repro.core.fingerprint import Fingerprint, SyntheticFingerprints
+from repro.core.tpds import StreamChunk
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Knobs of the Section 6.2 generator.
+
+    ``dup_fraction`` counts all duplicates (own + cross); the paper uses
+    0.9 with ``cross_fraction`` 0.3 of the *total* version.
+    """
+
+    n_streams: int = 64
+    chunk_size: int = 8 * 1024
+    dup_fraction: float = 0.90
+    cross_fraction: float = 0.30
+    #: Mean length (in chunks) of a contiguous duplicate section.
+    section_chunks: int = 128
+    #: Fraction of inherited sections dropped per version ("deleting").
+    delete_fraction: float = 0.10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.cross_fraction <= self.dup_fraction <= 1:
+            raise ValueError("need 0 <= cross_fraction <= dup_fraction <= 1")
+        if self.n_streams < 1 or self.chunk_size < 1 or self.section_chunks < 1:
+            raise ValueError("sizes must be positive")
+
+
+@dataclass(frozen=True)
+class Section:
+    """A contiguous counter-space section: (subspace, start offset, length)."""
+
+    subspace: int
+    start: int
+    length: int
+
+
+class SyntheticUniverse:
+    """All streams of one synthetic experiment, sharing one value space."""
+
+    def __init__(self, config: Optional[SyntheticConfig] = None) -> None:
+        self.config = config if config is not None else SyntheticConfig()
+        subspace_bits = 58 if self.config.n_streams <= 64 else 64 - (self.config.n_streams - 1).bit_length()
+        self._gens = [
+            SyntheticFingerprints(i, subspace_bits=subspace_bits)
+            for i in range(self.config.n_streams)
+        ]
+        self._rng = random.Random(self.config.seed)
+        #: Per stream: sections used by its latest version (adjacency pool).
+        self._latest_sections: List[List[Section]] = [[] for _ in range(self.config.n_streams)]
+        #: Per stream: all sections ever used (history pool for cross dups).
+        self._history: List[List[Section]] = [[] for _ in range(self.config.n_streams)]
+        self.versions_generated = [0] * self.config.n_streams
+
+    # -- fingerprint materialisation -----------------------------------------------
+    def fingerprints_of(self, section: Section) -> List[Fingerprint]:
+        return self._gens[section.subspace].range(section.start, section.length)
+
+    def _fresh_section(self, stream_id: int, length: int) -> Section:
+        gen = self._gens[stream_id]
+        start = gen.generated
+        gen.fresh(length)
+        return Section(stream_id, start, length)
+
+    # -- version construction ----------------------------------------------------------
+    def next_version(self, stream_id: int, n_chunks: int) -> List[Section]:
+        """Generate the next version of a stream as a list of sections.
+
+        The first version of a stream is entirely new fingerprints; later
+        versions follow the paper's modify/add-new/add-duplicate recipe.
+        Use :meth:`version_stream` to materialise it as backup chunks.
+        """
+        if not 0 <= stream_id < self.config.n_streams:
+            raise ValueError(f"no stream {stream_id}")
+        if n_chunks < 1:
+            raise ValueError("a version needs at least one chunk")
+        cfg = self.config
+        rng = self._rng
+
+        if self.versions_generated[stream_id] == 0:
+            sections = self._sectionize_fresh(stream_id, n_chunks)
+        else:
+            n_new = max(1, round(n_chunks * (1 - cfg.dup_fraction)))
+            n_cross = round(n_chunks * cfg.cross_fraction)
+            n_own = max(0, n_chunks - n_new - n_cross)
+            sections = []
+            sections.extend(self._inherit_own(stream_id, n_own))
+            sections.extend(self._cross_sections(stream_id, n_cross))
+            sections.extend(self._sectionize_fresh(stream_id, n_new))
+            rng.shuffle(sections)  # "reordering ... existing fingerprints"
+
+        self._latest_sections[stream_id] = sections
+        self._history[stream_id].extend(s for s in sections if s.subspace == stream_id)
+        self.versions_generated[stream_id] += 1
+        return sections
+
+    def _sectionize_fresh(self, stream_id: int, n_chunks: int) -> List[Section]:
+        sections = []
+        remaining = n_chunks
+        while remaining > 0:
+            length = min(remaining, self.config.section_chunks)
+            sections.append(self._fresh_section(stream_id, length))
+            remaining -= length
+        return sections
+
+    def _inherit_own(self, stream_id: int, n_chunks: int) -> List[Section]:
+        """Duplicate sections from this stream's previous version, with some
+        deleted (the version-to-version modification)."""
+        pool = list(self._latest_sections[stream_id])
+        rng = self._rng
+        kept: List[Section] = []
+        total = 0
+        rng.shuffle(pool)
+        for section in pool:
+            if rng.random() < self.config.delete_fraction:
+                continue
+            take = min(section.length, n_chunks - total)
+            if take <= 0:
+                break
+            kept.append(Section(section.subspace, section.start, take))
+            total += take
+        # Top up from history if deletion left us short.
+        while total < n_chunks and self._history[stream_id]:
+            section = rng.choice(self._history[stream_id])
+            take = min(section.length, n_chunks - total)
+            kept.append(Section(section.subspace, section.start, take))
+            total += take
+        return kept
+
+    def _cross_sections(self, stream_id: int, n_chunks: int) -> List[Section]:
+        """Small contiguous sections from other subspaces' used ranges."""
+        rng = self._rng
+        donors = [
+            i
+            for i in range(self.config.n_streams)
+            if i != stream_id and self._history[i]
+        ]
+        sections: List[Section] = []
+        total = 0
+        while total < n_chunks and donors:
+            donor = rng.choice(donors)
+            src = rng.choice(self._history[donor])
+            take = min(src.length, n_chunks - total, self.config.section_chunks)
+            offset = rng.randrange(0, src.length - take + 1)
+            sections.append(Section(src.subspace, src.start + offset, take))
+            total += take
+        if total < n_chunks:
+            # No donors yet (first round): substitute own fresh data.
+            sections.extend(self._sectionize_fresh(stream_id, n_chunks - total))
+        return sections
+
+    # -- materialisation ----------------------------------------------------------------
+    def version_stream(self, sections: Sequence[Section]) -> Iterator[StreamChunk]:
+        """Materialise a version as (fingerprint, chunk size) backup elements."""
+        for section in sections:
+            for fp in self.fingerprints_of(section):
+                yield fp, self.config.chunk_size
+
+    def version_chunks(self, sections: Sequence[Section]) -> int:
+        return sum(s.length for s in sections)

@@ -1,0 +1,34 @@
+"""Shared fixtures and helpers for the DEBAR reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fingerprint import SyntheticFingerprints
+from repro.server import BackupServerConfig
+
+
+def make_fps(count: int, subspace: int = 0, start: int = 0):
+    """Deterministic distinct fingerprints (counter -> SHA-1, Section 6.2)."""
+    gen = SyntheticFingerprints(subspace)
+    return gen.range(start, count)
+
+
+@pytest.fixture
+def fps100():
+    return make_fps(100)
+
+
+@pytest.fixture
+def small_config():
+    """A scaled-down backup-server configuration for fast tests."""
+    return BackupServerConfig(
+        index_n_bits=8,
+        index_bucket_bytes=512,
+        container_bytes=64 * 1024,
+        filter_capacity=4096,
+        cache_capacity=1 << 20,
+        lpc_containers=8,
+        siu_every=1,
+        materialize=False,
+    )

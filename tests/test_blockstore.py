@@ -1,0 +1,71 @@
+"""Tests for the memory- and file-backed block stores."""
+
+import pytest
+
+from repro.storage import FileBlockStore, MemoryBlockStore
+
+
+class TestMemoryBlockStore:
+    def test_zero_initialised(self):
+        store = MemoryBlockStore(64)
+        assert store.read(0, 64) == b"\x00" * 64
+
+    def test_write_read_roundtrip(self):
+        store = MemoryBlockStore(64)
+        store.write(8, b"hello")
+        assert store.read(8, 5) == b"hello"
+        assert store.read(0, 8) == b"\x00" * 8
+
+    def test_size(self):
+        assert MemoryBlockStore(123).size == 123
+
+    def test_bounds_checked(self):
+        store = MemoryBlockStore(16)
+        with pytest.raises(ValueError):
+            store.read(10, 10)
+        with pytest.raises(ValueError):
+            store.write(12, b"abcdef")
+        with pytest.raises(ValueError):
+            store.read(-1, 4)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryBlockStore(0)
+
+
+class TestFileBlockStore:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "index.bin"
+        with FileBlockStore(path, 4096) as store:
+            store.write(100, b"payload")
+            assert store.read(100, 7) == b"payload"
+
+    def test_sparse_reads_are_zero(self, tmp_path):
+        with FileBlockStore(tmp_path / "s.bin", 8192) as store:
+            assert store.read(4096, 100) == b"\x00" * 100
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = tmp_path / "p.bin"
+        store = FileBlockStore(path, 1024)
+        store.write(0, b"durable")
+        store.flush()
+        store.close()
+        reopened = FileBlockStore(path, 1024)
+        assert reopened.read(0, 7) == b"durable"
+        reopened.close()
+
+    def test_reopen_larger_file_rejected(self, tmp_path):
+        path = tmp_path / "big.bin"
+        FileBlockStore(path, 2048).close()
+        with pytest.raises(ValueError):
+            FileBlockStore(path, 1024)
+
+    def test_bounds(self, tmp_path):
+        with FileBlockStore(tmp_path / "b.bin", 128) as store:
+            with pytest.raises(ValueError):
+                store.write(120, b"too much data")
+
+    def test_path_property(self, tmp_path):
+        path = tmp_path / "x.bin"
+        with FileBlockStore(path, 64) as store:
+            assert store.path == path

@@ -1,0 +1,90 @@
+"""Tests for the Bloom filter (DDFS summary vector)."""
+
+import pytest
+
+from repro.baselines import BloomFilter, bloom_false_positive_rate, optimal_hash_count
+from tests.conftest import make_fps
+
+
+class TestMath:
+    def test_empty_filter_never_false_positive(self):
+        assert bloom_false_positive_rate(1024, 0, 4) == 0.0
+
+    def test_paper_2_percent_at_mn8(self):
+        # Section 6.1.3: m/n = 8, optimal k -> ~2 % false positives.
+        n = 1_000_000
+        m = 8 * n
+        k = optimal_hash_count(m, n)
+        rate = bloom_false_positive_rate(m, n, k)
+        assert 0.015 < rate < 0.03
+
+    def test_paper_14_6_percent_at_mn4(self):
+        # Doubling stored data on the same filter: m/n = 4 -> ~14.6 %.
+        n = 1_000_000
+        m = 4 * n
+        k = optimal_hash_count(m, n)
+        rate = bloom_false_positive_rate(m, n, k)
+        assert 0.12 < rate < 0.18
+
+    def test_rate_monotone_in_load(self):
+        rates = [bloom_false_positive_rate(1 << 20, n, 4) for n in (1000, 10_000, 100_000)]
+        assert rates == sorted(rates)
+
+    def test_optimal_k_formula(self):
+        assert optimal_hash_count(8_000_000, 1_000_000) == round(8 * 0.6931)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            bloom_false_positive_rate(0, 10, 4)
+        with pytest.raises(ValueError):
+            bloom_false_positive_rate(100, -1, 4)
+        with pytest.raises(ValueError):
+            optimal_hash_count(0, 10)
+
+
+class TestFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(1 << 16, k_hashes=4)
+        fps = make_fps(2000)
+        bloom.add_many(fps)
+        assert all(fp in bloom for fp in fps)
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(1 << 16, k_hashes=4)
+        assert not any(fp in bloom for fp in make_fps(100))
+
+    def test_false_positive_rate_near_theory(self):
+        bloom = BloomFilter(1 << 16, k_hashes=4)
+        bloom.add_many(make_fps(8192))  # m/n = 8
+        probes = make_fps(5000, start=100_000)
+        measured = sum(1 for fp in probes if fp in bloom) / len(probes)
+        expected = bloom.expected_false_positive_rate
+        assert measured == pytest.approx(expected, abs=0.02)
+
+    def test_load_ratio(self):
+        bloom = BloomFilter(1024, k_hashes=2)
+        assert bloom.load_ratio == float("inf")
+        bloom.add_many(make_fps(128))
+        assert bloom.load_ratio == pytest.approx(8.0)
+
+    def test_fill_fraction_grows(self):
+        bloom = BloomFilter(1 << 12, k_hashes=2)
+        assert bloom.fill_fraction == 0.0
+        bloom.add_many(make_fps(100))
+        assert 0 < bloom.fill_fraction < 0.2
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            BloomFilter(1)
+        with pytest.raises(ValueError):
+            BloomFilter(1024, k_hashes=0)
+        with pytest.raises(ValueError):
+            # 8 hashes x 30 index bits > 160 fingerprint bits
+            BloomFilter(1 << 30, k_hashes=8)
+
+    def test_distinct_hash_slices(self):
+        # The k bit positions of one fingerprint should rarely collide.
+        bloom = BloomFilter(1 << 20, k_hashes=4)
+        fp = make_fps(1)[0]
+        positions = list(bloom._positions(fp))
+        assert len(set(positions)) == 4

@@ -1,0 +1,161 @@
+"""Tests for content-defined chunking (CDC) and the fixed-size baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking import Chunk, ContentDefinedChunker, FixedSizeChunker, chunk_bytes
+from repro.core.fingerprint import fingerprint
+
+
+def small_chunker():
+    """Fast test geometry: 256 B expected, 64 B min, 1 KB max."""
+    return ContentDefinedChunker(avg_bits=8, min_size=64, max_size=1024)
+
+
+def random_data(n, seed=0):
+    return np.random.default_rng(seed).integers(0, 256, n, dtype=np.uint8).tobytes()
+
+
+class TestParameters:
+    def test_paper_defaults(self):
+        c = ContentDefinedChunker()
+        assert c.expected_size == 8 * 1024
+        assert c.min_size == 2 * 1024
+        assert c.max_size == 64 * 1024
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            ContentDefinedChunker(avg_bits=0)
+        with pytest.raises(ValueError):
+            ContentDefinedChunker(avg_bits=13, min_size=16)  # below window
+        with pytest.raises(ValueError):
+            ContentDefinedChunker(avg_bits=4, min_size=64, max_size=1024)  # 16 < min
+
+
+class TestCutPoints:
+    def test_empty_input(self):
+        assert small_chunker().cut_points(b"") == []
+        assert list(small_chunker().chunks(b"")) == []
+
+    def test_covers_input_exactly(self):
+        data = random_data(10_000)
+        cuts = small_chunker().cut_points(data)
+        assert cuts[-1] == len(data)
+        assert cuts == sorted(cuts)
+        assert len(set(cuts)) == len(cuts)
+
+    def test_size_bounds_respected(self):
+        c = small_chunker()
+        data = random_data(50_000, seed=3)
+        cuts = c.cut_points(data)
+        sizes = np.diff([0] + cuts)
+        # Every chunk except possibly the last obeys [min, max].
+        assert all(c.min_size <= s <= c.max_size for s in sizes[:-1])
+        assert sizes[-1] <= c.max_size
+
+    def test_max_size_forced_on_anchor_free_data(self):
+        # Constant data has one window value everywhere; unless that value
+        # anchors, every cut lands at max_size.
+        c = small_chunker()
+        data = b"\x7a" * 10_000
+        cuts = c.cut_points(data)
+        sizes = np.diff([0] + cuts)
+        assert all(s == c.max_size for s in sizes[:-1])
+
+    def test_deterministic(self):
+        data = random_data(20_000, seed=5)
+        assert small_chunker().cut_points(data) == small_chunker().cut_points(data)
+
+    def test_mean_size_near_expected(self):
+        c = small_chunker()
+        stats = c.chunk_stats(random_data(400_000, seed=11))
+        # Expected size 256 B (plus min-size offset); generous band.
+        assert 150 < stats["mean"] < 600
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.binary(min_size=0, max_size=4096))
+    def test_property_vectorised_equals_streaming(self, data):
+        c = small_chunker()
+        assert c.cut_points(data) == c.cut_points_streaming(data)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=30_000))
+    def test_property_vectorised_equals_streaming_random(self, n):
+        c = small_chunker()
+        data = random_data(n, seed=n)
+        assert c.cut_points(data) == c.cut_points_streaming(data)
+
+
+class TestChunks:
+    def test_concatenation_reconstructs_input(self):
+        data = random_data(30_000, seed=2)
+        chunks = list(small_chunker().chunks(data))
+        assert b"".join(ch.data for ch in chunks) == data
+
+    def test_fingerprints_are_sha1_of_payload(self):
+        data = random_data(5_000, seed=4)
+        for ch in small_chunker().chunks(data):
+            assert ch.fingerprint == fingerprint(ch.data)
+            assert ch.size == len(ch.data)
+
+    def test_offsets_sequential(self):
+        data = random_data(10_000, seed=6)
+        offset = 0
+        for ch in small_chunker().chunks(data):
+            assert ch.offset == offset
+            offset += ch.size
+
+    def test_chunk_bytes_convenience(self):
+        chunks = chunk_bytes(random_data(5_000, seed=1), avg_bits=8, min_size=64, max_size=1024)
+        assert all(isinstance(ch, Chunk) for ch in chunks)
+
+
+class TestContentDefinedProperty:
+    """The reason CDC exists: edits only perturb nearby chunks."""
+
+    def test_prepend_preserves_most_chunks(self):
+        c = small_chunker()
+        data = random_data(60_000, seed=9)
+        original = {ch.fingerprint for ch in c.chunks(data)}
+        edited = {ch.fingerprint for ch in c.chunks(b"INSERTED AT FRONT" + data)}
+        shared = original & edited
+        # The overwhelming majority of chunks must survive the prepend.
+        assert len(shared) >= 0.7 * len(original)
+
+    def test_fixed_size_blocking_destroyed_by_prepend(self):
+        fixed = FixedSizeChunker(256)
+        data = random_data(60_000, seed=9)
+        original = {ch.fingerprint for ch in fixed.chunks(data)}
+        edited = {ch.fingerprint for ch in fixed.chunks(b"X" + data)}
+        # One byte at the front shifts every block: almost nothing survives.
+        assert len(original & edited) <= 0.05 * len(original)
+
+    def test_interior_edit_local_damage(self):
+        c = small_chunker()
+        data = bytearray(random_data(60_000, seed=10))
+        original = {ch.fingerprint for ch in c.chunks(bytes(data))}
+        data[30_000:30_010] = b"0123456789"
+        edited = {ch.fingerprint for ch in c.chunks(bytes(data))}
+        assert len(original & edited) >= 0.8 * len(original)
+
+
+class TestFixedSizeChunker:
+    def test_exact_blocks(self):
+        chunks = list(FixedSizeChunker(100).chunks(bytes(250)))
+        assert [ch.size for ch in chunks] == [100, 100, 50]
+
+    def test_exact_multiple(self):
+        chunks = list(FixedSizeChunker(100).chunks(bytes(300)))
+        assert [ch.size for ch in chunks] == [100, 100, 100]
+
+    def test_empty(self):
+        assert list(FixedSizeChunker(100).chunks(b"")) == []
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            FixedSizeChunker(0)
+
+    def test_reconstruction(self):
+        data = random_data(1234, seed=8)
+        assert b"".join(ch.data for ch in FixedSizeChunker(97).chunks(data)) == data

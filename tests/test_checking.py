@@ -1,0 +1,99 @@
+"""Tests for the checking fingerprint file (asynchronous SIU, Section 5.4)."""
+
+import pytest
+
+from repro.core.checking import CheckingFile
+from tests.conftest import make_fps
+
+
+class TestScreen:
+    def test_unknown_fps_are_new(self):
+        cf = CheckingFile()
+        fps = make_fps(10)
+        new, pending = cf.screen(fps)
+        assert new == fps
+        assert pending == {}
+
+    def test_pending_fps_reported_with_container(self):
+        cf = CheckingFile()
+        fps = make_fps(10)
+        cf.append({fps[0]: 5, fps[1]: 6})
+        new, pending = cf.screen(fps)
+        assert set(new) == set(fps[2:])
+        assert pending == {fps[0]: 5, fps[1]: 6}
+
+    def test_screen_preserves_order_of_new(self):
+        cf = CheckingFile()
+        fps = make_fps(5)
+        cf.append({fps[2]: 1})
+        new, _ = cf.screen(fps)
+        assert new == [fps[0], fps[1], fps[3], fps[4]]
+
+
+class TestAppendRegister:
+    def test_append_then_registered_removes(self):
+        cf = CheckingFile()
+        fps = make_fps(6)
+        cf.append({fp: i for i, fp in enumerate(fps)})
+        assert len(cf) == 6
+        assert cf.registered(fps[:4]) == 4
+        assert len(cf) == 2
+        assert fps[5] in cf
+
+    def test_registered_ignores_unknown(self):
+        cf = CheckingFile()
+        assert cf.registered(make_fps(3)) == 0
+
+    def test_append_rejects_null_container(self):
+        cf = CheckingFile()
+        fp = make_fps(1)[0]
+        with pytest.raises(ValueError):
+            cf.append({fp: None})
+        with pytest.raises(ValueError):
+            cf.append({fp: -1})
+
+    def test_double_store_detected(self):
+        # The same fingerprint pending in two different containers is the
+        # duplicate-store bug the checking file exists to prevent.
+        cf = CheckingFile()
+        fp = make_fps(1)[0]
+        cf.append({fp: 3})
+        with pytest.raises(ValueError):
+            cf.append({fp: 4})
+
+    def test_idempotent_append_same_container(self):
+        cf = CheckingFile()
+        fp = make_fps(1)[0]
+        cf.append({fp: 3})
+        cf.append({fp: 3})
+        assert len(cf) == 1
+
+    def test_get_and_pending_snapshot(self):
+        cf = CheckingFile()
+        fps = make_fps(3)
+        cf.append({fps[0]: 7})
+        assert cf.get(fps[0]) == 7
+        assert cf.get(fps[1]) is None
+        snap = cf.pending()
+        snap[fps[1]] = 99
+        assert fps[1] not in cf  # snapshot is a copy
+
+
+class TestAsyncSiuScenario:
+    def test_two_sils_one_siu(self):
+        """A fingerprint stored after SIL #1 must read as duplicate in SIL
+        #2 even though SIU has not yet registered it."""
+        cf = CheckingFile()
+        shared = make_fps(5)
+        # SIL #1: all new -> stored into container 11.
+        new1, pending1 = cf.screen(shared)
+        assert new1 == shared and not pending1
+        cf.append({fp: 11 for fp in new1})
+        # SIL #2 on an overlapping batch: everything pending, nothing new.
+        new2, pending2 = cf.screen(shared)
+        assert new2 == []
+        assert all(cid == 11 for cid in pending2.values())
+        # SIU runs: the window closes.
+        cf.registered(shared)
+        new3, pending3 = cf.screen(shared)
+        assert new3 == shared and not pending3

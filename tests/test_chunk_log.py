@@ -1,0 +1,64 @@
+"""Tests for the dedup-1 chunk log."""
+
+import pytest
+
+from repro.core.fingerprint import FINGERPRINT_SIZE
+from repro.storage import ChunkLog
+from tests.conftest import make_fps
+
+
+class TestChunkLog:
+    def test_append_replay_order(self):
+        log = ChunkLog()
+        fps = make_fps(5)
+        for i, fp in enumerate(fps):
+            log.append(fp, data=bytes([i]) * 10)
+        replayed = list(log.replay())
+        assert [r.fingerprint for r in replayed] == fps
+        assert [r.data for r in replayed] == [bytes([i]) * 10 for i in range(5)]
+
+    def test_virtual_records(self):
+        log = ChunkLog()
+        fp = make_fps(1)[0]
+        log.append(fp, size=8192)
+        record = next(log.replay())
+        assert record.data is None
+        assert record.size == 8192
+        assert record.log_bytes == 8192 + FINGERPRINT_SIZE
+
+    def test_size_bytes_accumulates(self):
+        log = ChunkLog()
+        log.append(make_fps(1)[0], data=b"x" * 100)
+        log.append(make_fps(1, start=5)[0], size=200)
+        assert log.size_bytes == (100 + FINGERPRINT_SIZE) + (200 + FINGERPRINT_SIZE)
+
+    def test_clear(self):
+        log = ChunkLog()
+        log.append(make_fps(1)[0], size=10)
+        log.clear()
+        assert len(log) == 0
+        assert log.size_bytes == 0
+        assert not log
+
+    def test_bool_and_len(self):
+        log = ChunkLog()
+        assert not log
+        log.append(make_fps(1)[0], size=1)
+        assert log and len(log) == 1
+
+    def test_requires_data_or_size(self):
+        with pytest.raises(ValueError):
+            ChunkLog().append(make_fps(1)[0])
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkLog().append(make_fps(1)[0], size=-1)
+
+    def test_duplicate_fingerprints_allowed(self):
+        # The log is an append log: re-admitted chunks (after filter
+        # eviction) appear twice and dedup-2 discards the extras.
+        log = ChunkLog()
+        fp = make_fps(1)[0]
+        log.append(fp, size=10)
+        log.append(fp, size=10)
+        assert len(log) == 2

@@ -1,0 +1,48 @@
+"""Tests for the CLI argument surface (independent of vault state)."""
+
+import pytest
+
+from repro.cli import build_parser
+
+
+class TestParser:
+    def test_all_subcommands_present(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
+        )
+        assert set(sub.choices) == {
+            "backup", "list", "restore", "verify", "stats",
+            "forget", "gc", "recover-index",
+        }
+
+    def test_backup_requires_job_and_paths(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["backup", "--vault", "/v"])
+        args = parser.parse_args(["backup", "--vault", "/v", "--job", "j", "/a", "/b"])
+        assert args.paths == ["/a", "/b"]
+        assert args.job == "j"
+
+    def test_restore_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["restore", "--vault", "/v", "--run", "3", "--dest", "/d"]
+        )
+        assert args.run == 3
+        assert args.strip_prefix == "/"
+
+    def test_gc_threshold_default(self):
+        parser = build_parser()
+        args = parser.parse_args(["gc", "--vault", "/v"])
+        assert args.rewrite_threshold == 0.5
+
+    def test_vault_required_everywhere(self):
+        parser = build_parser()
+        for cmd in ("list", "verify", "stats", "recover-index"):
+            with pytest.raises(SystemExit):
+                parser.parse_args([cmd])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

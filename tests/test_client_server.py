@@ -1,0 +1,166 @@
+"""Tests for the backup client engine, File Store sessions and Chunk Store."""
+
+import pytest
+
+from repro.chunking import ContentDefinedChunker
+from repro.client import BackupEngine
+from repro.core.disk_index import DiskIndex
+from repro.core.tpds import TwoPhaseDeduplicator
+from repro.director.metadata import FileIndexEntry, FileMetadata
+from repro.server import BackupServer, BackupServerConfig, ChunkStore, FileStore
+from repro.storage import ChunkRepository
+from tests.conftest import make_fps
+
+
+def small_chunker():
+    return ContentDefinedChunker(avg_bits=8, min_size=64, max_size=1024)
+
+
+def make_tpds(materialize=True):
+    index = DiskIndex(8, bucket_bytes=512)
+    repo = ChunkRepository()
+    return TwoPhaseDeduplicator(
+        index, repo, filter_capacity=4096, cache_capacity=1 << 20,
+        container_bytes=64 * 1024, materialize=materialize,
+    )
+
+
+class TestBackupEngine:
+    def test_scan_dataset_expands_dirs(self, tmp_path):
+        (tmp_path / "a.txt").write_bytes(b"a" * 100)
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "b.txt").write_bytes(b"b" * 100)
+        engine = BackupEngine("c1")
+        files = engine.scan_dataset([tmp_path])
+        assert [f.name for f in files] == ["a.txt", "b.txt"]
+
+    def test_scan_missing_raises(self):
+        with pytest.raises(FileNotFoundError):
+            BackupEngine("c1").scan_dataset(["/definitely/not/here"])
+
+    def test_read_file_metadata_and_chunks(self, tmp_path):
+        path = tmp_path / "f.bin"
+        data = bytes(range(256)) * 40
+        path.write_bytes(data)
+        engine = BackupEngine("c1", chunker=small_chunker())
+        metadata, chunks = engine.read_file(path)
+        assert metadata.size == len(data)
+        assert b"".join(c.data for c in chunks) == data
+
+    def test_client_needs_name(self):
+        with pytest.raises(ValueError):
+            BackupEngine("")
+
+    def test_restore_file_roundtrip(self, tmp_path):
+        src = tmp_path / "src" / "doc.bin"
+        src.parent.mkdir()
+        data = bytes(range(256)) * 30
+        src.write_bytes(data)
+        engine = BackupEngine("c1", chunker=small_chunker())
+        metadata, chunks = engine.read_file(src)
+        tpds = make_tpds()
+        session = FileStore(tpds).begin_session()
+        entry = session.add_file(metadata, chunks)
+        session.close()
+        tpds.dedup2()
+        store = ChunkStore(tpds)
+        out = engine.restore_file(entry, store, tmp_path / "restore", strip_prefix=tmp_path)
+        assert out.read_bytes() == data
+
+    def test_restore_size_mismatch_detected(self, tmp_path):
+        engine = BackupEngine("c1")
+        fps = make_fps(1)
+        tpds = make_tpds()
+        session = FileStore(tpds).begin_session()
+        session.add_fingerprint_stream([(fps[0], 100, b"x" * 100)], path="/f")
+        session.close()
+        tpds.dedup2()
+        bad_entry = FileIndexEntry(FileMetadata("/f", 999), fps)
+        with pytest.raises(IOError):
+            engine.restore_file(bad_entry, ChunkStore(tpds), tmp_path)
+
+
+class TestBackupSession:
+    def test_session_buffers_until_close(self):
+        tpds = make_tpds(materialize=False)
+        session = FileStore(tpds).begin_session()
+        fps = make_fps(10)
+        session.add_fingerprint_stream([(fp, 8192) for fp in fps])
+        assert tpds.undetermined_count == 0  # nothing ran yet
+        stats, entries = session.close()
+        assert stats.logical_chunks == 10
+        assert tpds.undetermined_count == 10
+        assert entries[0].fingerprints == fps
+
+    def test_session_close_once(self):
+        tpds = make_tpds(materialize=False)
+        session = FileStore(tpds).begin_session()
+        session.close()
+        with pytest.raises(RuntimeError):
+            session.close()
+        with pytest.raises(RuntimeError):
+            session.add_fingerprint_stream([])
+
+    def test_filtering_fps_applied(self):
+        tpds = make_tpds(materialize=False)
+        fps = make_fps(10)
+        s1 = FileStore(tpds).begin_session()
+        s1.add_fingerprint_stream([(fp, 8192) for fp in fps])
+        s1.close()
+        s2 = FileStore(tpds).begin_session(filtering_fps=fps)
+        s2.add_fingerprint_stream([(fp, 8192) for fp in fps])
+        stats, _ = s2.close()
+        assert stats.transferred_chunks == 0
+
+
+class TestChunkStore:
+    def test_read_chunk_via_lpc(self):
+        tpds = make_tpds(materialize=False)
+        fps = make_fps(20)
+        session = FileStore(tpds).begin_session()
+        session.add_fingerprint_stream([(fp, 8192) for fp in fps])
+        session.close()
+        tpds.dedup2()
+        store = ChunkStore(tpds, lpc_containers=4)
+        for fp in fps:
+            assert len(store.read_chunk(fp)) == 8192
+        # Sequential restore: few random lookups, high hit rate.
+        assert store.random_lookups < len(fps)
+        assert store.lpc_hit_rate > 0.5
+
+    def test_read_pending_chunk_via_checking_file(self):
+        # Stored but not yet SIU-registered chunks must still restore.
+        tpds = make_tpds(materialize=False)
+        tpds.siu_every = 10
+        fps = make_fps(5)
+        session = FileStore(tpds).begin_session()
+        session.add_fingerprint_stream([(fp, 8192) for fp in fps])
+        session.close()
+        tpds.dedup2()  # SIU deferred
+        assert len(tpds.index) == 0
+        store = ChunkStore(tpds)
+        assert len(store.read_chunk(fps[0])) == 8192
+
+    def test_read_missing_raises(self):
+        store = ChunkStore(make_tpds(materialize=False))
+        with pytest.raises(KeyError):
+            store.read_chunk(make_fps(1)[0])
+
+
+class TestBackupServer:
+    def test_composition(self, small_config):
+        repo = ChunkRepository()
+        server = BackupServer(0, repo, config=small_config)
+        assert server.index.n_bits == small_config.index_n_bits
+        assert server.undetermined_count == 0
+        assert server.chunk_log_bytes == 0
+        assert server.owns(make_fps(1)[0])
+
+    def test_index_part_prefix(self, small_config):
+        repo = ChunkRepository()
+        server = BackupServer(2, repo, config=small_config, w_bits=2)
+        assert server.index.prefix_bits == 2
+        assert server.index.prefix_value == 2
+        owned = [fp for fp in make_fps(100) if server.owns(fp)]
+        assert 0 < len(owned) < 100

@@ -1,0 +1,115 @@
+"""Tests for the simulated clock, lanes, barriers and the time ledger."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simdisk import ClockLane, Meter, SimClock, barrier
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now == 2.5
+
+    def test_advance_zero_ok(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now == 0.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to_forward_only(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+        clock.advance_to(5.0)  # no-op
+        assert clock.now == 10.0
+
+    def test_elapsed_since(self):
+        clock = SimClock()
+        t0 = clock.now
+        clock.advance(3.0)
+        assert clock.elapsed_since(t0) == 3.0
+
+    def test_elapsed_since_future_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().elapsed_since(1.0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=30))
+    def test_monotone(self, deltas):
+        clock = SimClock()
+        last = 0.0
+        for d in deltas:
+            clock.advance(d)
+            assert clock.now >= last
+            last = clock.now
+
+
+class TestBarrier:
+    def test_barrier_syncs_to_max(self):
+        lanes = [ClockLane(f"s{i}") for i in range(4)]
+        lanes[2].advance(7.0)
+        lanes[0].advance(3.0)
+        t = barrier(lanes)
+        assert t == 7.0
+        assert all(lane.now == 7.0 for lane in lanes)
+
+    def test_barrier_empty_rejected(self):
+        with pytest.raises(ValueError):
+            barrier([])
+
+    def test_lane_has_name(self):
+        assert ClockLane("server-3").name == "server-3"
+
+
+class TestMeter:
+    def test_charge_advances_clock(self):
+        clock = SimClock()
+        meter = Meter(clock)
+        meter.charge("sil.scan", 2.0)
+        meter.charge("sil.scan", 1.0)
+        meter.charge("siu.write", 4.0)
+        assert clock.now == 7.0
+        assert meter.by_category["sil.scan"] == 3.0
+
+    def test_record_does_not_advance(self):
+        clock = SimClock()
+        meter = Meter(clock)
+        meter.record("dedup1.network", 5.0)
+        assert clock.now == 0.0
+        assert meter.by_category["dedup1.network"] == 5.0
+
+    def test_total_prefix(self):
+        meter = Meter(SimClock())
+        meter.charge("sil.scan", 1.0)
+        meter.charge("sil.cpu", 0.5)
+        meter.charge("siu.read", 2.0)
+        assert meter.total("sil") == 1.5
+        assert meter.total() == 3.5
+
+    def test_negative_rejected(self):
+        meter = Meter(SimClock())
+        with pytest.raises(ValueError):
+            meter.charge("x", -1)
+        with pytest.raises(ValueError):
+            meter.record("x", -1)
+
+    def test_snapshot_is_copy(self):
+        meter = Meter(SimClock())
+        meter.charge("a", 1.0)
+        snap = meter.snapshot()
+        snap["a"] = 99.0
+        assert meter.by_category["a"] == 1.0

@@ -1,0 +1,232 @@
+"""Tests for the multi-server DEBAR cluster (PSIL/PSIU, Figure 5)."""
+
+import pytest
+
+from repro.core.fingerprint import SyntheticFingerprints
+from repro.server import BackupServerConfig
+from repro.system import DebarCluster
+from repro.util import bit_prefix
+from tests.conftest import make_fps
+
+
+def make_cluster(w_bits=2, cache_capacity=1 << 20, siu_every=1):
+    cfg = BackupServerConfig(
+        index_n_bits=8,
+        index_bucket_bytes=512,
+        container_bytes=64 * 1024,
+        filter_capacity=4096,
+        cache_capacity=cache_capacity,
+        siu_every=siu_every,
+    )
+    return DebarCluster(w_bits=w_bits, config=cfg)
+
+
+def stream(fps, size=8192):
+    return [(fp, size) for fp in fps]
+
+
+class TestRouting:
+    def test_owner_is_prefix(self):
+        cluster = make_cluster(w_bits=2)
+        for fp in make_fps(50):
+            assert cluster.owner_of(fp) == bit_prefix(fp, 2)
+
+    def test_single_server_cluster(self):
+        cluster = make_cluster(w_bits=0)
+        assert cluster.n_servers == 1
+        assert all(cluster.owner_of(fp) == 0 for fp in make_fps(20))
+
+    def test_server_count(self):
+        assert make_cluster(w_bits=3).n_servers == 8
+
+
+class TestParallelDedup1:
+    def _jobs_and_streams(self, cluster, n_jobs=4, n=200):
+        gens = [SyntheticFingerprints(i) for i in range(n_jobs)]
+        jobs = [cluster.director.define_job(f"j{i}", f"c{i}", []) for i in range(n_jobs)]
+        streams = [stream(gens[i].fresh(n)) for i in range(n_jobs)]
+        return list(zip(jobs, streams))
+
+    def test_jobs_spread_over_servers(self):
+        cluster = make_cluster(w_bits=2)
+        assignments = self._jobs_and_streams(cluster)
+        cluster.backup_streams(assignments)
+        counts = [s.undetermined_count for s in cluster.servers]
+        assert all(c == 200 for c in counts)
+
+    def test_wall_time_is_slowest_lane(self):
+        cluster = make_cluster(w_bits=1)
+        assignments = self._jobs_and_streams(cluster, n_jobs=2)
+        stats = cluster.backup_streams(assignments)
+        assert stats.wall_time > 0
+        assert stats.logical_chunks == 400
+        # Two servers in parallel: wall time ~ one stream, not two.
+        lone = make_cluster(w_bits=0)
+        lone_stats = lone.backup_streams(self._jobs_and_streams(lone, n_jobs=2))
+        assert stats.wall_time < lone_stats.wall_time
+
+    def test_aggregate_throughput_scales(self):
+        results = {}
+        for w in (0, 2):
+            cluster = make_cluster(w_bits=w)
+            assignments = self._jobs_and_streams(cluster, n_jobs=4)
+            results[w] = cluster.backup_streams(assignments).aggregate_throughput
+        assert results[2] > 2.5 * results[0]
+
+
+class TestClusterDedup2:
+    def test_new_data_stored_once_and_registered_at_owner(self):
+        cluster = make_cluster(w_bits=2)
+        gens = [SyntheticFingerprints(i) for i in range(4)]
+        jobs = [cluster.director.define_job(f"j{i}", f"c{i}", []) for i in range(4)]
+        fps_all = [gens[i].fresh(150) for i in range(4)]
+        cluster.backup_streams([(jobs[i], stream(fps_all[i])) for i in range(4)])
+        stats = cluster.run_dedup2(force_psiu=True)
+        assert stats.new_chunks_stored == 600
+        assert stats.fingerprints_updated == 600
+        # Every fingerprint lives in its owner's index part.
+        for fps in fps_all:
+            for fp in fps:
+                owner = cluster.owner_of(fp)
+                assert cluster.servers[owner].index.lookup(fp) is not None
+
+    def test_cross_stream_duplicates_stored_once(self):
+        """The same fingerprints submitted by several servers in one round
+        must be stored exactly once (owner-side arbitration)."""
+        cluster = make_cluster(w_bits=2)
+        shared = make_fps(100)
+        jobs = [cluster.director.define_job(f"j{i}", f"c{i}", []) for i in range(4)]
+        cluster.backup_streams([(j, stream(shared)) for j in jobs])
+        stats = cluster.run_dedup2(force_psiu=True)
+        assert stats.new_chunks_stored == 100
+        assert stats.duplicate_chunks == 300
+        assert cluster.physical_bytes_stored == 100 * 8192
+
+    def test_second_round_all_duplicates_via_psil(self):
+        cluster = make_cluster(w_bits=2)
+        fps = make_fps(200)
+        j1 = cluster.director.define_job("j1", "c", [])
+        cluster.backup_streams([(j1, stream(fps))])
+        cluster.run_dedup2(force_psiu=True)
+        j2 = cluster.director.define_job("j2", "c", [])
+        cluster.backup_streams([(j2, stream(fps))])
+        stats = cluster.run_dedup2(force_psiu=True)
+        assert stats.new_chunks_stored == 0
+        assert stats.duplicate_chunks == 200
+
+    def test_asynchronous_psiu_policy(self):
+        cluster = make_cluster(w_bits=1, siu_every=2)
+        j1 = cluster.director.define_job("j1", "c", [])
+        cluster.backup_streams([(j1, stream(make_fps(50)))])
+        s1 = cluster.run_dedup2()
+        assert not s1.psiu_performed
+        j2 = cluster.director.define_job("j2", "c", [])
+        cluster.backup_streams([(j2, stream(make_fps(50, start=100)))])
+        s2 = cluster.run_dedup2()
+        assert s2.psiu_performed
+        assert s2.fingerprints_updated == 100
+
+    def test_checking_file_across_rounds_without_psiu(self):
+        cluster = make_cluster(w_bits=2, siu_every=100)
+        fps = make_fps(80)
+        j1 = cluster.director.define_job("j1", "c", [])
+        cluster.backup_streams([(j1, stream(fps))])
+        cluster.run_dedup2()
+        j2 = cluster.director.define_job("j2", "c", [])
+        cluster.backup_streams([(j2, stream(fps))])
+        stats = cluster.run_dedup2()
+        assert stats.new_chunks_stored == 0
+        assert cluster.physical_bytes_stored == 80 * 8192
+
+    def test_exchange_bytes_accounted(self):
+        cluster = make_cluster(w_bits=2)
+        j = cluster.director.define_job("j", "c", [])
+        cluster.backup_streams([(j, stream(make_fps(200)))])
+        stats = cluster.run_dedup2(force_psiu=True)
+        # One server held all undetermined fps; ~3/4 had remote owners.
+        assert stats.exchange_bytes > 0
+
+    def test_psil_speed_metric(self):
+        cluster = make_cluster(w_bits=2)
+        j = cluster.director.define_job("j", "c", [])
+        cluster.backup_streams([(j, stream(make_fps(400)))])
+        stats = cluster.run_dedup2(force_psiu=True)
+        assert stats.fingerprints_looked_up == 400
+        assert stats.psil_wall_time > 0
+        assert stats.psil_speed > 0
+        assert stats.psiu_speed > 0
+
+
+class TestClusterRestore:
+    def test_read_chunk_from_any_server(self):
+        cluster = make_cluster(w_bits=2)
+        fps = make_fps(50)
+        j = cluster.director.define_job("j", "c", [])
+        cluster.backup_streams([(j, stream(fps))])
+        cluster.run_dedup2(force_psiu=True)
+        for via in range(4):
+            assert len(cluster.read_chunk(fps[0], via_server=via)) == 8192
+
+    def test_read_missing_raises(self):
+        cluster = make_cluster(w_bits=1)
+        with pytest.raises(KeyError):
+            cluster.read_chunk(make_fps(1)[0], via_server=0)
+
+    def test_read_pending_before_psiu(self):
+        cluster = make_cluster(w_bits=1, siu_every=100)
+        fps = make_fps(20)
+        j = cluster.director.define_job("j", "c", [])
+        cluster.backup_streams([(j, stream(fps))])
+        cluster.run_dedup2()  # no PSIU yet
+        assert len(cluster.read_chunk(fps[3], via_server=0)) == 8192
+
+    def test_remote_container_read_costs_more(self):
+        cluster = make_cluster(w_bits=2)
+        fps = make_fps(40)
+        j = cluster.director.define_job("j", "c", [])
+        cluster.backup_streams([(j, stream(fps))])
+        cluster.run_dedup2(force_psiu=True)
+        # Containers were written with the storing server's affinity; read
+        # from a different server pays the remote-container transfer.
+        storing_server = cluster.director.scheduler.server_for(j)
+        other = (storing_server + 1) % 4
+        cluster.read_chunk(fps[0], via_server=other)
+        remote_meter = cluster.servers[other].meter.by_category
+        assert remote_meter.get("restore.remote_container", 0) > 0
+
+
+class TestRestoreRun:
+    def test_restore_run_returns_all_payloads_in_order(self):
+        cluster = make_cluster(w_bits=2)
+        fps = make_fps(60)
+        job = cluster.director.define_job("j", "c", [])
+        cluster.backup_streams([(job, stream(fps))])
+        cluster.run_dedup2(force_psiu=True)
+        run = cluster.director.chain(job).latest()
+        payloads = cluster.restore_run(run.run_id)
+        assert len(payloads) == 60
+        assert all(len(p) == 8192 for p in payloads)
+        # Identical chunks restore identically regardless of route.
+        alt = cluster.restore_run(run.run_id, via_server=3)
+        assert alt == payloads
+
+    def test_restore_unknown_run(self):
+        cluster = make_cluster(w_bits=1)
+        with pytest.raises(KeyError):
+            cluster.restore_run(12345)
+
+
+class TestWallClock:
+    def test_wall_clock_monotone_across_phases(self):
+        cluster = make_cluster(w_bits=1)
+        t0 = cluster.wall_clock
+        j = cluster.director.define_job("j", "c", [])
+        cluster.backup_streams([(j, stream(make_fps(100)))])
+        t1 = cluster.wall_clock
+        cluster.run_dedup2(force_psiu=True)
+        t2 = cluster.wall_clock
+        assert t0 <= t1 <= t2
+
+    def test_total_index_bytes(self):
+        cluster = make_cluster(w_bits=2)
+        assert cluster.total_index_bytes == 4 * 256 * 512

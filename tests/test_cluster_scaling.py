@@ -1,0 +1,115 @@
+"""Tests for live cluster scale-out (the paper's run-mode transitions)."""
+
+import pytest
+
+from repro.server import BackupServerConfig
+from repro.system import DebarCluster
+from repro.util import bit_prefix
+from tests.conftest import make_fps
+
+
+def make_cluster(w_bits=1, n_bits=8):
+    cfg = BackupServerConfig(
+        index_n_bits=n_bits, index_bucket_bytes=512, container_bytes=64 * 1024,
+        filter_capacity=4096, cache_capacity=1 << 18, siu_every=1,
+    )
+    return DebarCluster(w_bits=w_bits, config=cfg)
+
+
+def backed_up_cluster(w_bits=1, chunks=300):
+    cluster = make_cluster(w_bits=w_bits)
+    fps = make_fps(chunks)
+    job = cluster.director.define_job("j", "c", [])
+    cluster.backup_streams([(job, [(fp, 8192) for fp in fps])])
+    cluster.run_dedup2(force_psiu=True)
+    return cluster, fps, job
+
+
+class TestScaleOut:
+    def test_doubles_servers_and_splits_parts(self):
+        cluster, fps, _ = backed_up_cluster(w_bits=1)
+        scaled = cluster.scale_out()
+        assert scaled.n_servers == 4
+        assert scaled.w_bits == 2
+        for k, server in enumerate(scaled.servers):
+            assert server.index.prefix_bits == 2
+            assert server.index.prefix_value == k
+        assert sum(len(s.index) for s in scaled.servers) == len(fps)
+
+    def test_entries_land_on_correct_owners(self):
+        cluster, fps, _ = backed_up_cluster(w_bits=1)
+        scaled = cluster.scale_out()
+        for fp in fps:
+            owner = bit_prefix(fp, 2)
+            assert scaled.servers[owner].index.lookup(fp) is not None
+
+    def test_repository_untouched(self):
+        cluster, fps, _ = backed_up_cluster(w_bits=1)
+        containers_before = len(cluster.repository)
+        scaled = cluster.scale_out()
+        assert scaled.repository is cluster.repository
+        assert len(scaled.repository) == containers_before
+
+    def test_dedup_continues_across_transition(self):
+        cluster, fps, job = backed_up_cluster(w_bits=1)
+        scaled = cluster.scale_out()
+        # Same data via the carried-over job chain: the preliminary filter
+        # (seeded from the chain) suppresses the transfer entirely.
+        d1 = scaled.backup_streams([(job, [(fp, 8192) for fp in fps])])
+        assert d1.transferred_bytes == 0
+        # New data plus old data from a fresh job: SIL on the new parts
+        # classifies exactly.
+        new_fps = make_fps(100, start=5000)
+        job2 = scaled.director.define_job("j2", "c2", [])
+        scaled.backup_streams([(job2, [(fp, 8192) for fp in fps[:50] + new_fps])])
+        d2 = scaled.run_dedup2(force_psiu=True)
+        assert d2.new_chunks_stored == 100
+        assert d2.duplicate_chunks == 50
+
+    def test_reads_work_after_transition(self):
+        cluster, fps, _ = backed_up_cluster(w_bits=1)
+        scaled = cluster.scale_out()
+        for via in range(scaled.n_servers):
+            assert len(scaled.read_chunk(fps[0], via_server=via)) == 8192
+
+    def test_keep_part_size_restores_geometry(self):
+        cluster, fps, _ = backed_up_cluster(w_bits=1)
+        part_bits = cluster.servers[0].index.n_bits
+        scaled = cluster.scale_out(keep_part_size=True)
+        assert all(s.index.n_bits == part_bits for s in scaled.servers)
+        assert sum(len(s.index) for s in scaled.servers) == len(fps)
+
+    def test_default_halves_part_size(self):
+        cluster, _, _ = backed_up_cluster(w_bits=1)
+        part_bits = cluster.servers[0].index.n_bits
+        scaled = cluster.scale_out()
+        assert all(s.index.n_bits == part_bits - 1 for s in scaled.servers)
+
+    def test_clock_carries_forward(self):
+        cluster, _, _ = backed_up_cluster(w_bits=1)
+        t = cluster.wall_clock
+        scaled = cluster.scale_out()
+        assert scaled.wall_clock == t
+
+    def test_repeated_scale_out(self):
+        cluster, fps, _ = backed_up_cluster(w_bits=0)
+        for expected in (2, 4, 8):
+            cluster = cluster.scale_out()
+            assert cluster.n_servers == expected
+            assert sum(len(s.index) for s in cluster.servers) == len(fps)
+
+    def test_refuses_unquiesced_cluster(self):
+        cluster = make_cluster(w_bits=1)
+        job = cluster.director.define_job("j", "c", [])
+        cluster.backup_streams([(job, [(fp, 8192) for fp in make_fps(50)])])
+        with pytest.raises(RuntimeError):
+            cluster.scale_out()  # chunk log + undetermined pending
+
+    def test_refuses_unregistered_entries(self):
+        cluster = make_cluster(w_bits=1)
+        cluster.config.siu_every = 100
+        job = cluster.director.define_job("j", "c", [])
+        cluster.backup_streams([(job, [(fp, 8192) for fp in make_fps(50)])])
+        cluster.run_dedup2(force_psiu=False)  # stored but not registered
+        with pytest.raises(RuntimeError):
+            cluster.scale_out()

@@ -1,0 +1,139 @@
+"""End-to-end tests for the single-server DebarSystem facade."""
+
+import pytest
+
+from repro import DebarSystem
+from repro.director.scheduler import Dedup2Policy
+from repro.server import BackupServerConfig
+from repro.workloads import FileTreeGenerator, mutate_tree
+from tests.conftest import make_fps
+
+
+def file_config():
+    return BackupServerConfig(
+        index_n_bits=8,
+        index_bucket_bytes=512,
+        container_bytes=256 * 1024,
+        filter_capacity=8192,
+        cache_capacity=1 << 20,
+        materialize=True,
+    )
+
+
+def stream_config():
+    cfg = file_config()
+    cfg.materialize = False
+    return cfg
+
+
+class TestFileMode:
+    def test_backup_restore_byte_identical(self, tmp_path):
+        src = tmp_path / "src"
+        FileTreeGenerator(seed=1).generate(src, n_files=5, n_dirs=2, min_size=8192, max_size=65536)
+        system = DebarSystem(config=file_config())
+        job = system.define_job("tree", client="c1", dataset=[src])
+        run, stats = system.run_backup(job)
+        assert stats.logical_bytes > 0
+        system.run_dedup2()
+        system.restore_run(run, tmp_path / "out", strip_prefix=tmp_path)
+        for p in sorted(x for x in src.rglob("*") if x.is_file()):
+            assert (tmp_path / "out" / p.relative_to(tmp_path)).read_bytes() == p.read_bytes()
+
+    def test_second_run_filtered_by_job_chain(self, tmp_path):
+        src = tmp_path / "src"
+        FileTreeGenerator(seed=2).generate(src, n_files=5, n_dirs=1, min_size=8192, max_size=32768)
+        system = DebarSystem(config=file_config())
+        job = system.define_job("tree", client="c1", dataset=[src])
+        _, s1 = system.run_backup(job)
+        system.run_dedup2()
+        mutate_tree(src, seed=3, new_files=1, delete_files=0)
+        _, s2 = system.run_backup(job)
+        # Most chunks unchanged: the preliminary filter suppresses them.
+        assert s2.filtered_chunks > 0
+        assert s2.transferred_bytes < s1.transferred_bytes
+
+    def test_restore_after_mutation_restores_latest(self, tmp_path):
+        src = tmp_path / "src"
+        FileTreeGenerator(seed=4).generate(src, n_files=4, n_dirs=1, min_size=8192, max_size=32768)
+        system = DebarSystem(config=file_config())
+        job = system.define_job("tree", client="c1", dataset=[src])
+        run1, _ = system.run_backup(job)
+        system.run_dedup2()
+        mutate_tree(src, seed=5, new_files=1, delete_files=0)
+        run2, _ = system.run_backup(job)
+        system.run_dedup2()
+        system.restore_run(run2, tmp_path / "v2", strip_prefix=tmp_path)
+        for p in sorted(x for x in src.rglob("*") if x.is_file()):
+            assert (tmp_path / "v2" / p.relative_to(tmp_path)).read_bytes() == p.read_bytes()
+        # And the first version is still independently restorable.
+        system.restore_run(run1, tmp_path / "v1", strip_prefix=tmp_path)
+
+
+class TestVerifyRun:
+    def test_verify_clean_file_mode_run(self, tmp_path):
+        src = tmp_path / "src"
+        FileTreeGenerator(seed=6).generate(src, n_files=4, n_dirs=1, min_size=8192, max_size=32768)
+        system = DebarSystem(config=file_config())
+        job = system.define_job("v", client="c1", dataset=[src])
+        run, _ = system.run_backup(job)
+        system.run_dedup2()
+        report = system.verify_run(run)
+        assert report["chunks"] > 0
+        assert report["payloads_verified"] == report["chunks"]
+
+    def test_verify_stream_mode_shallow(self):
+        system = DebarSystem(config=stream_config())
+        job = system.define_job("v", client="c1")
+        run, _ = system.backup_stream(job, [(fp, 8192) for fp in make_fps(25)], auto_dedup2=False)
+        system.run_dedup2()
+        report = system.verify_run(run)
+        assert report["chunks"] == 25
+        assert report["payloads_verified"] == 0  # virtual payloads: shallow only
+
+
+class TestStreamMode:
+    def test_stream_backup_and_compression_accounting(self):
+        system = DebarSystem(config=stream_config())
+        job = system.define_job("stream", client="c1")
+        fps = make_fps(200)
+        run, stats = system.backup_stream(job, [(fp, 8192) for fp in fps], auto_dedup2=False)
+        system.run_dedup2()
+        # Same job again: everything filtered.
+        run2, stats2 = system.backup_stream(job, [(fp, 8192) for fp in fps], auto_dedup2=False)
+        system.run_dedup2()
+        assert stats2.transferred_chunks == 0
+        assert system.logical_bytes_protected == 2 * 200 * 8192
+        assert system.physical_bytes_stored == 200 * 8192
+        assert system.compression_ratio == pytest.approx(2.0)
+
+    def test_restore_fingerprints(self):
+        system = DebarSystem(config=stream_config())
+        job = system.define_job("stream", client="c1")
+        fps = make_fps(30)
+        run, _ = system.backup_stream(job, [(fp, 8192) for fp in fps], auto_dedup2=False)
+        system.run_dedup2()
+        payloads = system.restore_fingerprints(run)
+        assert len(payloads) == 30
+        assert all(len(p) == 8192 for p in payloads)
+
+    def test_auto_dedup2_policy_trigger(self):
+        cfg = stream_config()
+        system = DebarSystem(
+            config=cfg, policy=Dedup2Policy(undetermined_threshold=50)
+        )
+        job = system.define_job("s", client="c1")
+        system.backup_stream(job, [(fp, 8192) for fp in make_fps(49)])
+        assert system.director.dedup2_runs == 0
+        job2 = system.define_job("s2", client="c1")
+        system.backup_stream(job2, [(fp, 8192) for fp in make_fps(60, start=100)])
+        assert system.director.dedup2_runs == 1
+        assert system.server.undetermined_count == 0
+
+    def test_elapsed_advances(self):
+        system = DebarSystem(config=stream_config())
+        job = system.define_job("s", client="c1")
+        system.backup_stream(job, [(fp, 8192) for fp in make_fps(10)], auto_dedup2=False)
+        t1 = system.elapsed
+        assert t1 > 0
+        system.run_dedup2()
+        assert system.elapsed > t1

@@ -1,0 +1,146 @@
+"""Tests for the defragmentation mechanism (Section 6.3)."""
+
+import pytest
+
+from repro.core.fingerprint import SyntheticFingerprints
+from repro.server import BackupServerConfig
+from repro.simdisk import Meter, SimClock, paper_network, paper_repository_disk
+from repro.storage import (
+    ChunkRepository,
+    ContainerWriter,
+    DefragmentationManager,
+)
+from repro.system import DebarCluster
+from tests.conftest import make_fps
+
+
+def spread_repository(n_nodes=4, n_containers=8, chunks_each=4):
+    """A repository with one stream's containers spread round-robin."""
+    repo = ChunkRepository(n_nodes=n_nodes)
+    fp_to_cid = {}
+    all_fps = []
+    for i in range(n_containers):
+        writer = ContainerWriter(capacity=4096)
+        fps = make_fps(chunks_each, start=i * 100)
+        for fp in fps:
+            writer.add(fp, data=b"x" * 64)
+            all_fps.append(fp)
+        cid = repo.allocate_id()
+        repo.store(writer.seal(cid))
+        for fp in fps:
+            fp_to_cid[fp] = cid
+    return repo, all_fps, fp_to_cid
+
+
+class TestManager:
+    def test_stream_containers_in_first_use_order(self):
+        repo, fps, fp_to_cid = spread_repository()
+        mgr = DefragmentationManager(repo)
+        cids = mgr.stream_containers(fps, fp_to_cid.get)
+        assert cids == sorted(set(fp_to_cid.values()))
+
+    def test_unresolvable_fingerprint_raises(self):
+        repo, fps, fp_to_cid = spread_repository()
+        mgr = DefragmentationManager(repo)
+        with pytest.raises(KeyError):
+            mgr.stream_containers([make_fps(1, start=9999)[0]], fp_to_cid.get)
+
+    def test_majority_node(self):
+        repo, fps, fp_to_cid = spread_repository(n_nodes=4, n_containers=8)
+        mgr = DefragmentationManager(repo)
+        # Round-robin over 4 nodes: every node has 2; tie broken to lowest.
+        assert mgr.majority_node(set(fp_to_cid.values())) == 0
+
+    def test_run_aggregates_when_fragmented(self):
+        repo, fps, fp_to_cid = spread_repository()
+        mgr = DefragmentationManager(repo, threshold=0.25)
+        report = mgr.run(fps, fp_to_cid.get)
+        assert report.triggered
+        assert report.fragmentation_before == pytest.approx(0.75)
+        assert report.fragmentation_after == 0.0
+        assert report.moves == 6
+        # All containers now co-located and still fetchable.
+        for cid in set(fp_to_cid.values()):
+            assert repo.locate(cid) == report.target_node
+            repo.fetch(cid)
+
+    def test_run_skips_below_threshold(self):
+        repo, fps, fp_to_cid = spread_repository()
+        mgr = DefragmentationManager(repo, threshold=0.9)
+        report = mgr.run(fps, fp_to_cid.get)
+        assert not report.triggered
+        assert report.moves == 0
+        assert report.fragmentation_after == report.fragmentation_before
+
+    def test_force_overrides_threshold(self):
+        repo, fps, fp_to_cid = spread_repository()
+        mgr = DefragmentationManager(repo, threshold=0.9)
+        report = mgr.run(fps, fp_to_cid.get, force=True)
+        assert report.triggered
+        assert report.fragmentation_after == 0.0
+
+    def test_move_costs_charged(self):
+        repo, fps, fp_to_cid = spread_repository()
+        mgr = DefragmentationManager(repo)
+        meter = Meter(SimClock())
+        report = mgr.run(
+            fps, fp_to_cid.get,
+            meter=meter, disk=paper_repository_disk(), network=paper_network(),
+        )
+        assert report.bytes_moved == report.moves * 4096
+        assert meter.total("defrag") > 0
+
+    def test_invalid_threshold(self):
+        repo, _, _ = spread_repository()
+        with pytest.raises(ValueError):
+            DefragmentationManager(repo, threshold=1.0)
+
+    def test_stats_accumulate(self):
+        repo, fps, fp_to_cid = spread_repository()
+        mgr = DefragmentationManager(repo)
+        mgr.run(fps, fp_to_cid.get)
+        assert mgr.passes == 1
+        assert mgr.total_moves == 6
+
+
+class TestClusterIntegration:
+    def _cluster_with_cross_stream_run(self):
+        cfg = BackupServerConfig(
+            index_n_bits=8, index_bucket_bytes=512, container_bytes=64 * 1024,
+            filter_capacity=4096, cache_capacity=1 << 18,
+        )
+        cluster = DebarCluster(w_bits=2, config=cfg)
+        gens = [SyntheticFingerprints(i) for i in range(4)]
+        shared = gens[0].fresh(100)
+        jobs, runs = [], {}
+        assignments = []
+        for i in range(4):
+            job = cluster.director.define_job(f"j{i}", f"c{i}", [])
+            own = gens[i].fresh(200) if i else shared
+            stream = [(fp, 8192) for fp in (own + shared if i else own)]
+            jobs.append(job)
+            assignments.append((job, stream))
+        cluster.backup_streams(assignments)
+        cluster.run_dedup2(force_psiu=True)
+        # The last completed run of job 1 references shared chunks whose
+        # containers live on job 0's server node: fragmented.
+        run = cluster.director.chain(jobs[1]).latest()
+        return cluster, run
+
+    def test_defragment_run_improves_locality(self):
+        cluster, run = self._cluster_with_cross_stream_run()
+        report = cluster.defragment_run(run.run_id, threshold=0.05)
+        assert report.containers > 1
+        assert report.fragmentation_before > 0.05
+        assert report.triggered
+        assert report.fragmentation_after < report.fragmentation_before
+        assert report.fragmentation_after == 0.0
+
+    def test_run_still_restorable_after_defrag(self):
+        cluster, run = self._cluster_with_cross_stream_run()
+        cluster.defragment_run(run.run_id, threshold=0.05)
+        entries = cluster.director.metadata.files_for_run(run.run_id)
+        server = run.server
+        for entry in entries:
+            for fp in entry.fingerprints[:20]:
+                assert len(cluster.read_chunk(fp, via_server=server)) == 8192

@@ -1,0 +1,104 @@
+"""Tests for the director ensemble (Section 6.3 future work)."""
+
+import pytest
+
+from repro.director import Director, DirectorEnsemble
+from repro.director.metadata import FileIndexEntry, FileMetadata
+from repro.server import BackupServerConfig
+from repro.system import DebarCluster
+from tests.conftest import make_fps
+
+
+def entry(fps, path="/f"):
+    return FileIndexEntry(FileMetadata(path, len(fps) * 8192), fps)
+
+
+class TestRouting:
+    def test_stable_job_to_director_mapping(self):
+        ensemble = DirectorEnsemble(4, n_servers=2)
+        assert ensemble.director_for("alpha") is ensemble.director_for("alpha")
+
+    def test_jobs_spread_over_directors(self):
+        ensemble = DirectorEnsemble(4, n_servers=2)
+        for i in range(64):
+            ensemble.define_job(f"job-{i}", "c", [])
+        counts = ensemble.job_counts()
+        assert sum(counts) == 64
+        assert all(c > 0 for c in counts)  # hash spreads 64 names over 4
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            DirectorEnsemble(0)
+
+
+class TestDirectorInterface:
+    def test_chain_and_filtering_fingerprints(self):
+        ensemble = DirectorEnsemble(3, n_servers=2)
+        job = ensemble.define_job("nightly", "c", [])
+        fps = make_fps(10)
+        run = ensemble.begin_run(job, 1.0, ensemble.assign_backup(job))
+        ensemble.complete_run(run, [entry(fps)])
+        assert ensemble.chain(job).latest() is run
+        assert ensemble.filtering_fingerprints(job) == fps
+        assert ensemble.job_by_name("nightly") is job
+
+    def test_metadata_view_spans_directors(self):
+        ensemble = DirectorEnsemble(4, n_servers=2)
+        runs = []
+        for i in range(8):
+            job = ensemble.define_job(f"j{i}", "c", [])
+            run = ensemble.begin_run(job, 1.0, ensemble.assign_backup(job))
+            ensemble.complete_run(run, [entry(make_fps(4, start=i * 10))])
+            runs.append(run)
+        for run in runs:
+            assert run.run_id in ensemble.metadata
+            assert len(ensemble.metadata.files_for_run(run.run_id)) == 1
+        with pytest.raises(KeyError):
+            ensemble.metadata.files_for_run(10_000)
+
+    def test_find_run_across_members(self):
+        ensemble = DirectorEnsemble(3, n_servers=2)
+        job = ensemble.define_job("j", "c", [])
+        run = ensemble.begin_run(job, 1.0, ensemble.assign_backup(job))
+        ensemble.complete_run(run, [entry(make_fps(2))])
+        assert ensemble.find_run(run.run_id) is run
+        assert ensemble.find_run(99_999) is None
+
+    def test_record_dedup2_broadcasts(self):
+        ensemble = DirectorEnsemble(3, n_servers=2)
+        ensemble.record_dedup2()
+        assert ensemble.dedup2_runs == 1
+        assert all(d.dedup2_runs == 1 for d in ensemble.directors)
+
+
+class TestClusterWithEnsemble:
+    def test_end_to_end_backup_dedup_restore(self):
+        cfg = BackupServerConfig(
+            index_n_bits=8, index_bucket_bytes=512, container_bytes=64 * 1024,
+            filter_capacity=4096, cache_capacity=1 << 18,
+        )
+        cluster = DebarCluster(w_bits=2, config=cfg, n_directors=3)
+        assert isinstance(cluster.director, DirectorEnsemble)
+        jobs = [cluster.director.define_job(f"j{i}", f"c{i}", []) for i in range(6)]
+        streams = [
+            [(fp, 8192) for fp in make_fps(80, start=i * 200)] for i in range(6)
+        ]
+        cluster.backup_streams(list(zip(jobs, streams)))
+        d2 = cluster.run_dedup2(force_psiu=True)
+        assert d2.new_chunks_stored == 480
+        # Second round of one job: its owning director's chain filters it.
+        d1 = cluster.backup_streams([(jobs[0], streams[0])])
+        assert d1.transferred_bytes == 0
+        # Restore through the ensemble's cross-director run lookup.
+        run = cluster.director.chain(jobs[3]).latest()
+        payloads = cluster.restore_run(run.run_id)
+        assert len(payloads) == 80
+
+    def test_single_director_default_unchanged(self):
+        cluster = DebarCluster(w_bits=1)
+        assert isinstance(cluster.director, Director)
+
+    def test_scale_out_not_supported_with_ensemble(self):
+        cluster = DebarCluster(w_bits=1, n_directors=2)
+        with pytest.raises(NotImplementedError):
+            cluster.scale_out()

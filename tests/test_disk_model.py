@@ -1,0 +1,127 @@
+"""Tests for the device cost models and their paper calibration."""
+
+import pytest
+
+from repro.simdisk import (
+    CpuModel,
+    DiskModel,
+    NetworkModel,
+    paper_cpu,
+    paper_index_disk,
+    paper_log_disk,
+    paper_network,
+    paper_rig,
+)
+from repro.util import GB, MB
+
+
+class TestDiskModel:
+    def test_seq_read_scales_linearly(self):
+        disk = DiskModel(seq_read_rate=100 * MB, random_io_time=0.0)
+        assert disk.seq_read_time(100 * MB) == pytest.approx(1.0)
+        assert disk.seq_read_time(200 * MB) == pytest.approx(2.0)
+
+    def test_seq_includes_one_positioning_delay(self):
+        disk = DiskModel(seq_read_rate=100 * MB, random_io_time=0.01)
+        assert disk.seq_read_time(100 * MB) == pytest.approx(1.01)
+
+    def test_zero_bytes_is_free(self):
+        disk = DiskModel()
+        assert disk.seq_read_time(0) == 0.0
+        assert disk.seq_write_time(0) == 0.0
+        assert disk.random_read_time(0) == 0.0
+
+    def test_random_reads_divide_across_raid(self):
+        disk = DiskModel(random_io_time=0.010, raid_width=8)
+        assert disk.random_read_time(800) == pytest.approx(1.0)
+
+    def test_random_iops(self):
+        disk = DiskModel(random_io_time=0.010, raid_width=8)
+        assert disk.random_iops == pytest.approx(800.0)
+
+    def test_negative_inputs_rejected(self):
+        disk = DiskModel()
+        with pytest.raises(ValueError):
+            disk.seq_read_time(-1)
+        with pytest.raises(ValueError):
+            disk.random_read_time(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DiskModel(seq_read_rate=0)
+        with pytest.raises(ValueError):
+            DiskModel(random_io_time=-1)
+        with pytest.raises(ValueError):
+            DiskModel(raid_width=0)
+
+
+class TestNetworkModel:
+    def test_transfer_time(self):
+        net = NetworkModel(bandwidth=100 * MB, rtt=0.001)
+        assert net.transfer_time(100 * MB) == pytest.approx(1.001)
+
+    def test_exchange_limited_by_larger_direction(self):
+        net = NetworkModel(bandwidth=100 * MB, rtt=0.0)
+        assert net.exchange_time(50 * MB, 100 * MB) == pytest.approx(1.0)
+        assert net.exchange_time(100 * MB, 50 * MB) == pytest.approx(1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth=0)
+        net = NetworkModel()
+        with pytest.raises(ValueError):
+            net.transfer_time(-1)
+
+
+class TestCpuModel:
+    def test_fp_search(self):
+        cpu = CpuModel(fp_search_rate=1e6)
+        assert cpu.fp_search_time(1_000_000) == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        cpu = CpuModel()
+        with pytest.raises(ValueError):
+            cpu.fp_search_time(-1)
+        with pytest.raises(ValueError):
+            cpu.sha1_time(-1)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            CpuModel(fp_search_rate=0)
+
+
+class TestPaperCalibration:
+    """The presets must land on the paper's measured figures."""
+
+    def test_random_lookup_rate_522(self):
+        disk = paper_index_disk()
+        assert disk.random_iops == pytest.approx(522, rel=0.01)
+
+    def test_random_update_rate_near_270(self):
+        # An update is a read-modify-write: two random accesses.
+        disk = paper_index_disk()
+        assert disk.random_iops / 2 == pytest.approx(270, rel=0.05)
+
+    def test_sil_time_32gb_is_2_53_minutes(self):
+        disk = paper_index_disk()
+        assert disk.seq_read_time(32 * GB) / 60 == pytest.approx(2.53, rel=0.01)
+
+    def test_siu_time_32gb_is_6_16_minutes(self):
+        disk = paper_index_disk()
+        t = disk.seq_read_time(32 * GB) + disk.seq_write_time(32 * GB)
+        assert t / 60 == pytest.approx(6.16, rel=0.01)
+
+    def test_log_disk_rate_224(self):
+        disk = paper_log_disk()
+        assert disk.seq_read_rate == 224 * MB
+
+    def test_nic_rate_210(self):
+        assert paper_network().bandwidth == 210 * MB
+
+    def test_cpu_fp_search_2_749m(self):
+        assert paper_cpu().fp_search_rate == pytest.approx(2.749e6)
+
+    def test_rig_bundles_fresh_models(self):
+        rig1, rig2 = paper_rig(), paper_rig()
+        assert rig1.index_disk == rig2.index_disk
+        assert rig1 is not rig2

@@ -1,0 +1,173 @@
+"""Edge-case coverage across modules: overflow paths, scaling-in-cluster,
+schedule arithmetic, dataset scanning, synthetic generator limits."""
+
+import pytest
+
+from repro.analysis.overflow import UtilizationSimulator
+from repro.client import BackupEngine
+from repro.core.disk_index import DiskIndex
+from repro.core.tpds import TwoPhaseDeduplicator
+from repro.director.jobs import Schedule
+from repro.server import BackupServerConfig
+from repro.storage import ChunkRepository
+from repro.system import DebarCluster
+from repro.workloads import SyntheticConfig, SyntheticUniverse
+from tests.conftest import make_fps
+
+
+class TestClusterCapacityScaling:
+    def test_index_part_scales_during_psiu(self):
+        """A tiny index part must capacity-scale (2^n -> 2^(n+1)) inside
+        PSIU without losing entries, keeping its server prefix."""
+        cfg = BackupServerConfig(
+            index_n_bits=2,  # 4 buckets x 20 entries per part
+            index_bucket_bytes=512,
+            container_bytes=64 * 1024,
+            filter_capacity=4096,
+            cache_capacity=1 << 16,
+        )
+        cluster = DebarCluster(w_bits=1, config=cfg)
+        fps = make_fps(400)
+        job = cluster.director.define_job("big", "c", [])
+        cluster.backup_streams([(job, [(fp, 8192) for fp in fps])])
+        cluster.run_dedup2(force_psiu=True)
+        assert sum(len(s.index) for s in cluster.servers) == 400
+        for server in cluster.servers:
+            assert server.index.n_bits > 2  # scaled
+            assert server.index.prefix_bits == 1  # prefix preserved
+            assert server.tpds.capacity_scalings >= 1
+        for fp in fps:
+            owner = cluster.owner_of(fp)
+            assert cluster.servers[owner].index.lookup(fp) is not None
+
+    def test_owner_sil_batches_when_over_cache(self):
+        """An owner receiving more than a cache-full runs multiple sweeps
+        and still classifies every fingerprint."""
+        cfg = BackupServerConfig(
+            index_n_bits=8, index_bucket_bytes=512, container_bytes=64 * 1024,
+            filter_capacity=4096, cache_capacity=64,  # forces many sweeps
+        )
+        cluster = DebarCluster(w_bits=1, config=cfg)
+        fps = make_fps(500)
+        job = cluster.director.define_job("j", "c", [])
+        cluster.backup_streams([(job, [(fp, 8192) for fp in fps])])
+        stats = cluster.run_dedup2(force_psiu=True)
+        assert stats.new_chunks_stored == 500
+        assert sum(len(s.index) for s in cluster.servers) == 500
+
+
+class TestTpdsEdges:
+    def _tpds(self, **kwargs):
+        defaults = dict(
+            filter_capacity=4096, cache_capacity=1 << 16, container_bytes=64 * 1024
+        )
+        defaults.update(kwargs)
+        return TwoPhaseDeduplicator(
+            DiskIndex(8, bucket_bytes=512), ChunkRepository(), **defaults
+        )
+
+    def test_store_from_log_with_no_new_fps(self):
+        tpds = self._tpds()
+        fps = make_fps(10)
+        tpds.dedup1_backup([(fp, 8192) for fp in fps])
+        tpds.drain_undetermined()
+        stored, stats = tpds.store_from_log([])
+        assert stored == {}
+        assert stats.new_chunks_stored == 0
+        assert stats.log_records_discarded == 10
+
+    def test_zero_size_chunks_allowed(self):
+        tpds = self._tpds()
+        fp = make_fps(1)[0]
+        stats, _ = tpds.dedup1_backup([(fp, 0)])
+        assert stats.logical_bytes == 0
+        d2 = tpds.dedup2()
+        assert d2.new_chunks_stored == 1
+
+    def test_run_siu_now_noop_when_empty(self):
+        tpds = self._tpds()
+        stats = tpds.run_siu_now()
+        assert not stats.siu_performed
+
+    def test_filter_eviction_relog_resolved_in_dedup2(self):
+        """A filter small enough to evict causes the same fingerprint to be
+        logged twice; chunk storing stores it once."""
+        tpds = self._tpds(filter_capacity=4)
+        fps = make_fps(8)
+        stream = [(fp, 8192) for fp in fps + fps]  # revisits after eviction
+        stats, _ = tpds.dedup1_backup(stream)
+        assert stats.transferred_chunks > 8  # re-logged duplicates
+        d2 = tpds.dedup2()
+        assert d2.new_chunks_stored == 8
+        assert tpds.physical_chunk_bytes() == 8 * 8192
+
+
+class TestScheduleArithmetic:
+    def test_weekly_next_run(self):
+        s = Schedule("weekly", 2, 0)
+        offset = 2 * 3600
+        assert s.next_run_time(0.0) == offset
+        assert s.next_run_time(offset) == 7 * 86400 + offset
+
+    def test_hourly_series_is_periodic(self):
+        s = Schedule("hourly", 0, 15)
+        t = 0.0
+        times = []
+        for _ in range(5):
+            t = s.next_run_time(t)
+            times.append(t)
+        diffs = [b - a for a, b in zip(times, times[1:])]
+        assert all(d == 3600 for d in diffs)
+
+
+class TestBackupEngineEdges:
+    def test_scan_single_file(self, tmp_path):
+        f = tmp_path / "one.bin"
+        f.write_bytes(b"data")
+        assert BackupEngine("c").scan_dataset([f]) == [f]
+
+    def test_scan_mixed_dataset(self, tmp_path):
+        f = tmp_path / "a.bin"
+        f.write_bytes(b"data")
+        d = tmp_path / "dir"
+        d.mkdir()
+        (d / "b.bin").write_bytes(b"more")
+        files = BackupEngine("c").scan_dataset([f, d])
+        assert [p.name for p in files] == ["a.bin", "b.bin"]
+
+    def test_empty_file_roundtrip(self, tmp_path):
+        f = tmp_path / "empty.bin"
+        f.write_bytes(b"")
+        metadata, chunks = BackupEngine("c").read_file(f)
+        assert metadata.size == 0
+        assert chunks == []
+
+
+class TestSyntheticGeneratorLimits:
+    def test_many_streams_narrow_subspaces(self):
+        cfg = SyntheticConfig(n_streams=128, section_chunks=16, seed=1)
+        universe = SyntheticUniverse(cfg)
+        a = universe.next_version(0, 64)
+        b = universe.next_version(127, 64)
+        fps_a = {fp for s in a for fp in universe.fingerprints_of(s)}
+        fps_b = {fp for s in b for fp in universe.fingerprints_of(s)}
+        assert not fps_a & fps_b  # subspaces stay disjoint
+
+    def test_iter_fresh_matches_fresh(self):
+        from repro.core.fingerprint import SyntheticFingerprints
+
+        a = SyntheticFingerprints(0)
+        b = SyntheticFingerprints(0)
+        assert list(a.iter_fresh(10)) == b.fresh(10)
+
+
+class TestOverflowSimulatorEdges:
+    def test_exact_simulator_deterministic(self):
+        a = UtilizationSimulator(8, 20, seed=3).run_exact()
+        b = UtilizationSimulator(8, 20, seed=3).run_exact()
+        assert a == b
+
+    def test_fast_simulator_deterministic(self):
+        a = UtilizationSimulator(10, 40, seed=4).run_fast()
+        b = UtilizationSimulator(10, 40, seed=4).run_fast()
+        assert a == b

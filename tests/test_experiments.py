@@ -1,0 +1,120 @@
+"""Tests for the experiment drivers behind Figures 6-9 and 13-15."""
+
+import pytest
+
+from repro.analysis.cluster_experiment import (
+    measure_psil_psiu,
+    run_read_experiment,
+    run_write_experiment,
+    scaled_cluster,
+)
+from repro.analysis.hust_experiment import paper_scaled_configs, run_hust_comparison
+from repro.util import GB
+from repro.workloads import HustConfig
+
+
+SMALL_SIGMA = 1.0 / 32768  # keeps driver tests fast
+
+
+class TestHustExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        hust, debar = paper_scaled_configs(scale=0.05)
+        cfg = HustConfig(
+            mean_daily_chunks=hust.mean_daily_chunks, days=8, seed=5,
+            section_chunks=hust.section_chunks,
+        )
+        return run_hust_comparison(cfg, debar_config=debar)
+
+    def test_daily_records_complete(self, result):
+        assert len(result.days) == 8
+        for r in result.days:
+            assert r.logical_bytes > 0
+            assert 0 < r.dedup1_transferred_bytes <= r.logical_bytes
+            assert r.dedup1_time > 0
+            assert r.ddfs_time > 0
+
+    def test_dedup2_runs_are_flagged_consistently(self, result):
+        for r in result.days:
+            if r.dedup2_ran:
+                assert r.dedup2_time > 0
+                assert r.dedup2_log_bytes > 0
+            else:
+                assert r.dedup2_time == 0
+        assert result.days[-1].dedup2_ran  # final-day flush
+
+    def test_both_systems_store_comparable_bytes(self, result):
+        last = result.days[-1]
+        assert last.debar_physical_cum > 0
+        assert last.ddfs_physical_cum == pytest.approx(last.debar_physical_cum, rel=0.1)
+
+    def test_cumulative_ratios_ordered(self, result):
+        # overall = dedup-1 x dedup-2 (up to day-0 boundary effects).
+        product = result.dedup1_ratio_cum() * result.dedup2_ratio_cum()
+        assert result.debar_ratio_cum() == pytest.approx(product, rel=0.15)
+
+    def test_throughputs_positive_and_ordered(self, result):
+        assert result.dedup1_throughput_cum() > result.debar_total_throughput_cum()
+        assert result.debar_total_throughput_cum() > 0
+        assert result.ddfs_throughput_cum() > 0
+
+    def test_no_ddfs_mode(self):
+        hust, debar = paper_scaled_configs(scale=0.02)
+        cfg = HustConfig(mean_daily_chunks=hust.mean_daily_chunks, days=3, seed=5)
+        result = run_hust_comparison(cfg, debar_config=debar, run_ddfs=False)
+        assert all(r.ddfs_time == 0 for r in result.days)
+
+    def test_scaled_config_validation(self):
+        with pytest.raises(ValueError):
+            paper_scaled_configs(scale=0)
+
+
+class TestClusterExperiment:
+    def test_scaled_cluster_geometry(self):
+        cluster = scaled_cluster(2, 32 * GB, sigma=SMALL_SIGMA)
+        assert cluster.n_servers == 4
+        # Part bytes ~ 1 MB at this sigma -> 2^11 x 512 B buckets.
+        assert cluster.servers[0].index.size_bytes == pytest.approx(
+            32 * GB * SMALL_SIGMA, rel=1.0
+        )
+        with pytest.raises(ValueError):
+            scaled_cluster(2, 32 * GB, sigma=2.0)
+
+    def test_measure_psil_psiu_point(self):
+        point = measure_psil_psiu(32 * GB, w_bits=1, sigma=SMALL_SIGMA)
+        assert point.total_index_modeled_bytes == 64 * GB
+        assert point.psil_kfps > 0
+        assert point.psiu_kfps > 0
+        assert point.fingerprints > 0
+
+    def test_write_experiment_accounting(self):
+        result = run_write_experiment(
+            w_bits=1, part_modeled_bytes=32 * GB, versions=2,
+            version_chunks=256, sigma=SMALL_SIGMA,
+        )
+        assert result.n_servers == 2
+        assert result.logical_bytes == 2 * 2 * 4 * 256 * 8192  # v x srv x cli x chunks x B
+        assert result.dedup1_wall > 0
+        assert result.dedup2_wall > 0
+        assert result.total_throughput > 0
+        assert result.supported_capacity_bytes > 0
+
+    def test_read_experiment_requires_kept_cluster(self):
+        result = run_write_experiment(
+            w_bits=1, part_modeled_bytes=32 * GB, versions=2,
+            version_chunks=256, sigma=SMALL_SIGMA,
+        )
+        with pytest.raises(ValueError):
+            run_read_experiment(result)
+
+    def test_read_experiment_points(self):
+        result = run_write_experiment(
+            w_bits=1, part_modeled_bytes=32 * GB, versions=2,
+            version_chunks=256, sigma=SMALL_SIGMA, keep_cluster=True,
+        )
+        points = run_read_experiment(result)
+        assert len(points) == 2
+        for p in points:
+            assert p.bytes_read == result.logical_bytes // 2
+            assert p.wall > 0
+            assert 0 < p.lpc_hit_rate <= 1

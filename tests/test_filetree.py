@@ -1,0 +1,56 @@
+"""Tests for the example-workload file-tree generator."""
+
+import pytest
+
+from repro.workloads import FileTreeGenerator, mutate_tree
+
+
+class TestGenerate:
+    def test_creates_requested_files(self, tmp_path):
+        files = FileTreeGenerator(seed=1).generate(
+            tmp_path, n_files=8, n_dirs=3, min_size=1024, max_size=4096
+        )
+        assert len(files) == 8
+        for f in files:
+            assert f.exists()
+            assert 1024 <= f.stat().st_size <= 4096
+
+    def test_deterministic(self, tmp_path):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        FileTreeGenerator(seed=5).generate(a, n_files=3, min_size=512, max_size=1024)
+        FileTreeGenerator(seed=5).generate(b, n_files=3, min_size=512, max_size=1024)
+        for fa, fb in zip(sorted(a.rglob("*.bin")), sorted(b.rglob("*.bin"))):
+            assert fa.read_bytes() == fb.read_bytes()
+
+    def test_invalid_args(self, tmp_path):
+        with pytest.raises(ValueError):
+            FileTreeGenerator().generate(tmp_path, n_files=0)
+
+
+class TestMutate:
+    def test_edits_create_and_delete(self, tmp_path):
+        FileTreeGenerator(seed=2).generate(tmp_path, n_files=6, min_size=4096, max_size=8192)
+        before = {p: p.read_bytes() for p in tmp_path.rglob("*") if p.is_file()}
+        stats = mutate_tree(tmp_path, seed=3, new_files=2, delete_files=1)
+        after = {p: p.read_bytes() for p in tmp_path.rglob("*") if p.is_file()}
+        assert stats["created"] == 2
+        assert stats["deleted"] == 1
+        assert stats["edited"] >= 1
+        changed = sum(1 for p, data in before.items() if after.get(p) != data)
+        assert changed >= stats["edited"]
+        assert len(after) == len(before) + 2 - 1
+
+    def test_mutate_empty_tree_rejected(self, tmp_path):
+        tmp_path.mkdir(exist_ok=True)
+        with pytest.raises(ValueError):
+            mutate_tree(tmp_path)
+
+    def test_most_bytes_survive_edits(self, tmp_path):
+        # Edits are local: the bulk of the tree's content is unchanged,
+        # which is what gives CDC its savings in the examples.
+        FileTreeGenerator(seed=7).generate(tmp_path, n_files=10, min_size=8192, max_size=16384)
+        before = b"".join(p.read_bytes() for p in sorted(tmp_path.rglob("*")) if p.is_file())
+        mutate_tree(tmp_path, seed=8, edit_fraction=0.3, new_files=0, delete_files=0)
+        after = b"".join(p.read_bytes() for p in sorted(tmp_path.rglob("*")) if p.is_file())
+        assert abs(len(after) - len(before)) < 0.2 * len(before)

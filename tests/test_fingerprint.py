@@ -1,0 +1,130 @@
+"""Tests for fingerprints and the counter->SHA-1 synthetic generator."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.fingerprint import (
+    FINGERPRINT_SIZE,
+    MAX_CONTAINER_ID,
+    SyntheticFingerprints,
+    fingerprint,
+    fp_bucket,
+    fp_hex,
+    validate_container_id,
+    validate_fingerprint,
+)
+
+
+class TestFingerprint:
+    def test_is_sha1(self):
+        data = b"chunk content"
+        assert fingerprint(data) == hashlib.sha1(data).digest()
+        assert len(fingerprint(data)) == FINGERPRINT_SIZE
+
+    def test_deterministic(self):
+        assert fingerprint(b"x") == fingerprint(b"x")
+
+    def test_distinct_content_distinct_fp(self):
+        assert fingerprint(b"a") != fingerprint(b"b")
+
+    def test_fp_bucket_uses_leading_bits(self):
+        fp = bytes([0b10110000]) + b"\x00" * 19
+        assert fp_bucket(fp, 4) == 0b1011
+        assert fp_bucket(fp, 8) == 0b10110000
+
+    def test_fp_hex_short(self):
+        assert len(fp_hex(fingerprint(b"z"))) == 12
+
+    @given(st.binary(max_size=64))
+    def test_fp_bucket_consistent_with_int(self, data):
+        fp = fingerprint(data)
+        n = 16
+        expected = int.from_bytes(fp, "big") >> (FINGERPRINT_SIZE * 8 - n)
+        assert fp_bucket(fp, n) == expected
+
+
+class TestValidation:
+    def test_validate_fingerprint_ok(self):
+        fp = fingerprint(b"ok")
+        assert validate_fingerprint(fp) == fp
+
+    def test_validate_fingerprint_wrong_length(self):
+        with pytest.raises(ValueError):
+            validate_fingerprint(b"short")
+
+    def test_validate_fingerprint_wrong_type(self):
+        with pytest.raises(ValueError):
+            validate_fingerprint("not bytes")
+
+    def test_validate_container_id_bounds(self):
+        assert validate_container_id(0) == 0
+        assert validate_container_id(MAX_CONTAINER_ID) == MAX_CONTAINER_ID
+        with pytest.raises(ValueError):
+            validate_container_id(-1)
+        with pytest.raises(ValueError):
+            validate_container_id(MAX_CONTAINER_ID + 1)
+
+    def test_container_id_space_is_40_bits(self):
+        # 40-bit IDs x 8 MB containers = 8 EB (Section 3.4).
+        assert MAX_CONTAINER_ID == (1 << 40) - 1
+
+
+class TestSyntheticFingerprints:
+    def test_counter_sha1(self):
+        gen = SyntheticFingerprints(0)
+        assert gen.at(5) == hashlib.sha1((5).to_bytes(8, "big")).digest()
+
+    def test_subspaces_disjoint(self):
+        a = set(SyntheticFingerprints(0).fresh(500))
+        b = set(SyntheticFingerprints(1).fresh(500))
+        assert not a & b
+
+    def test_fresh_never_repeats(self):
+        gen = SyntheticFingerprints(0)
+        first = gen.fresh(100)
+        second = gen.fresh(100)
+        assert not set(first) & set(second)
+        assert gen.generated == 200
+
+    def test_range_reproduces(self):
+        gen = SyntheticFingerprints(3)
+        fps = gen.fresh(50)
+        assert gen.range(0, 50) == fps
+
+    def test_subspace_offset(self):
+        gen = SyntheticFingerprints(2, subspace_bits=58)
+        counter = (2 << 58) + 7
+        assert gen.at(7) == hashlib.sha1(counter.to_bytes(8, "big")).digest()
+
+    def test_bad_subspace(self):
+        with pytest.raises(ValueError):
+            SyntheticFingerprints(64, subspace_bits=58)
+        with pytest.raises(ValueError):
+            SyntheticFingerprints(0, subspace_bits=0)
+
+    def test_offset_out_of_range(self):
+        gen = SyntheticFingerprints(0, subspace_bits=4)
+        with pytest.raises(ValueError):
+            gen.at(16)
+
+    def test_exhaustion(self):
+        gen = SyntheticFingerprints(0, subspace_bits=4)
+        gen.fresh(16)
+        with pytest.raises(ValueError):
+            gen.fresh(1)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            SyntheticFingerprints(0).fresh(-1)
+
+    def test_uniformity_of_buckets(self):
+        # SHA-1 over counters must spread evenly over 16 buckets.
+        gen = SyntheticFingerprints(0)
+        fps = gen.fresh(8000)
+        counts = [0] * 16
+        for fp in fps:
+            counts[fp_bucket(fp, 4)] += 1
+        expected = len(fps) / 16
+        assert all(0.8 * expected < c < 1.2 * expected for c in counts)

@@ -1,0 +1,80 @@
+"""Fuzz/property tests on the binary serialization layers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.disk_index import pack_bucket, unpack_bucket
+from repro.core.fingerprint import FINGERPRINT_SIZE
+from repro.storage.container import Container, ContainerWriter
+
+fp_strategy = st.binary(min_size=FINGERPRINT_SIZE, max_size=FINGERPRINT_SIZE)
+cid_strategy = st.integers(min_value=0, max_value=(1 << 40) - 1)
+
+
+class TestBucketFuzz:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.tuples(fp_strategy, cid_strategy), max_size=20))
+    def test_roundtrip_any_entries(self, entries):
+        blob = pack_bucket(entries, 512)
+        assert len(blob) == 512
+        assert unpack_bucket(blob) == entries
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.tuples(fp_strategy, cid_strategy), max_size=320),
+        st.sampled_from([512, 4096, 8192]),
+    )
+    def test_roundtrip_various_slot_sizes(self, entries, slot):
+        capacity = (slot - 4) // 25
+        entries = entries[:capacity]
+        assert unpack_bucket(pack_bucket(entries, slot)) == entries
+
+
+class TestContainerFuzz:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(fp_strategy, st.binary(min_size=0, max_size=300)),
+            min_size=1,
+            max_size=12,
+            unique_by=lambda t: t[0],
+        )
+    )
+    def test_serialize_roundtrip_any_chunks(self, chunks):
+        writer = ContainerWriter(capacity=8192)
+        accepted = []
+        for fp, data in chunks:
+            if writer.add(fp, data=data):
+                accepted.append((fp, data))
+        container = writer.seal(7)
+        restored = Container.deserialize(7, container.serialize(), capacity=8192)
+        assert restored.records == container.records
+        for fp, data in accepted:
+            assert restored.get(fp) == data
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_writer_never_overflows_capacity(self, data):
+        capacity = data.draw(st.sampled_from([256, 1024, 4096]))
+        writer = ContainerWriter(capacity=capacity)
+        for _ in range(data.draw(st.integers(min_value=1, max_value=30))):
+            fp = data.draw(fp_strategy)
+            size = data.draw(st.integers(min_value=0, max_value=capacity))
+            writer.add(fp, data=b"q" * size)
+            assert writer.used_bytes <= capacity
+        # Whatever was accepted must serialize within the fixed size.
+        container = writer.seal(0)
+        assert len(container.serialize()) == capacity
+
+
+class TestTruncatedInputs:
+    def test_empty_container_image(self):
+        container = ContainerWriter(capacity=4096).seal(1)
+        blob = container.serialize()
+        restored = Container.deserialize(1, blob, capacity=4096)
+        assert restored.records == []
+        assert restored.data_bytes == 0
+
+    def test_bucket_with_max_count(self):
+        entries = [(bytes([i]) * FINGERPRINT_SIZE, i) for i in range(20)]
+        assert len(unpack_bucket(pack_bucket(entries, 512))) == 20

@@ -1,0 +1,158 @@
+"""Tests for retention (forget) and garbage collection in the vault."""
+
+import pytest
+
+from repro.core.disk_index import DiskIndex
+from repro.system import DebarVault, VaultError
+from repro.workloads import FileTreeGenerator, mutate_tree
+from tests.conftest import make_fps
+
+
+def vault_with_two_generations(tmp_path, overlap=True):
+    """Two runs; the second shares most chunks with the first iff overlap."""
+    src = tmp_path / "src"
+    FileTreeGenerator(seed=11).generate(
+        src, n_files=6, n_dirs=2, min_size=8 * 1024, max_size=32 * 1024
+    )
+    vault = DebarVault(tmp_path / "vault", container_bytes=64 * 1024)
+    run1 = vault.backup("docs", [src])
+    if overlap:
+        mutate_tree(src, seed=12, edit_fraction=0.3, new_files=1, delete_files=0)
+    else:
+        for p in list(src.rglob("*.bin")):
+            p.unlink()
+        FileTreeGenerator(seed=99).generate(
+            src / "fresh", n_files=6, n_dirs=1, min_size=8 * 1024, max_size=32 * 1024
+        )
+    run2 = vault.backup("docs", [src])
+    return vault, src, run1, run2
+
+
+class TestIndexDelete:
+    def test_delete_present(self):
+        index = DiskIndex(6, bucket_bytes=512)
+        fps = make_fps(40)
+        for i, fp in enumerate(fps):
+            index.insert(fp, i)
+        assert index.delete(fps[7])
+        assert index.lookup(fps[7]) is None
+        assert len(index) == 39
+        # Everything else intact.
+        assert all(index.lookup(fp) is not None for fp in fps if fp != fps[7])
+
+    def test_delete_absent(self):
+        index = DiskIndex(6, bucket_bytes=512)
+        assert not index.delete(make_fps(1)[0])
+
+    def test_delete_overflowed_entry(self):
+        index = DiskIndex(4, bucket_bytes=512)
+        cap = index.bucket_capacity
+        target, offset = [], 0
+        while len(target) < cap + 2:
+            target.extend(
+                fp for fp in make_fps(300, start=offset) if index.bucket_number(fp) == 6
+            )
+            offset += 300
+        target = target[: cap + 2]
+        for i, fp in enumerate(target):
+            index.insert(fp, i)
+        # The overflowed entries live in neighbours; delete must find them.
+        for fp in target:
+            assert index.delete(fp)
+        assert len(index) == 0
+
+
+class TestForget:
+    def test_forget_removes_from_catalog(self, tmp_path):
+        vault, _, run1, run2 = vault_with_two_generations(tmp_path)
+        vault.forget(run1.run_id)
+        assert [r.run_id for r in vault.runs()] == [run2.run_id]
+
+    def test_forget_unknown_run(self, tmp_path):
+        vault = DebarVault(tmp_path / "vault")
+        with pytest.raises(VaultError):
+            vault.forget(7)
+
+    def test_chunks_survive_until_gc(self, tmp_path):
+        vault, _, run1, run2 = vault_with_two_generations(tmp_path)
+        physical = vault.stats()["physical_bytes"]
+        vault.forget(run1.run_id)
+        assert vault.stats()["physical_bytes"] == physical  # nothing reclaimed yet
+
+
+class TestGc:
+    def test_noop_when_everything_live(self, tmp_path):
+        vault, _, _, _ = vault_with_two_generations(tmp_path)
+        report = vault.gc()
+        assert report.containers_removed == 0
+        assert report.containers_rewritten == 0
+        assert report.bytes_reclaimed == 0
+
+    def test_reclaims_after_forgetting_disjoint_run(self, tmp_path):
+        vault, src, run1, run2 = vault_with_two_generations(tmp_path, overlap=False)
+        before = vault.stats()["physical_bytes"]
+        vault.forget(run1.run_id)
+        report = vault.gc(rewrite_threshold=1.0)
+        assert report.bytes_reclaimed > 0
+        assert vault.stats()["physical_bytes"] < before
+        # The surviving run still restores byte-identically.
+        vault.restore(run2.run_id, tmp_path / "out", strip_prefix=tmp_path)
+        for p in sorted(x for x in src.rglob("*") if x.is_file()):
+            assert (tmp_path / "out" / p.relative_to(tmp_path)).read_bytes() == p.read_bytes()
+
+    def test_copy_forward_preserves_shared_chunks(self, tmp_path):
+        vault, src, run1, run2 = vault_with_two_generations(tmp_path, overlap=True)
+        vault.forget(run1.run_id)
+        report = vault.gc(rewrite_threshold=1.0)  # rewrite every mixed container
+        # Shared chunks were copied forward, not dropped.
+        assert vault.verify()["fingerprints"] > 0
+        vault.restore(run2.run_id, tmp_path / "out2", strip_prefix=tmp_path)
+        for p in sorted(x for x in src.rglob("*") if x.is_file()):
+            assert (tmp_path / "out2" / p.relative_to(tmp_path)).read_bytes() == p.read_bytes()
+        # Index contains exactly the live set afterwards.
+        assert vault.stats()["index_entries"] == len(vault.live_fingerprints())
+
+    def test_threshold_zero_keeps_mixed_containers(self, tmp_path):
+        vault, _, run1, _ = vault_with_two_generations(tmp_path, overlap=True)
+        vault.forget(run1.run_id)
+        report = vault.gc(rewrite_threshold=0.0)
+        assert report.containers_rewritten == 0
+        # Mixed containers are kept; fully dead ones may still be removed.
+        assert report.containers_kept_with_dead + report.containers_removed > 0
+
+    def test_forget_all_runs_empties_vault(self, tmp_path):
+        vault, _, run1, run2 = vault_with_two_generations(tmp_path)
+        vault.forget(run1.run_id)
+        vault.forget(run2.run_id)
+        report = vault.gc()
+        assert vault.stats()["physical_bytes"] == 0
+        assert vault.stats()["index_entries"] == 0
+        assert report.containers_removed > 0
+
+    def test_invalid_threshold(self, tmp_path):
+        vault = DebarVault(tmp_path / "vault")
+        with pytest.raises(VaultError):
+            vault.gc(rewrite_threshold=2.0)
+
+    def test_gc_survives_reopen(self, tmp_path):
+        vault, src, run1, run2 = vault_with_two_generations(tmp_path, overlap=True)
+        vault.forget(run1.run_id)
+        vault.gc(rewrite_threshold=1.0)
+        vault.close()
+        with DebarVault(tmp_path / "vault") as reopened:
+            assert reopened.verify()["runs"] == 1
+            reopened.restore(run2.run_id, tmp_path / "out3", strip_prefix=tmp_path)
+
+
+class TestGcCli:
+    def test_cli_forget_and_gc(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        vault, _, run1, _ = vault_with_two_generations(tmp_path, overlap=False)
+        vault.close()
+        root = str(tmp_path / "vault")
+        assert cli_main(["forget", "--vault", root, "--run", str(run1.run_id)]) == 0
+        assert cli_main(["gc", "--vault", root, "--rewrite-threshold", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "reclaimed" in out
+        assert cli_main(["verify", "--vault", root]) == 0

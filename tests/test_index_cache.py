@@ -1,0 +1,148 @@
+"""Tests for the in-memory index cache used by SIL/SIU."""
+
+import pytest
+
+from repro.core.index_cache import (
+    FINGERPRINTS_PER_GB,
+    PENDING_CONTAINER,
+    CacheFullError,
+    IndexCache,
+    cache_capacity_for_memory,
+)
+from repro.core.fingerprint import fp_bucket
+from repro.util import GB
+from tests.conftest import make_fps
+
+
+class TestCapacityRule:
+    def test_1gb_is_44m_fingerprints(self):
+        # Section 5.2: "about 1GB memory cache ... about 44 million".
+        assert cache_capacity_for_memory(1 * GB) == FINGERPRINTS_PER_GB
+
+    def test_scales_linearly(self):
+        assert cache_capacity_for_memory(3 * GB) == 3 * FINGERPRINTS_PER_GB
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            cache_capacity_for_memory(0)
+
+
+class TestBasicOps:
+    def test_insert_get(self):
+        cache = IndexCache()
+        fp = make_fps(1)[0]
+        assert cache.insert(fp)
+        assert cache.get(fp) is None  # undetermined
+        cache.set_container(fp, 9)
+        assert cache.get(fp) == 9
+
+    def test_insert_duplicate_returns_false(self):
+        cache = IndexCache()
+        fp = make_fps(1)[0]
+        assert cache.insert(fp)
+        assert not cache.insert(fp)
+        assert len(cache) == 1
+
+    def test_duplicate_insert_keeps_original_value(self):
+        cache = IndexCache()
+        fp = make_fps(1)[0]
+        cache.insert(fp, 5)
+        cache.insert(fp, 99)
+        assert cache.get(fp) == 5
+
+    def test_remove(self):
+        cache = IndexCache()
+        fp = make_fps(1)[0]
+        cache.insert(fp, 3)
+        assert cache.remove(fp) == 3
+        assert fp not in cache
+        with pytest.raises(KeyError):
+            cache.remove(fp)
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            IndexCache().get(make_fps(1)[0])
+
+    def test_set_container_missing_raises(self):
+        with pytest.raises(KeyError):
+            IndexCache().set_container(make_fps(1)[0], 1)
+
+    def test_capacity_enforced(self):
+        cache = IndexCache(capacity=5)
+        for fp in make_fps(5):
+            cache.insert(fp)
+        with pytest.raises(CacheFullError):
+            cache.insert(make_fps(1, start=100)[0])
+
+    def test_clear(self):
+        cache = IndexCache()
+        for fp in make_fps(10):
+            cache.insert(fp)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_pending_sentinel_is_not_a_real_container(self):
+        assert PENDING_CONTAINER < 0
+
+
+class TestOrderedViews:
+    def test_sorted_is_numeric_order(self):
+        cache = IndexCache()
+        fps = make_fps(200)
+        for fp in fps:
+            cache.insert(fp)
+        ordered = cache.sorted_fingerprints()
+        values = [int.from_bytes(fp, "big") for fp in ordered]
+        assert values == sorted(values)
+
+    def test_by_disk_bucket_increasing_and_complete(self):
+        cache = IndexCache()
+        fps = make_fps(300)
+        for fp in fps:
+            cache.insert(fp)
+        seen = []
+        total = 0
+        last = -1
+        for bucket, group in cache.by_disk_bucket(6):
+            assert bucket > last
+            last = bucket
+            for fp in group:
+                assert fp_bucket(fp, 6) == bucket
+            total += len(group)
+            seen.extend(group)
+        assert total == 300
+        assert set(seen) == set(fps)
+
+    def test_by_disk_bucket_with_prefix(self):
+        # Fingerprints of one index part: bucket = bits after the prefix.
+        cache = IndexCache()
+        part_fps = [fp for fp in make_fps(400) if fp_bucket(fp, 2) == 1][:50]
+        for fp in part_fps:
+            cache.insert(fp)
+        for bucket, group in cache.by_disk_bucket(4, prefix_bits=2):
+            for fp in group:
+                assert fp_bucket(fp, 6) & 0b1111 == bucket
+
+    def test_disk_range_mapping(self):
+        # Figure 4: cache bucket k covers disk buckets [k*2^(n-m), ...).
+        cache = IndexCache(m_bits=4)
+        start, count = cache.disk_range_for_cache_bucket(3, n_bits=10)
+        assert start == 3 * 64
+        assert count == 64
+
+    def test_disk_range_requires_n_ge_m(self):
+        cache = IndexCache(m_bits=8)
+        with pytest.raises(ValueError):
+            cache.disk_range_for_cache_bucket(0, n_bits=4)
+
+    def test_cache_bucket(self):
+        cache = IndexCache(m_bits=4)
+        fp = make_fps(1)[0]
+        assert cache.cache_bucket(fp) == fp_bucket(fp, 4)
+
+    def test_items_iterates_nodes(self):
+        cache = IndexCache()
+        fps = make_fps(5)
+        for i, fp in enumerate(fps):
+            cache.insert(fp, i)
+        assert dict(cache.items()) == {fp: i for i, fp in enumerate(fps)}

@@ -1,0 +1,168 @@
+"""Cross-module property tests for the system-level invariants in DESIGN.md."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.disk_index import DiskIndex
+from repro.core.tpds import TwoPhaseDeduplicator
+from repro.server import BackupServerConfig
+from repro.storage import ChunkRepository
+from repro.system import DebarCluster, DebarSystem
+from tests.conftest import make_fps
+
+SETTINGS = settings(
+    max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def stream_for(indices, size=8192):
+    universe = make_fps(64)
+    return [(universe[i], size) for i in indices]
+
+
+class TestNoDoubleStore:
+    """No fingerprint is ever stored in two containers — the core dedup
+    correctness invariant, including across asynchronous SIU windows."""
+
+    @SETTINGS
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=40),
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_single_server(self, sessions, siu_every):
+        index = DiskIndex(8, bucket_bytes=512)
+        repo = ChunkRepository()
+        tpds = TwoPhaseDeduplicator(
+            index, repo, filter_capacity=16, cache_capacity=1 << 16,
+            container_bytes=64 * 1024, siu_every=siu_every,
+        )
+        for session in sessions:
+            tpds.dedup1_backup(stream_for(session))
+            tpds.dedup2()
+        tpds.dedup2(force_siu=True)
+        # Every fingerprint appears in exactly one container.
+        seen = {}
+        for container in repo.iter_containers():
+            for fp in container.fingerprints:
+                assert fp not in seen, "fingerprint stored twice"
+                seen[fp] = container.container_id
+        # And the index agrees with the repository.
+        assert dict(tpds.index.iter_entries()) == seen
+
+    @SETTINGS
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=30),
+            min_size=2,
+            max_size=4,
+        )
+    )
+    def test_cluster(self, job_streams):
+        cfg = BackupServerConfig(
+            index_n_bits=8, index_bucket_bytes=512, container_bytes=64 * 1024,
+            filter_capacity=16, cache_capacity=1 << 16, siu_every=1,
+        )
+        cluster = DebarCluster(w_bits=1, config=cfg)
+        jobs = [
+            cluster.director.define_job(f"j{i}", f"c{i}", [])
+            for i in range(len(job_streams))
+        ]
+        cluster.backup_streams(
+            [(jobs[i], stream_for(job_streams[i])) for i in range(len(jobs))]
+        )
+        cluster.run_dedup2(force_psiu=True)
+        seen = set()
+        for container in cluster.repository.iter_containers():
+            for fp in container.fingerprints:
+                assert fp not in seen
+                seen.add(fp)
+        # Every distinct submitted fingerprint is stored exactly once.
+        expected = {make_fps(64)[i] for s in job_streams for i in s}
+        assert seen == expected
+
+
+class TestRestoreEqualsBackup:
+    @SETTINGS
+    @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=50))
+    def test_stream_mode_roundtrip(self, indices):
+        cfg = BackupServerConfig(
+            index_n_bits=8, index_bucket_bytes=512, container_bytes=64 * 1024,
+            filter_capacity=4096, cache_capacity=1 << 16,
+        )
+        system = DebarSystem(config=cfg)
+        job = system.define_job("j", client="c")
+        chunks = stream_for(indices)
+        run, _ = system.backup_stream(job, chunks, auto_dedup2=False)
+        system.run_dedup2()
+        payloads = system.restore_fingerprints(run)
+        assert len(payloads) == len(indices)
+        assert all(len(p) == 8192 for p in payloads)
+        # Identical logical chunks restore to identical payloads.
+        by_fp = {}
+        for (fp, _), payload in zip(chunks, payloads):
+            assert by_fp.setdefault(fp, payload) == payload
+
+
+class TestIndexRecovery:
+    def test_rebuild_from_repository_equals_live_index(self):
+        """DESIGN invariant: scanning container metadata reconstructs the
+        exact index mapping (Section 4.1 recovery)."""
+        index = DiskIndex(8, bucket_bytes=512)
+        repo = ChunkRepository()
+        tpds = TwoPhaseDeduplicator(
+            index, repo, filter_capacity=64, cache_capacity=1 << 16,
+            container_bytes=64 * 1024,
+        )
+        for start in (0, 30, 60):
+            tpds.dedup1_backup([(fp, 8192) for fp in make_fps(50, start=start)])
+            tpds.dedup2()
+        rebuilt = DiskIndex.rebuild_from_entries(
+            repo.iter_index_entries(), tpds.index.n_bits, bucket_bytes=512
+        )
+        assert dict(rebuilt.iter_entries()) == dict(tpds.index.iter_entries())
+
+
+class TestAccountingConsistency:
+    @SETTINGS
+    @given(
+        st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=60),
+        st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=60),
+    )
+    def test_byte_conservation(self, first, second):
+        """logical = transferred + filtered; stored <= transferred."""
+        cfg = BackupServerConfig(
+            index_n_bits=8, index_bucket_bytes=512, container_bytes=64 * 1024,
+            filter_capacity=4096, cache_capacity=1 << 16,
+        )
+        system = DebarSystem(config=cfg)
+        job = system.define_job("j", client="c")
+        for indices in (first, second):
+            _, d1 = system.backup_stream(job, stream_for(indices), auto_dedup2=False)
+            assert d1.logical_bytes == d1.transferred_bytes + d1.filtered_bytes
+            assert d1.logical_chunks == d1.transferred_chunks + d1.filtered_chunks
+            d2 = system.run_dedup2()
+            assert d2.new_bytes_stored <= d1.transferred_bytes
+        distinct = len({make_fps(64)[i] for i in first + second})
+        assert system.physical_bytes_stored == distinct * 8192
+
+    def test_simulated_time_monotone_through_workflow(self):
+        cfg = BackupServerConfig(
+            index_n_bits=8, index_bucket_bytes=512, container_bytes=64 * 1024,
+            filter_capacity=64, cache_capacity=1 << 16,
+        )
+        system = DebarSystem(config=cfg)
+        job = system.define_job("j", client="c")
+        times = [system.elapsed]
+        for start in (0, 40):
+            system.backup_stream(
+                job, [(fp, 8192) for fp in make_fps(40, start=start)], auto_dedup2=False
+            )
+            times.append(system.elapsed)
+            system.run_dedup2()
+            times.append(system.elapsed)
+        assert times == sorted(times)
+        assert times[-1] > times[0]

@@ -1,0 +1,91 @@
+"""Tests for job objects, schedules and job chains."""
+
+import pytest
+
+from repro.director.jobs import JobChain, JobObject, JobRun, Schedule
+
+
+class TestSchedule:
+    def test_parse_daily(self):
+        s = Schedule.parse("daily at 1.05am")
+        assert (s.period, s.hour, s.minute) == ("daily", 1, 5)
+
+    def test_parse_pm(self):
+        s = Schedule.parse("daily at 11:30pm")
+        assert (s.hour, s.minute) == (23, 30)
+
+    def test_parse_noon_and_midnight(self):
+        assert Schedule.parse("daily at 12.00pm").hour == 12
+        assert Schedule.parse("daily at 12.00am").hour == 0
+
+    def test_parse_weekly_hourly(self):
+        assert Schedule.parse("weekly at 2.00am").period_seconds == 7 * 86400
+        assert Schedule.parse("hourly at 0.15").period_seconds == 3600
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            Schedule.parse("whenever")
+        with pytest.raises(ValueError):
+            Schedule.parse("daily at 25.00")
+
+    def test_next_run_time_daily(self):
+        s = Schedule("daily", 1, 5)
+        offset = 1 * 3600 + 5 * 60
+        assert s.next_run_time(0.0) == offset
+        assert s.next_run_time(offset) == 86400 + offset
+        assert s.next_run_time(offset - 1) == offset
+
+    def test_next_run_strictly_after(self):
+        s = Schedule("hourly", 0, 30)
+        t = s.next_run_time(1800.0)
+        assert t == 3600 + 1800
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Schedule("monthly", 1, 0)
+        with pytest.raises(ValueError):
+            Schedule("daily", 24, 0)
+
+
+class TestJobObject:
+    def test_unique_ids(self):
+        a = JobObject("a", "c1", ["/x"])
+        b = JobObject("b", "c1", ["/y"])
+        assert a.job_id != b.job_id
+
+    def test_requires_name_and_client(self):
+        with pytest.raises(ValueError):
+            JobObject("", "c1", [])
+        with pytest.raises(ValueError):
+            JobObject("a", "", [])
+
+    def test_default_schedule_is_papers_example(self):
+        job = JobObject("a", "c1", [])
+        assert (job.schedule.hour, job.schedule.minute) == (1, 5)
+
+
+class TestJobChain:
+    def test_chronological_chain(self):
+        job = JobObject("j", "c", [])
+        chain = JobChain(job)
+        assert chain.latest() is None
+        r1 = JobRun(job, timestamp=1.0)
+        r2 = JobRun(job, timestamp=2.0)
+        chain.record(r1)
+        chain.record(r2)
+        assert chain.latest() is r2
+        assert len(chain) == 2
+        assert chain.runs == (r1, r2)
+
+    def test_rejects_out_of_order(self):
+        job = JobObject("j", "c", [])
+        chain = JobChain(job)
+        chain.record(JobRun(job, timestamp=5.0))
+        with pytest.raises(ValueError):
+            chain.record(JobRun(job, timestamp=4.0))
+
+    def test_rejects_foreign_run(self):
+        chain = JobChain(JobObject("j", "c", []))
+        other = JobObject("k", "c", [])
+        with pytest.raises(ValueError):
+            chain.record(JobRun(other, timestamp=1.0))

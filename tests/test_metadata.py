@@ -1,0 +1,94 @@
+"""Tests for the metadata manager and the director's metadata store."""
+
+import pytest
+
+from repro.director.metadata import (
+    FileIndexEntry,
+    FileMetadata,
+    MetadataManager,
+    MetadataStore,
+)
+from repro.util import MB
+from tests.conftest import make_fps
+
+
+def entries_for(n_files=3, fps_per_file=4):
+    out = []
+    for i in range(n_files):
+        fps = make_fps(fps_per_file, start=i * 100)
+        out.append(FileIndexEntry(FileMetadata(f"/data/f{i}", fps_per_file * 8192), fps))
+    return out
+
+
+class TestMetadataManager:
+    def test_record_and_fetch(self):
+        mm = MetadataManager()
+        entries = entries_for()
+        mm.record_run_files(1, entries)
+        assert 1 in mm
+        assert mm.files_for_run(1) == entries
+
+    def test_duplicate_run_rejected(self):
+        mm = MetadataManager()
+        mm.record_run_files(1, entries_for())
+        with pytest.raises(ValueError):
+            mm.record_run_files(1, entries_for())
+
+    def test_missing_run(self):
+        mm = MetadataManager()
+        with pytest.raises(KeyError):
+            mm.files_for_run(99)
+        with pytest.raises(KeyError):
+            mm.fingerprints_for_run(99)
+
+    def test_fingerprints_flattened_in_order(self):
+        mm = MetadataManager()
+        entries = entries_for(2, 3)
+        mm.record_run_files(5, entries)
+        expected = entries[0].fingerprints + entries[1].fingerprints
+        assert mm.fingerprints_for_run(5) == expected
+
+    def test_file_index_lookup_by_path(self):
+        mm = MetadataManager()
+        entries = entries_for()
+        mm.record_run_files(2, entries)
+        assert mm.file_index(2, "/data/f1") is entries[1]
+        with pytest.raises(KeyError):
+            mm.file_index(2, "/nope")
+
+    def test_index_bytes(self):
+        entry = entries_for(1, 5)[0]
+        assert entry.index_bytes == 5 * 20
+
+
+class TestMetadataStore:
+    def test_counts_and_time(self):
+        store = MetadataStore()
+        store.write(10 * MB)
+        store.read(5 * MB)
+        assert store.bytes_written == 10 * MB
+        assert store.bytes_read == 5 * MB
+        assert store.clock.now > 0
+
+    def test_aggregate_throughput_near_100mbps(self):
+        # The Section 6.3 subsystem: >100 MB/s aggregate.
+        store = MetadataStore()
+        for _ in range(50):
+            store.write(4 * MB)
+        assert store.aggregate_throughput == pytest.approx(100 * MB, rel=0.05)
+
+    def test_negative_rejected(self):
+        store = MetadataStore()
+        with pytest.raises(ValueError):
+            store.write(-1)
+        with pytest.raises(ValueError):
+            store.read(-1)
+
+    def test_manager_charges_store(self):
+        store = MetadataStore()
+        mm = MetadataManager(store=store)
+        mm.record_run_files(1, entries_for())
+        t_write = store.clock.now
+        assert t_write > 0
+        mm.files_for_run(1)
+        assert store.clock.now > t_write

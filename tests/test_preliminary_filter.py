@@ -1,0 +1,136 @@
+"""Tests for the dedup-1 preliminary filter (Section 5.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.preliminary_filter import FilterDecision, PreliminaryFilter
+from tests.conftest import make_fps
+
+
+class TestSemantics:
+    def test_first_sight_is_new(self):
+        f = PreliminaryFilter(100)
+        assert f.check(make_fps(1)[0]) is FilterDecision.NEW
+
+    def test_repeat_is_duplicate(self):
+        f = PreliminaryFilter(100)
+        fp = make_fps(1)[0]
+        f.check(fp)
+        assert f.check(fp) is FilterDecision.DUPLICATE
+
+    def test_preloaded_filtering_fps_are_duplicates(self):
+        # The previous run of the job chain filters the current run.
+        f = PreliminaryFilter(100)
+        previous = make_fps(20)
+        assert f.preload(previous) == 20
+        for fp in previous:
+            assert f.check(fp) is FilterDecision.DUPLICATE
+
+    def test_preload_idempotent(self):
+        f = PreliminaryFilter(100)
+        fps = make_fps(10)
+        f.preload(fps)
+        assert f.preload(fps) == 0
+        assert len(f) == 10
+
+    def test_internal_duplication_within_job(self):
+        f = PreliminaryFilter(100)
+        fps = make_fps(10)
+        stream = fps + fps + fps
+        decisions = [f.check(fp) for fp in stream]
+        assert decisions.count(FilterDecision.NEW) == 10
+        assert decisions.count(FilterDecision.DUPLICATE) == 20
+
+    def test_new_fingerprints_collected(self):
+        f = PreliminaryFilter(100)
+        old = make_fps(5)
+        new = make_fps(5, start=50)
+        f.preload(old)
+        for fp in new:
+            f.check(fp)
+        assert set(f.new_fingerprints()) == set(new)
+
+    def test_stats(self):
+        f = PreliminaryFilter(100)
+        fps = make_fps(4)
+        for fp in fps + fps:
+            f.check(fp)
+        assert f.hits == 4
+        assert f.misses == 4
+        assert f.duplicate_rate == 0.5
+        f.reset_stats()
+        assert f.hits == 0 and f.duplicate_rate == 0.0
+
+
+class TestReplacement:
+    def test_capacity_bounded(self):
+        f = PreliminaryFilter(10)
+        for fp in make_fps(50):
+            f.check(fp)
+        assert len(f) <= 10
+        assert f.evictions == 40
+
+    def test_fifo_evicts_oldest(self):
+        f = PreliminaryFilter(3)
+        fps = make_fps(4)
+        for fp in fps[:3]:
+            f.check(fp)
+        f.check(fps[3])  # evicts fps[0]
+        assert fps[0] not in f
+        assert fps[3] in f
+
+    def test_lru_refresh_saves_recently_hit(self):
+        f = PreliminaryFilter(3)
+        fps = make_fps(4)
+        for fp in fps[:3]:
+            f.check(fp)
+        f.check(fps[0])  # refresh: moves fps[0] to the back
+        f.check(fps[3])  # evicts fps[1] instead
+        assert fps[0] in f
+        assert fps[1] not in f
+
+    def test_replaced_new_counted(self):
+        f = PreliminaryFilter(5)
+        for fp in make_fps(8):
+            f.check(fp)
+        assert f.replaced_new == 3
+
+    def test_eviction_of_new_is_safe_but_re_admits(self):
+        # After a new fingerprint is evicted, its duplicate is re-admitted
+        # as new (re-logged); dedup-2 discards the extra copy later.
+        f = PreliminaryFilter(2)
+        fps = make_fps(3)
+        f.check(fps[0])
+        f.check(fps[1])
+        f.check(fps[2])  # evicts fps[0]
+        assert f.check(fps[0]) is FilterDecision.NEW
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PreliminaryFilter(0)
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=120))
+    def test_no_duplicate_misses_within_capacity(self, picks):
+        """With no eviction pressure, a fingerprint is NEW at most once."""
+        universe = make_fps(41)
+        f = PreliminaryFilter(capacity=1000)
+        new_seen = set()
+        for i in picks:
+            fp = universe[i]
+            decision = f.check(fp)
+            if decision is FilterDecision.NEW:
+                assert fp not in new_seen
+                new_seen.add(fp)
+            else:
+                assert fp in new_seen
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=60))
+    def test_size_never_exceeds_capacity(self, capacity, n):
+        f = PreliminaryFilter(capacity)
+        for fp in make_fps(n):
+            f.check(fp)
+        assert len(f) <= capacity

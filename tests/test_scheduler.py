@@ -1,0 +1,62 @@
+"""Tests for job scheduling / load balancing and the dedup-2 policy."""
+
+import pytest
+
+from repro.director.jobs import JobObject
+from repro.director.scheduler import Dedup2Policy, JobScheduler
+
+
+class TestJobScheduler:
+    def test_round_robin_for_fresh_cluster(self):
+        sched = JobScheduler(4)
+        jobs = [JobObject(f"j{i}", "c", []) for i in range(4)]
+        assert sorted(sched.assign(j) for j in jobs) == [0, 1, 2, 3]
+
+    def test_sticky_assignment(self):
+        sched = JobScheduler(4)
+        job = JobObject("j", "c", [])
+        first = sched.assign(job, expected_bytes=100)
+        assert sched.assign(job, expected_bytes=100) == first
+        assert sched.server_for(job) == first
+
+    def test_least_loaded_wins(self):
+        sched = JobScheduler(2)
+        heavy = JobObject("heavy", "c", [])
+        sched.assign(heavy, expected_bytes=10_000)
+        light = JobObject("light", "c", [])
+        assert sched.assign(light, expected_bytes=10) == 1
+
+    def test_loads_and_imbalance(self):
+        sched = JobScheduler(2)
+        a, b = JobObject("a", "c", []), JobObject("b", "c", [])
+        sched.assign(a, expected_bytes=100)
+        sched.assign(b, expected_bytes=100)
+        assert sched.loads() == [100, 100]
+        assert sched.imbalance == pytest.approx(1.0)
+
+    def test_imbalance_of_empty(self):
+        assert JobScheduler(3).imbalance == 1.0
+
+    def test_unassigned_lookup_raises(self):
+        with pytest.raises(KeyError):
+            JobScheduler(2).server_for(JobObject("x", "c", []))
+
+    def test_invalid_server_count(self):
+        with pytest.raises(ValueError):
+            JobScheduler(0)
+
+
+class TestDedup2Policy:
+    def test_triggers_on_undetermined_backlog(self):
+        policy = Dedup2Policy(undetermined_threshold=100)
+        assert not policy.should_run([50, 99], [0, 0])
+        assert policy.should_run([50, 100], [0, 0])
+
+    def test_triggers_on_log_size(self):
+        policy = Dedup2Policy(undetermined_threshold=10**9, log_bytes_threshold=1 << 20)
+        assert not policy.should_run([0], [1 << 19])
+        assert policy.should_run([0], [1 << 20])
+
+    def test_any_server_triggers_the_cluster(self):
+        policy = Dedup2Policy(undetermined_threshold=10)
+        assert policy.should_run([0, 0, 0, 10], [0, 0, 0, 0])

@@ -1,0 +1,140 @@
+"""Tests for sequential index lookup (SIL, Section 5.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.disk_index import DiskIndex
+from repro.core.index_cache import CacheFullError
+from repro.core.sil import SequentialIndexLookup
+from repro.simdisk import Meter, SimClock, paper_cpu, paper_index_disk
+from repro.util import bit_prefix
+from tests.conftest import make_fps
+
+
+def _populated_index(n_entries=100, n_bits=6):
+    index = DiskIndex(n_bits, bucket_bytes=512)
+    fps = make_fps(n_entries)
+    for i, fp in enumerate(fps):
+        index.insert(fp, i)
+    return index, fps
+
+
+class TestClassification:
+    def test_all_new_on_empty_index(self):
+        index = DiskIndex(6, bucket_bytes=512)
+        fps = make_fps(50)
+        result = SequentialIndexLookup(index).run(fps)
+        assert result.new_fingerprints == 50
+        assert result.duplicate_fingerprints == 0
+        assert set(fp for fp, _ in result.new_cache.items()) == set(fps)
+
+    def test_all_duplicates_when_present(self):
+        index, fps = _populated_index(80)
+        result = SequentialIndexLookup(index).run(fps)
+        assert result.duplicate_fingerprints == 80
+        assert result.new_fingerprints == 0
+        assert result.duplicates == {fp: i for i, fp in enumerate(fps)}
+
+    def test_mixed_classified_exactly(self):
+        index, present = _populated_index(60)
+        absent = make_fps(40, start=500)
+        result = SequentialIndexLookup(index).run(present[:30] + absent)
+        assert set(result.duplicates) == set(present[:30])
+        assert set(fp for fp, _ in result.new_cache.items()) == set(absent)
+
+    def test_batch_internal_duplicates_collapse(self):
+        index = DiskIndex(6, bucket_bytes=512)
+        fps = make_fps(20)
+        result = SequentialIndexLookup(index).run(fps + fps + fps)
+        assert result.fingerprints_processed == 60
+        assert result.fingerprints_distinct == 20
+        assert result.new_fingerprints == 20
+
+    def test_new_cache_nodes_are_undetermined(self):
+        index = DiskIndex(6, bucket_bytes=512)
+        result = SequentialIndexLookup(index).run(make_fps(10))
+        assert all(cid is None for _, cid in result.new_cache.items())
+
+    def test_finds_overflowed_entries(self):
+        index = DiskIndex(4, bucket_bytes=512)
+        cap = index.bucket_capacity
+        target = []
+        offset = 0
+        while len(target) < cap + 3:
+            target.extend(
+                fp for fp in make_fps(200, start=offset) if index.bucket_number(fp) == 7
+            )
+            offset += 200
+        target = target[: cap + 3]
+        for i, fp in enumerate(target):
+            index.insert(fp, i)
+        result = SequentialIndexLookup(index).run(target)
+        assert result.duplicate_fingerprints == cap + 3
+
+    def test_wrong_part_rejected(self):
+        index = DiskIndex(6, bucket_bytes=512)
+        parts = index.split(2)
+        foreign = next(fp for fp in make_fps(50) if bit_prefix(fp, 2) != 0)
+        with pytest.raises(ValueError):
+            SequentialIndexLookup(parts[0]).run([foreign])
+
+    def test_works_on_index_part(self):
+        index, fps = _populated_index(120)
+        parts = index.split(2)
+        part_fps = [fp for fp in fps if bit_prefix(fp, 2) == 1]
+        result = SequentialIndexLookup(parts[1]).run(part_fps)
+        assert result.duplicate_fingerprints == len(part_fps)
+
+    def test_cache_capacity_enforced(self):
+        index = DiskIndex(6, bucket_bytes=512)
+        sil = SequentialIndexLookup(index, cache_capacity=10)
+        with pytest.raises(CacheFullError):
+            sil.run(make_fps(11))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=60), st.integers(min_value=0, max_value=60))
+    def test_property_duplicate_iff_in_index(self, n_present, n_absent):
+        index = DiskIndex(6, bucket_bytes=512)
+        present = make_fps(n_present)
+        absent = make_fps(n_absent, start=10_000)
+        for i, fp in enumerate(present):
+            index.insert(fp, i)
+        result = SequentialIndexLookup(index).run(present + absent)
+        assert set(result.duplicates) == set(present)
+        assert set(fp for fp, _ in result.new_cache.items()) == set(absent)
+
+
+class TestCostAccounting:
+    def test_charges_full_sequential_scan(self):
+        index, fps = _populated_index(50)
+        clock = SimClock()
+        meter = Meter(clock)
+        disk = paper_index_disk()
+        result = SequentialIndexLookup(index).run(fps, meter=meter, disk=disk, cpu=paper_cpu())
+        assert result.index_bytes_read == index.size_bytes
+        assert meter.by_category["sil.scan"] == pytest.approx(
+            disk.seq_read_time(index.size_bytes)
+        )
+        assert meter.by_category["sil.cpu"] > 0
+        assert clock.now == meter.total()
+
+    def test_scan_time_independent_of_batch_size(self):
+        # The SIL law: t = s / r regardless of how many fingerprints ride.
+        disk = paper_index_disk()
+        times = []
+        for n in (10, 100):
+            index = DiskIndex(6, bucket_bytes=512)
+            meter = Meter(SimClock())
+            SequentialIndexLookup(index).run(make_fps(n), meter=meter, disk=disk)
+            times.append(meter.by_category["sil.scan"])
+        assert times[0] == times[1]
+
+    def test_no_meter_no_charges(self):
+        index, fps = _populated_index(20)
+        result = SequentialIndexLookup(index).run(fps)
+        assert result.duplicate_fingerprints == 20  # logic independent of metering
+
+    def test_buckets_probed_bounded(self):
+        index, fps = _populated_index(100)
+        result = SequentialIndexLookup(index).run(fps)
+        assert 0 < result.buckets_probed <= index.n_buckets + 2

@@ -1,0 +1,135 @@
+"""Tests for sequential index update (SIU, Section 5.4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.disk_index import DiskIndex, IndexFullError
+from repro.core.siu import SequentialIndexUpdate
+from repro.simdisk import Meter, SimClock, paper_cpu, paper_index_disk
+from repro.util import bit_prefix
+from tests.conftest import make_fps
+
+
+class TestRegistration:
+    def test_registers_all_entries(self):
+        index = DiskIndex(6, bucket_bytes=512)
+        entries = {fp: i for i, fp in enumerate(make_fps(100))}
+        result = SequentialIndexUpdate(index).run(entries)
+        assert result.fingerprints_registered == 100
+        assert len(index) == 100
+        for fp, cid in entries.items():
+            assert index.lookup(fp) == cid
+
+    def test_empty_batch(self):
+        index = DiskIndex(6, bucket_bytes=512)
+        result = SequentialIndexUpdate(index).run({})
+        assert result.fingerprints_registered == 0
+        assert len(index) == 0
+
+    def test_merges_with_existing_entries(self):
+        index = DiskIndex(6, bucket_bytes=512)
+        first = {fp: i for i, fp in enumerate(make_fps(40))}
+        second = {fp: 100 + i for i, fp in enumerate(make_fps(40, start=400))}
+        SequentialIndexUpdate(index).run(first)
+        SequentialIndexUpdate(index).run(second)
+        assert len(index) == 80
+        for fp, cid in {**first, **second}.items():
+            assert index.lookup(fp) == cid
+
+    def test_rejects_null_container(self):
+        index = DiskIndex(6, bucket_bytes=512)
+        fp = make_fps(1)[0]
+        with pytest.raises(ValueError):
+            SequentialIndexUpdate(index).run({fp: None})
+        with pytest.raises(ValueError):
+            SequentialIndexUpdate(index).run({fp: -2})
+
+    def test_rejects_foreign_part(self):
+        parts = DiskIndex(6, bucket_bytes=512).split(2)
+        foreign = next(fp for fp in make_fps(50) if bit_prefix(fp, 2) != 0)
+        with pytest.raises(ValueError):
+            SequentialIndexUpdate(parts[0]).run({foreign: 1})
+
+    def test_works_on_index_part(self):
+        parts = DiskIndex(6, bucket_bytes=512).split(2)
+        own = [fp for fp in make_fps(300) if bit_prefix(fp, 2) == 2][:30]
+        entries = {fp: i for i, fp in enumerate(own)}
+        SequentialIndexUpdate(parts[2]).run(entries)
+        for fp, cid in entries.items():
+            assert parts[2].lookup(fp) == cid
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=120))
+    def test_property_register_then_sil_finds_all(self, n):
+        from repro.core.sil import SequentialIndexLookup
+
+        index = DiskIndex(6, bucket_bytes=512)
+        entries = {fp: i for i, fp in enumerate(make_fps(n))}
+        SequentialIndexUpdate(index).run(entries)
+        result = SequentialIndexLookup(index).run(list(entries))
+        assert result.duplicates == entries
+
+
+class TestOverflowPaths:
+    def _fps_for_bucket(self, index, bucket, count, start=0):
+        out, offset = [], start
+        while len(out) < count:
+            out.extend(
+                fp for fp in make_fps(300, start=offset) if index.bucket_number(fp) == bucket
+            )
+            offset += 300
+        return out[:count]
+
+    def test_overflow_spills_to_neighbour(self):
+        index = DiskIndex(4, bucket_bytes=512)
+        cap = index.bucket_capacity
+        fps = self._fps_for_bucket(index, 8, cap + 4)
+        result = SequentialIndexUpdate(index).run({fp: i for i, fp in enumerate(fps)})
+        assert result.overflowed == 4
+        for i, fp in enumerate(fps):
+            assert index.lookup(fp) == i
+
+    def test_index_full_error_propagates(self):
+        index = DiskIndex(4, bucket_bytes=512)
+        cap = index.bucket_capacity
+        batch = {}
+        for bucket in (7, 8, 9):
+            for i, fp in enumerate(self._fps_for_bucket(index, bucket, cap, start=bucket * 7000)):
+                batch[fp] = i
+        extra = self._fps_for_bucket(index, 8, 2, start=80_000)
+        batch.update({fp: 0 for fp in extra})
+        with pytest.raises(IndexFullError):
+            SequentialIndexUpdate(index).run(batch)
+
+
+class TestCostAccounting:
+    def test_charges_read_plus_write_scan(self):
+        index = DiskIndex(6, bucket_bytes=512)
+        entries = {fp: i for i, fp in enumerate(make_fps(30))}
+        meter = Meter(SimClock())
+        disk = paper_index_disk()
+        result = SequentialIndexUpdate(index).run(
+            entries, meter=meter, disk=disk, cpu=paper_cpu()
+        )
+        assert result.index_bytes_read == index.size_bytes
+        assert result.index_bytes_written == index.size_bytes
+        assert meter.by_category["siu.read"] == pytest.approx(
+            disk.seq_read_time(index.size_bytes)
+        )
+        assert meter.by_category["siu.write"] == pytest.approx(
+            disk.seq_write_time(index.size_bytes)
+        )
+
+    def test_siu_slower_than_sil_on_same_index(self):
+        # SIU = read + write-back, so it must cost more than SIL's read.
+        from repro.core.sil import SequentialIndexLookup
+
+        index = DiskIndex(8, bucket_bytes=512)
+        disk = paper_index_disk()
+        sil_meter = Meter(SimClock())
+        SequentialIndexLookup(index).run(make_fps(10), meter=sil_meter, disk=disk)
+        siu_meter = Meter(SimClock())
+        SequentialIndexUpdate(index).run(
+            {fp: 0 for fp in make_fps(10, start=100)}, meter=siu_meter, disk=disk
+        )
+        assert siu_meter.total("siu") > sil_meter.total("sil.scan")

@@ -1,0 +1,88 @@
+"""Tests for the page-sparse block store and the append cost model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simdisk import DiskModel
+from repro.storage import MemoryBlockStore, SparseMemoryBlockStore
+from repro.util import MB
+
+
+class TestSparseMemoryBlockStore:
+    def test_zero_initialised(self):
+        store = SparseMemoryBlockStore(1 << 20)
+        assert store.read(12345, 100) == b"\x00" * 100
+        assert store.resident_bytes == 0
+
+    def test_write_read_roundtrip(self):
+        store = SparseMemoryBlockStore(1 << 20)
+        store.write(5000, b"hello sparse world")
+        assert store.read(5000, 18) == b"hello sparse world"
+
+    def test_write_spanning_pages(self):
+        store = SparseMemoryBlockStore(1 << 20)
+        payload = bytes(range(256)) * 40  # 10240 bytes, > 2 pages
+        store.write(4000, payload)  # crosses page boundaries
+        assert store.read(4000, len(payload)) == payload
+        # Neighbouring bytes stay zero.
+        assert store.read(3999, 1) == b"\x00"
+        assert store.read(4000 + len(payload), 1) == b"\x00"
+
+    def test_resident_tracks_touched_pages(self):
+        store = SparseMemoryBlockStore(1 << 30)  # 1 GB addressable
+        store.write(0, b"x")
+        store.write(1 << 29, b"y")
+        assert store.resident_bytes == 2 * SparseMemoryBlockStore.PAGE
+
+    def test_bounds_checked(self):
+        store = SparseMemoryBlockStore(1024)
+        with pytest.raises(ValueError):
+            store.read(1000, 100)
+        with pytest.raises(ValueError):
+            store.write(1020, b"too long")
+        with pytest.raises(ValueError):
+            SparseMemoryBlockStore(0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=60_000), st.binary(min_size=1, max_size=5000)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_property_equivalent_to_dense(self, writes):
+        """The sparse store is observably identical to a dense one."""
+        size = 1 << 16
+        sparse = SparseMemoryBlockStore(size)
+        dense = MemoryBlockStore(size)
+        for offset, data in writes:
+            data = data[: size - offset]
+            if not data:
+                continue
+            sparse.write(offset, data)
+            dense.write(offset, data)
+        assert sparse.read(0, size) == dense.read(0, size)
+
+
+class TestAppendCostModel:
+    def test_append_write_has_no_positioning(self):
+        disk = DiskModel(seq_write_rate=100 * MB, random_io_time=0.015)
+        assert disk.append_write_time(100 * MB) == pytest.approx(1.0)
+        assert disk.seq_write_time(100 * MB) == pytest.approx(1.015)
+
+    def test_append_read_has_no_positioning(self):
+        disk = DiskModel(seq_read_rate=100 * MB, random_io_time=0.015)
+        assert disk.append_read_time(100 * MB) == pytest.approx(1.0)
+
+    def test_zero_bytes_free(self):
+        disk = DiskModel()
+        assert disk.append_write_time(0) == 0.0
+        assert disk.append_read_time(0) == 0.0
+
+    def test_negative_rejected(self):
+        disk = DiskModel()
+        with pytest.raises(ValueError):
+            disk.append_write_time(-1)
+        with pytest.raises(ValueError):
+            disk.append_read_time(-1)

@@ -1,0 +1,116 @@
+"""Model-based stateful testing of the single-server system.
+
+A hypothesis state machine drives random interleavings of backup sessions,
+dedup-2 runs (with and without SIU), and restores against a trivially
+correct reference model (a dict of fingerprint -> payload size).  The
+invariants checked at every step are DESIGN.md §6's:
+
+* restore-equals-backup for every recorded run, at any time;
+* the repository stores each distinct fingerprint exactly once;
+* physical bytes equal the reference model's distinct-chunk bytes after a
+  full flush;
+* simulated time is monotone.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core.disk_index import DiskIndex
+from repro.core.tpds import TwoPhaseDeduplicator
+from repro.server.chunk_store import ChunkStore
+from repro.storage import ChunkRepository
+from tests.conftest import make_fps
+
+UNIVERSE = make_fps(48)
+CHUNK = 8192
+
+
+class DebarMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.tpds = TwoPhaseDeduplicator(
+            DiskIndex(7, bucket_bytes=512),
+            ChunkRepository(),
+            filter_capacity=24,  # small: forces evictions and re-logging
+            cache_capacity=1 << 14,
+            container_bytes=64 * 1024,
+            siu_every=2,
+        )
+        self.store = ChunkStore(self.tpds, lpc_containers=4)
+        self.reference = set()  # fingerprints ever backed up
+        self.runs = []  # list of fingerprint sequences (file indices)
+        self.flushed = False
+        self.last_clock = 0.0
+
+    # -- actions -----------------------------------------------------------
+    @rule(picks=st.lists(st.integers(min_value=0, max_value=47), min_size=1, max_size=30))
+    def backup(self, picks):
+        stream = [(UNIVERSE[i], CHUNK) for i in picks]
+        _, file_index = self.tpds.dedup1_backup(stream)
+        self.runs.append(file_index)
+        self.reference.update(fp for fp, _ in stream)
+        self.flushed = False
+
+    @rule(force=st.sampled_from([None, True, False]))
+    def dedup2(self, force):
+        self.tpds.dedup2(force_siu=force)
+        self.flushed = (
+            self.tpds.undetermined_count == 0
+            and not self.tpds.chunk_log
+            and self.tpds.unregistered_count == 0
+        )
+
+    @rule()
+    def flush_everything(self):
+        self.tpds.dedup2(force_siu=True)
+        self.flushed = True
+
+    @rule(run_pick=st.integers(min_value=0, max_value=10_000))
+    def restore_a_run(self, run_pick):
+        if not self.runs:
+            return
+        # A run is restorable once its chunks went through dedup-2.
+        self.tpds.dedup2(force_siu=False)
+        file_index = self.runs[run_pick % len(self.runs)]
+        for fp in file_index:
+            payload = self.store.read_chunk(fp)
+            assert len(payload) == CHUNK
+
+    # -- invariants -------------------------------------------------------
+    @invariant()
+    def no_fingerprint_stored_twice(self):
+        seen = set()
+        for container in self.tpds.repository.iter_containers():
+            for fp in container.fingerprints:
+                assert fp not in seen, "duplicate store"
+                seen.add(fp)
+
+    @invariant()
+    def stored_is_subset_of_reference(self):
+        stored = {
+            fp
+            for container in self.tpds.repository.iter_containers()
+            for fp in container.fingerprints
+        }
+        assert stored <= self.reference
+
+    @invariant()
+    def flushed_state_matches_reference_exactly(self):
+        if self.flushed:
+            assert self.tpds.repository.stored_chunk_bytes == len(self.reference) * CHUNK
+            assert len(self.tpds.index) == len(self.reference)
+            assert self.tpds.unregistered_count == 0
+
+    @invariant()
+    def clock_monotone(self):
+        now = self.tpds.clock.now
+        assert now >= self.last_clock
+        self.last_clock = now
+
+
+TestDebarMachine = DebarMachine.TestCase
+TestDebarMachine.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,75 @@
+"""Tests for constant-memory streaming chunking."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chunking import ContentDefinedChunker
+
+
+def small_chunker():
+    return ContentDefinedChunker(avg_bits=8, min_size=64, max_size=1024)
+
+
+def random_data(n, seed=0):
+    return np.random.default_rng(seed).integers(0, 256, n, dtype=np.uint8).tobytes()
+
+
+class TestStreamingEquivalence:
+    def _compare(self, data, read_size=None):
+        c = small_chunker()
+        whole = list(c.chunks(data))
+        kwargs = {"read_size": read_size} if read_size else {}
+        streamed = list(c.chunks_from_stream(io.BytesIO(data), **kwargs))
+        assert [ch.fingerprint for ch in streamed] == [ch.fingerprint for ch in whole]
+        assert [ch.offset for ch in streamed] == [ch.offset for ch in whole]
+        assert b"".join(ch.data for ch in streamed) == data
+
+    def test_matches_whole_buffer(self):
+        self._compare(random_data(100_000, seed=1))
+
+    def test_small_read_size(self):
+        self._compare(random_data(40_000, seed=2), read_size=2 * 1024)
+
+    def test_input_smaller_than_one_read(self):
+        self._compare(random_data(500, seed=3))
+
+    def test_input_smaller_than_min_chunk(self):
+        self._compare(b"tiny")
+
+    def test_empty_stream(self):
+        assert list(small_chunker().chunks_from_stream(io.BytesIO(b""))) == []
+
+    def test_exact_read_size_boundary(self):
+        c = small_chunker()
+        self._compare(random_data(8 * c.max_size, seed=4))
+
+    def test_low_entropy_max_cut_stream(self):
+        # Forced max_size cuts must stream identically too.
+        self._compare(b"\x07" * 50_000)
+
+    def test_invalid_read_size(self):
+        c = small_chunker()
+        with pytest.raises(ValueError):
+            list(c.chunks_from_stream(io.BytesIO(b"x" * 5000), read_size=c.max_size))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=30_000),
+        st.sampled_from([2048, 4096, 16 * 1024]),
+    )
+    def test_property_equivalence(self, n, read_size):
+        self._compare(random_data(n, seed=n % 13), read_size=read_size)
+
+
+class TestStreamingFromFile:
+    def test_chunk_real_file(self, tmp_path):
+        data = random_data(60_000, seed=9)
+        path = tmp_path / "big.bin"
+        path.write_bytes(data)
+        c = small_chunker()
+        with open(path, "rb") as fh:
+            streamed = list(c.chunks_from_stream(fh, read_size=4096))
+        assert b"".join(ch.data for ch in streamed) == data

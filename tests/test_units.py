@@ -1,0 +1,98 @@
+"""Tests for repro.util: units formatting and bit arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import (
+    GB,
+    KB,
+    MB,
+    TB,
+    bit_prefix,
+    fmt_bytes,
+    fmt_duration,
+    fmt_rate,
+    is_power_of_two,
+    log2_exact,
+    required_bits,
+)
+
+
+class TestUnits:
+    def test_binary_scale(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert TB == 1024 * GB
+
+    def test_fmt_bytes_values(self):
+        assert fmt_bytes(0) == "0B"
+        assert fmt_bytes(512) == "512B"
+        assert fmt_bytes(8 * KB) == "8.00KB"
+        assert fmt_bytes(1.82 * TB) == "1.82TB"
+
+    def test_fmt_bytes_negative(self):
+        assert fmt_bytes(-2 * MB) == "-2.00MB"
+
+    def test_fmt_duration(self):
+        assert fmt_duration(0.0005) == "0.50ms"
+        assert fmt_duration(3.5) == "3.50s"
+        assert fmt_duration(2.53 * 60) == "2.53min"
+        assert fmt_duration(2 * 3600 + 1) == "2.00h"
+
+    def test_fmt_duration_negative(self):
+        assert fmt_duration(-5) == "-5.00s"
+
+    def test_fmt_rate(self):
+        assert fmt_rate(210 * MB) == "210.00MB/s"
+
+
+class TestBits:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(1 << 26) == 26
+        with pytest.raises(ValueError):
+            log2_exact(12)
+
+    def test_required_bits(self):
+        assert required_bits(1) == 1
+        assert required_bits(2) == 1
+        assert required_bits(3) == 2
+        assert required_bits(256) == 8
+        assert required_bits(257) == 9
+        with pytest.raises(ValueError):
+            required_bits(0)
+
+    def test_bit_prefix_known(self):
+        # 0b10110100... -> first 4 bits = 0b1011 = 11
+        assert bit_prefix(bytes([0b10110100]), 4) == 0b1011
+        assert bit_prefix(bytes([0xFF, 0x00]), 12) == 0xFF0
+        assert bit_prefix(b"\x00" * 4, 20) == 0
+
+    def test_bit_prefix_zero_bits(self):
+        assert bit_prefix(b"\xff", 0) == 0
+
+    def test_bit_prefix_too_long(self):
+        with pytest.raises(ValueError):
+            bit_prefix(b"\x01", 9)
+
+    def test_bit_prefix_negative(self):
+        with pytest.raises(ValueError):
+            bit_prefix(b"\x01", -1)
+
+    @given(st.binary(min_size=4, max_size=20), st.integers(min_value=1, max_value=32))
+    def test_bit_prefix_range(self, data, bits):
+        value = bit_prefix(data, bits)
+        assert 0 <= value < (1 << bits)
+
+    @given(st.binary(min_size=4, max_size=20), st.integers(min_value=1, max_value=31))
+    def test_bit_prefix_nesting(self, data, bits):
+        # The (bits)-bit prefix is the (bits+1)-bit prefix shifted right.
+        assert bit_prefix(data, bits) == bit_prefix(data, bits + 1) >> 1

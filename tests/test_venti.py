@@ -1,0 +1,85 @@
+"""Tests for the Venti-style random-index baseline."""
+
+import pytest
+
+from repro.baselines.venti import VentiServer
+from repro.core.disk_index import DiskIndex
+from repro.storage import ChunkRepository
+from tests.conftest import make_fps
+
+
+def make_venti(n_bits=8):
+    index = DiskIndex(n_bits, bucket_bytes=512)
+    repo = ChunkRepository()
+    return VentiServer(index, repo, container_bytes=64 * 1024), repo
+
+
+def stream(fps, size=8192):
+    return [(fp, size) for fp in fps]
+
+
+class TestDedupCorrectness:
+    def test_new_then_duplicate(self):
+        server, repo = make_venti()
+        fps = make_fps(50)
+        s1 = server.backup_stream(stream(fps))
+        assert s1.new_chunks == 50
+        s2 = server.backup_stream(stream(fps))
+        assert s2.duplicate_chunks == 50
+        assert s2.new_chunks == 0
+        assert repo.stored_chunk_bytes == 50 * 8192
+
+    def test_within_stream_duplicates(self):
+        server, repo = make_venti()
+        fps = make_fps(30)
+        stats = server.backup_stream(stream(fps + fps))
+        assert stats.new_chunks == 30
+        assert stats.duplicate_chunks == 30
+        assert repo.stored_chunk_bytes == 30 * 8192
+
+    def test_index_complete_after_backup(self):
+        server, _ = make_venti()
+        fps = make_fps(40)
+        server.backup_stream(stream(fps))
+        assert all(server.index.lookup(fp) is not None for fp in fps)
+
+
+class TestCostModel:
+    def test_every_fingerprint_probes_the_disk(self):
+        server, _ = make_venti()
+        fps = make_fps(60)
+        stats = server.backup_stream(stream(fps))
+        assert stats.lookup_probes >= 60
+        assert stats.update_probes == 2 * 60  # read-modify-write inserts
+
+    def test_throughput_pinned_to_random_iops(self):
+        # 522 random lookups/s: 522 new fingerprints need >= ~3 s of
+        # lookups plus ~2x that in updates.
+        server, _ = make_venti()
+        fps = make_fps(522)
+        stats = server.backup_stream(stream(fps))
+        assert stats.elapsed > 2.0
+        assert stats.fingerprints_per_second < 522
+
+    def test_duplicates_cost_less_than_inserts(self):
+        fps = make_fps(100)
+        a, _ = make_venti()
+        t_new = a.backup_stream(stream(fps)).elapsed
+        t_dup = a.backup_stream(stream(fps)).elapsed
+        assert t_dup < t_new
+
+    def test_orders_of_magnitude_slower_than_sil(self):
+        """The motivating comparison: one disk I/O per fingerprint vs one
+        sequential sweep for the whole batch."""
+        from repro.core.sil import SequentialIndexLookup
+        from repro.simdisk import Meter, SimClock, paper_index_disk
+
+        fps = make_fps(1000)
+        venti, _ = make_venti()
+        t_venti = venti.backup_stream(stream(fps)).elapsed
+
+        index = DiskIndex(8, bucket_bytes=512)
+        meter = Meter(SimClock())
+        SequentialIndexLookup(index).run(fps, meter=meter, disk=paper_index_disk())
+        t_sil = meter.total()
+        assert t_venti / t_sil > 50

@@ -1,0 +1,158 @@
+"""Tests for the synthetic (Section 6.2) and HUSt (Section 6.1) workloads."""
+
+import pytest
+
+from repro.workloads import HustConfig, HustWorkload, SyntheticConfig, SyntheticUniverse
+from repro.workloads.synthetic import Section
+
+
+class TestSyntheticUniverse:
+    def _universe(self, **kwargs):
+        defaults = dict(n_streams=4, section_chunks=32, seed=1)
+        defaults.update(kwargs)
+        return SyntheticUniverse(SyntheticConfig(**defaults))
+
+    def test_first_version_all_new(self):
+        u = self._universe()
+        sections = u.next_version(0, 500)
+        fps = [fp for s in sections for fp in u.fingerprints_of(s)]
+        assert len(fps) == 500
+        assert len(set(fps)) == 500
+
+    def test_version_sizes(self):
+        u = self._universe()
+        sections = u.next_version(0, 321)
+        assert u.version_chunks(sections) == 321
+
+    def test_duplication_fractions_near_target(self):
+        u = self._universe(dup_fraction=0.9, cross_fraction=0.3)
+        for sid in range(4):
+            u.next_version(sid, 1000)
+        prior = {
+            sid: {fp for s in u._history[sid] for fp in u.fingerprints_of(s)}
+            for sid in range(4)
+        }
+        sections = u.next_version(0, 1000)
+        fps = [fp for s in sections for fp in u.fingerprints_of(s)]
+        dup = sum(1 for fp in fps if any(fp in prior[s] for s in range(4)))
+        cross = sum(1 for fp in fps if any(fp in prior[s] for s in range(1, 4)))
+        assert dup / len(fps) == pytest.approx(0.9, abs=0.1)
+        assert cross / len(fps) == pytest.approx(0.3, abs=0.12)
+
+    def test_cross_stream_sections_reference_other_subspaces(self):
+        u = self._universe()
+        for sid in range(4):
+            u.next_version(sid, 500)
+        sections = u.next_version(1, 500)
+        donors = {s.subspace for s in sections}
+        assert donors - {1}  # at least one foreign subspace
+
+    def test_deterministic_given_seed(self):
+        a = self._universe(seed=9)
+        b = self._universe(seed=9)
+        for sid in range(2):
+            assert a.next_version(sid, 200) == b.next_version(sid, 200)
+
+    def test_stream_materialisation(self):
+        u = self._universe()
+        sections = u.next_version(0, 100)
+        chunks = list(u.version_stream(sections))
+        assert len(chunks) == 100
+        assert all(size == u.config.chunk_size for _, size in chunks)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(dup_fraction=0.2, cross_fraction=0.5)
+        with pytest.raises(ValueError):
+            SyntheticConfig(n_streams=0)
+
+    def test_invalid_stream_args(self):
+        u = self._universe()
+        with pytest.raises(ValueError):
+            u.next_version(99, 10)
+        with pytest.raises(ValueError):
+            u.next_version(0, 0)
+
+
+class TestHustWorkload:
+    def _workload(self, **kwargs):
+        defaults = dict(n_clients=4, days=10, mean_daily_chunks=2000, seed=3)
+        defaults.update(kwargs)
+        return HustWorkload(HustConfig(**defaults))
+
+    def test_day_zero_all_fresh(self):
+        w = self._workload()
+        streams = w.day_streams(0)
+        assert len(streams) == 4
+        for _, sections in streams:
+            fps = [fp for s in sections for fp in w.fingerprints_of(s)]
+            assert len(set(fps)) == len(fps)
+
+    def test_daily_volumes_vary(self):
+        w = self._workload()
+        day_totals = []
+        for day in range(10):
+            streams = w.day_streams(day)
+            day_totals.append(sum(w.section_chunk_count(s) for _, s in streams))
+        assert max(day_totals) > 1.3 * min(day_totals)
+
+    def test_later_days_heavily_duplicated(self):
+        w = self._workload()
+        seen = set()
+        dup_rates = []
+        for day in range(6):
+            streams = w.day_streams(day)
+            day_fps = [fp for _, sec in streams for s in sec for fp in w.fingerprints_of(s)]
+            dups = sum(1 for fp in day_fps if fp in seen)
+            dup_rates.append(dups / len(day_fps))
+            seen.update(day_fps)
+        assert dup_rates[0] == 0.0
+        # Composition: ~55 % adjacent + ~22 % old + internal repeats.
+        assert all(r > 0.6 for r in dup_rates[1:])
+
+    def test_new_fraction_matches_config(self):
+        cfg = HustConfig(n_clients=4, days=8, mean_daily_chunks=4000, seed=5)
+        w = HustWorkload(cfg)
+        seen = set()
+        total = new = 0
+        for day in range(8):
+            for _, sec in w.day_streams(day):
+                for s in sec:
+                    for fp in w.fingerprints_of(s):
+                        total += 1
+                        if fp not in seen:
+                            new += 1
+                            seen.add(fp)
+        # Day 0 is all new; later days ~cfg.new_fraction. Loose band.
+        assert 0.05 < new / total < 0.5
+
+    def test_day_bounds(self):
+        w = self._workload()
+        with pytest.raises(ValueError):
+            w.day_streams(-1)
+        with pytest.raises(ValueError):
+            w.day_streams(10)
+
+    def test_deterministic(self):
+        a, b = self._workload(seed=8), self._workload(seed=8)
+        assert a.day_streams(0) == b.day_streams(0)
+
+    def test_stream_of(self):
+        w = self._workload()
+        _, sections = w.day_streams(0)[0]
+        chunks = list(w.stream_of(sections))
+        assert len(chunks) == w.section_chunk_count(sections)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            HustConfig(internal_fraction=0.5, adjacent_fraction=0.4, old_fraction=0.2)
+        with pytest.raises(ValueError):
+            HustConfig(n_clients=0)
+
+
+class TestSection:
+    def test_immutable_value_object(self):
+        s = Section(1, 10, 5)
+        assert (s.subspace, s.start, s.length) == (1, 10, 5)
+        with pytest.raises(AttributeError):
+            s.start = 3
