@@ -1,0 +1,104 @@
+"""Audit-cost micro-benchmarks (real wall time).
+
+The consistency auditor is an offline maintenance sweep, but it must stay
+cheap enough to run after every backup round in CI and after crash
+recovery in production.  These benches track its real Python cost against
+index size so a super-linear regression is caught early.  No paper
+counterpart; the auditor is our extension (DESIGN.md section 7).
+"""
+
+from repro.audit import audit_index, audit_restorability, audit_store
+from repro.core.checking import CheckingFile
+from repro.core.disk_index import DiskIndex
+from repro.core.fingerprint import SyntheticFingerprints
+from repro.storage import ChunkRepository, ContainerManager, ContainerWriter
+
+from conftest import print_table, save_series
+
+
+def _populated(n_bits, count, seed=0):
+    """An index + repository holding ``count`` consistent entries."""
+    index = DiskIndex(n_bits, bucket_bytes=512)
+    repo = ChunkRepository()
+    manager = ContainerManager(repo)
+    writer = ContainerWriter(64 * 1024, materialize=False)
+    pending = []
+    fps = SyntheticFingerprints(seed).fresh(count)
+    checking = CheckingFile()
+
+    def seal():
+        cid = manager.store(writer).container_id
+        for done in pending:
+            index.insert(done, cid)
+        pending.clear()
+
+    for fp in fps:
+        if not writer.fits(8192):
+            seal()
+            writer = ContainerWriter(64 * 1024, materialize=False)
+        writer.add(fp, size=8192)
+        pending.append(fp)
+    if len(writer):
+        seal()
+    return index, repo, checking, fps
+
+
+def bench_audit_index_sweep(benchmark):
+    """Full placement/overflow sweep of a 2^10-bucket index, 5k entries."""
+    index, _, _, _ = _populated(10, 5000)
+    report = benchmark(audit_index, index)
+    assert report.ok
+
+
+def bench_audit_store_cross_reference(benchmark):
+    """Index <-> repository <-> checking-file cross-reference, 5k chunks."""
+    index, repo, checking, _ = _populated(10, 5000)
+    report = benchmark(audit_store, index, repo, checking)
+    assert report.ok
+
+
+def bench_audit_restorability_shallow(benchmark):
+    """Resolve 5k recorded fingerprints through index + repository."""
+    index, repo, _, fps = _populated(10, 5000)
+    report = benchmark(audit_restorability, [("bench", fps)], index.lookup, repo)
+    assert report.ok
+
+
+def test_audit_cost_scaling(results_dir):
+    """Audit wall time vs index size: the sweep must scale ~linearly.
+
+    Not a pytest-benchmark case — one timed pass per size is enough to
+    expose super-linear behaviour, and keeps the tier-2 run short.
+    """
+    import time
+
+    rows = []
+    series = []
+    for n_bits, count in ((8, 1000), (10, 4000), (12, 16000)):
+        index, repo, checking, fps = _populated(n_bits, count)
+        t0 = time.perf_counter()
+        assert audit_index(index).ok
+        t_index = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        assert audit_store(index, repo, checking).ok
+        t_store = time.perf_counter() - t0
+        rows.append(
+            (f"2^{n_bits}", count, f"{t_index * 1e3:.1f}", f"{t_store * 1e3:.1f}")
+        )
+        series.append(
+            {
+                "n_bits": n_bits,
+                "entries": count,
+                "audit_index_ms": t_index * 1e3,
+                "audit_store_ms": t_store * 1e3,
+            }
+        )
+    print_table(
+        "Audit cost vs index size",
+        ("buckets", "entries", "audit_index ms", "audit_store ms"),
+        rows,
+    )
+    save_series(results_dir, "audit_cost", {"points": series})
+    # 16x the entries must not cost more than ~100x the smallest sweep
+    # (generous bound: catches accidental quadratic behaviour only).
+    assert series[-1]["audit_index_ms"] < 100 * max(series[0]["audit_index_ms"], 0.5)

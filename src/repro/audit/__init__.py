@@ -1,0 +1,49 @@
+"""Consistency auditing and fault injection for the dedup pipeline."""
+
+from repro.audit.auditor import (
+    ERROR,
+    WARNING,
+    AuditReport,
+    Finding,
+    audit_cluster,
+    audit_index,
+    audit_restorability,
+    audit_store,
+    audit_system,
+    audit_tpds,
+    audit_vault,
+)
+from repro.audit.faults import (
+    CONTAINER_SEALED,
+    CRASH_POINTS,
+    POST_SIL,
+    POST_SIU,
+    PRE_SIU,
+    SCALE_BUCKET,
+    FaultPlan,
+    InjectedCrash,
+    inject,
+)
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "AuditReport",
+    "Finding",
+    "audit_cluster",
+    "audit_index",
+    "audit_restorability",
+    "audit_store",
+    "audit_system",
+    "audit_tpds",
+    "audit_vault",
+    "CONTAINER_SEALED",
+    "CRASH_POINTS",
+    "POST_SIL",
+    "POST_SIU",
+    "PRE_SIU",
+    "SCALE_BUCKET",
+    "FaultPlan",
+    "InjectedCrash",
+    "inject",
+]

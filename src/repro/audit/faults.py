@@ -1,0 +1,106 @@
+"""Fault injection for the dedup-2 pipeline (the Section 5.4 window).
+
+A :class:`~repro.core.tpds.TwoPhaseDeduplicator` announces every dedup-2
+step boundary through its ``fault_hook``; this module turns those
+announcements into deterministic simulated crashes.  A crash is an
+:class:`InjectedCrash` raised out of the hook, which unwinds ``dedup2``
+exactly where a process kill would: state mutated before the checkpoint is
+kept, everything after is lost.
+
+Checkpoints (in dedup-2 order):
+
+``post_sil``
+    After all SIL rounds, before the checking-file screen and chunk
+    storing.  Nothing persisted yet; the chunk log still holds the round's
+    records.
+``container_sealed``
+    After each container lands in the repository, mid chunk-storing.  A
+    crash here leaves chunks in the repository that neither the index nor
+    the checking file knows — the auditor's ``chunk-orphaned`` finding.
+``pre_siu``
+    After chunk storing and the checking-file append, before SIU.  The
+    paper's inline/out-of-line window: legal while the checking file
+    survives, damage when it does not.
+``scale_bucket``
+    After each source bucket migrates during capacity scaling.  The
+    original index file is untouched until the final atomic rename, so a
+    crash here must leave the index exactly as before scaling began.
+``post_siu``
+    After SIU registered everything and drained the checking file.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Tuple
+
+POST_SIL = "post_sil"
+CONTAINER_SEALED = "container_sealed"
+PRE_SIU = "pre_siu"
+SCALE_BUCKET = "scale_bucket"
+POST_SIU = "post_siu"
+
+#: Every checkpoint the TPDS engine announces, in pipeline order.
+CRASH_POINTS: Tuple[str, ...] = (
+    POST_SIL,
+    CONTAINER_SEALED,
+    PRE_SIU,
+    SCALE_BUCKET,
+    POST_SIU,
+)
+
+
+class InjectedCrash(RuntimeError):
+    """The simulated process kill a :class:`FaultPlan` fires."""
+
+    def __init__(self, point: str, occurrence: int) -> None:
+        super().__init__(f"injected crash at {point} (occurrence {occurrence})")
+        self.point = point
+        self.occurrence = occurrence
+
+
+class FaultPlan:
+    """Crash at the ``occurrence``-th hit of one named checkpoint.
+
+    Install as ``tpds.fault_hook``; every checkpoint announcement is
+    counted in :attr:`hits`, and the matching one raises
+    :class:`InjectedCrash`.
+    """
+
+    def __init__(self, point: str, occurrence: int = 1) -> None:
+        if point not in CRASH_POINTS:
+            raise ValueError(f"unknown crash point {point!r}; one of {CRASH_POINTS}")
+        if occurrence < 1:
+            raise ValueError("occurrence must be >= 1")
+        self.point = point
+        self.occurrence = occurrence
+        self.hits: dict = {}
+        self.fired = False
+
+    def __call__(self, point: str) -> None:
+        self.hits[point] = self.hits.get(point, 0) + 1
+        if not self.fired and point == self.point and self.hits[point] == self.occurrence:
+            self.fired = True
+            raise InjectedCrash(point, self.occurrence)
+
+
+@contextmanager
+def inject(tpds, point: str, occurrence: int = 1) -> Iterator[FaultPlan]:
+    """Arm a crash on a TPDS engine for the duration of a ``with`` block.
+
+    ::
+
+        with inject(tpds, PRE_SIU):
+            with pytest.raises(InjectedCrash):
+                tpds.dedup2(force_siu=True)
+
+    The previous hook is restored on exit, so a harness can crash the same
+    engine repeatedly at different points.
+    """
+    plan = FaultPlan(point, occurrence)
+    previous = tpds.fault_hook
+    tpds.fault_hook = plan
+    try:
+        yield plan
+    finally:
+        tpds.fault_hook = previous

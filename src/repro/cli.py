@@ -6,6 +6,7 @@
     python -m repro list    --vault ~/.debar
     python -m repro restore --vault ~/.debar --run 3 --dest /restore
     python -m repro verify  --vault ~/.debar
+    python -m repro audit   --vault ~/.debar --deep
     python -m repro stats   --vault ~/.debar
     python -m repro recover-index --vault ~/.debar
 """
@@ -15,6 +16,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro.system.vault import DebarVault, VaultError
@@ -69,6 +71,18 @@ def cmd_verify(args) -> int:
             f"{report['runs']} runs all resolve"
         )
     return 0
+
+
+def cmd_audit(args) -> int:
+    # Opening a vault creates one; an auditor must never "pass" a vault
+    # it just conjured out of a mistyped path.
+    if not Path(args.vault).is_dir():
+        print(f"error: no vault at {args.vault}", file=sys.stderr)
+        return 1
+    with _open(args) as vault:
+        report = vault.audit(deep=args.deep)
+        print(report.summary())
+    return 0 if report.ok else 1
 
 
 def cmd_stats(args) -> int:
@@ -142,6 +156,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("verify", help="check every catalogued fingerprint resolves")
     common(p)
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "audit", help="sweep every store invariant and report all findings"
+    )
+    common(p)
+    p.add_argument(
+        "--deep", action="store_true", help="also re-hash every referenced payload"
+    )
+    p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("stats", help="vault-level accounting")
     common(p)

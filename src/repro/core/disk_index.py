@@ -27,7 +27,7 @@ from __future__ import annotations
 import random
 import struct
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.fingerprint import (
     FINGERPRINT_SIZE,
@@ -35,7 +35,12 @@ from repro.core.fingerprint import (
     validate_container_id,
     validate_fingerprint,
 )
-from repro.storage.blockstore import BlockStore, MemoryBlockStore, SparseMemoryBlockStore
+from repro.storage.blockstore import (
+    BlockStore,
+    FileBlockStore,
+    MemoryBlockStore,
+    SparseMemoryBlockStore,
+)
 from repro.util import bit_prefix
 
 #: On-disk size of one index entry: fingerprint + 40-bit container ID.
@@ -192,6 +197,11 @@ class DiskIndex:
 
     # -- geometry --------------------------------------------------------------
     @property
+    def store(self) -> BlockStore:
+        """The backing block store (read-only handle for audits/persistence)."""
+        return self._store
+
+    @property
     def size_bytes(self) -> int:
         """Total on-disk size of the index."""
         return self.n_buckets * self.bucket_bytes
@@ -235,6 +245,15 @@ class DiskIndex:
         self._check_bucket_number(k)
         blob = self._store.read(k * self.bucket_bytes, self.bucket_bytes)
         return Bucket(k, unpack_bucket(blob), self.bucket_capacity)
+
+    def on_disk_count(self, k: int) -> int:
+        """Bucket ``k``'s entry count as recorded in its on-disk header.
+
+        Bypasses the in-memory count cache — the auditor compares the two.
+        """
+        self._check_bucket_number(k)
+        (count,) = _HEADER.unpack(self._store.read(k * self.bucket_bytes, _HEADER.size))
+        return count
 
     def write_bucket(self, bucket: Bucket) -> None:
         """Serialise and write one bucket back."""
@@ -284,9 +303,21 @@ class DiskIndex:
         if not 0 <= k < self.n_buckets:
             raise ValueError(f"bucket {k} out of range [0, {self.n_buckets})")
 
-    def _neighbours(self, k: int) -> Tuple[int, int]:
-        """The two adjacent buckets, wrapping at the ends."""
-        return (k - 1) % self.n_buckets, (k + 1) % self.n_buckets
+    def neighbours(self, k: int) -> Tuple[int, ...]:
+        """The adjacent buckets, wrapping at the ends.
+
+        Distinct buckets only: with ``n_bits == 1`` the two wrap-around
+        "adjacent" buckets are the same bucket, and treating it as two
+        candidates would double-probe lookups and double-count it as an
+        overflow target.
+        """
+        left, right = (k - 1) % self.n_buckets, (k + 1) % self.n_buckets
+        if left == right:
+            return (left,)
+        return left, right
+
+    # Backwards-compatible internal alias.
+    _neighbours = neighbours
 
     # -- point operations --------------------------------------------------------
     def insert(self, fp: Fingerprint, container_id: int) -> int:
@@ -311,8 +342,7 @@ class DiskIndex:
         """Pick the bucket an entry homed at ``home`` will actually occupy."""
         if self._counts[home] < self.bucket_capacity:
             return home
-        left, right = self._neighbours(home)
-        candidates = [left, right]
+        candidates = list(self.neighbours(home))
         self._rng.shuffle(candidates)
         for k in candidates:
             if self._counts[k] < self.bucket_capacity:
@@ -343,7 +373,7 @@ class DiskIndex:
             # An overflowed copy can only exist if the home bucket is full.
             return None, 1
         probes = 1
-        for k in self._neighbours(home):
+        for k in self.neighbours(home):
             probes += 1
             cid = self.read_bucket(k).find(fp)
             if cid is not None:
@@ -366,7 +396,7 @@ class DiskIndex:
         """
         fp = validate_fingerprint(fp)
         home = self.bucket_number(fp)
-        for k in (home, *self._neighbours(home)):
+        for k in (home, *self.neighbours(home)):
             bucket = self.read_bucket(k)
             was_full = bucket.full
             for i, (entry_fp, _) in enumerate(bucket.entries):
@@ -386,16 +416,25 @@ class DiskIndex:
         Called when ``k`` transitions full -> not-full; restores the
         overflow invariant either by leaving no stranded entries or by
         making ``k`` full again (covering any that remain).
+
+        Pulling an entry out of a *full* neighbour transitions that
+        neighbour full -> not-full in turn, which would strand anything
+        that had overflowed out of *it* (two buckets from home, where
+        ``lookup`` never probes).  The pull-back therefore cascades: every
+        bucket this drains below capacity gets its own pull-back pass.
         """
-        for neighbour in self._neighbours(k):
+        for neighbour in self.neighbours(k):
             bucket = self.read_bucket(neighbour)
             for i, (entry_fp, cid) in enumerate(bucket.entries):
                 if self.bucket_number(entry_fp) == k:
+                    was_full = bucket.full
                     del bucket.entries[i]
                     self.write_bucket(bucket)
                     target = self.read_bucket(k)
                     target.entries.append((entry_fp, cid))
                     self.write_bucket(target)
+                    if was_full:
+                        self._pull_back_overflow(neighbour)
                     return
 
     def update(self, fp: Fingerprint, container_id: int) -> bool:
@@ -403,7 +442,7 @@ class DiskIndex:
         fp = validate_fingerprint(fp)
         validate_container_id(container_id)
         home = self.bucket_number(fp)
-        for k in (home, *self._neighbours(home)):
+        for k in (home, *self.neighbours(home)):
             bucket = self.read_bucket(k)
             for i, (entry_fp, _) in enumerate(bucket.entries):
                 if entry_fp == fp:
@@ -425,7 +464,11 @@ class DiskIndex:
         full = sum(1 for c in self._counts if c >= self.bucket_capacity)
         return full / self.n_buckets
 
-    def scale_capacity(self, store: Optional[BlockStore] = None) -> "DiskIndex":
+    def scale_capacity(
+        self,
+        store: Optional[BlockStore] = None,
+        checkpoint: Optional[Callable[[int], None]] = None,
+    ) -> "DiskIndex":
         """Capacity scaling: build the ``2^(n+1)``-bucket successor index.
 
         Entries from old bucket ``k`` land in new buckets ``2k`` and
@@ -433,18 +476,57 @@ class DiskIndex:
         overflowed into ``k`` from a neighbour are re-homed by their own
         bits (Section 4.1).  Re-inserting every entry by its own home bucket
         implements both rules at once.
+
+        With no explicit ``store`` the successor keeps the old index's
+        backing kind: a file-backed index is rebuilt in a sibling temporary
+        file that atomically replaces the original once every entry has
+        migrated, so the index never silently degrades to memory (and a
+        crash mid-scale leaves the original file untouched).  ``checkpoint``
+        (if given) is called with each source bucket number after its
+        entries migrate — the fault-injection hook.
         """
-        new = DiskIndex(
-            self.n_bits + 1,
-            bucket_bytes=self.bucket_bytes,
-            store=store,
-            prefix_bits=self.prefix_bits,
-            prefix_value=self.prefix_value,
-            seed=self._seed,
-        )
-        for fp, cid in self.iter_entries():
-            new.insert(fp, cid)
+        successor = self._successor_store() if store is None else store
+        try:
+            new = DiskIndex(
+                self.n_bits + 1,
+                bucket_bytes=self.bucket_bytes,
+                store=successor,
+                prefix_bits=self.prefix_bits,
+                prefix_value=self.prefix_value,
+                seed=self._seed,
+            )
+            for k in range(self.n_buckets):
+                for fp, cid in self.read_bucket(k).entries:
+                    new.insert(fp, cid)
+                if checkpoint is not None:
+                    checkpoint(k)
+        except BaseException:
+            if store is None and isinstance(successor, FileBlockStore):
+                successor.unlink()
+            raise
+        if store is None and isinstance(successor, FileBlockStore):
+            # Replace the original file in one rename and reopen in place.
+            original = self._store
+            target = original.path
+            original.close()
+            successor.commit_to(target)
         return new
+
+    def _successor_store(self) -> Optional[BlockStore]:
+        """A fresh ``2^(n+1)``-bucket store of the same backing kind.
+
+        ``None`` (for plain memory stores) defers to the default
+        :class:`MemoryBlockStore` allocation in ``__init__``.
+        """
+        size = 2 * self.n_buckets * self.bucket_bytes
+        if isinstance(self._store, FileBlockStore):
+            tmp = self._store.path.with_name(self._store.path.name + ".scale")
+            if tmp.exists():
+                tmp.unlink()  # stale temp from an interrupted scaling
+            return FileBlockStore(tmp, size)
+        if isinstance(self._store, SparseMemoryBlockStore):
+            return SparseMemoryBlockStore(size)
+        return None
 
     def split(self, w_bits: int) -> List["DiskIndex"]:
         """Performance scaling: divide into ``2^w`` parts by prefix.

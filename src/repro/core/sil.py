@@ -100,14 +100,18 @@ class SequentialIndexLookup:
                 cid = bucket.find(fp)
                 if cid is None and bucket.full:
                     # The entry may have overflowed to an adjacent bucket.
+                    # ``neighbours`` is deduplicated: at tiny index sizes
+                    # both adjacent buckets are the same bucket, probed once.
                     if neighbours is None:
-                        left = self.index.read_bucket((bucket_no - 1) % self.index.n_buckets)
-                        right = self.index.read_bucket((bucket_no + 1) % self.index.n_buckets)
-                        neighbours = (left, right)
-                        result.buckets_probed += 2
-                    cid = neighbours[0].find(fp)
-                    if cid is None:
-                        cid = neighbours[1].find(fp)
+                        neighbours = [
+                            self.index.read_bucket(j)
+                            for j in self.index.neighbours(bucket_no)
+                        ]
+                        result.buckets_probed += len(neighbours)
+                    for neighbour in neighbours:
+                        cid = neighbour.find(fp)
+                        if cid is not None:
+                            break
                 if cid is not None:
                     result.duplicates[fp] = cid
                     cache.remove(fp)

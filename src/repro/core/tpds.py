@@ -22,7 +22,7 @@ throughput decompositions of Figures 8-10 fall out of the ledger.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.checking import CheckingFile
 from repro.core.disk_index import DiskIndex, IndexFullError
@@ -157,6 +157,15 @@ class TwoPhaseDeduplicator:
         self._unregistered: Dict[Fingerprint, int] = {}
         self._dedup2_since_siu = 0
         self.capacity_scalings = 0
+        #: Fault-injection hook: called with a checkpoint name at each
+        #: dedup-2 step boundary (see :mod:`repro.audit.faults`).  ``None``
+        #: (the default) costs one attribute check per checkpoint.
+        self.fault_hook: Optional[Callable[[str], None]] = None
+
+    def _checkpoint(self, point: str) -> None:
+        """Announce a dedup-2 step boundary to the fault-injection hook."""
+        if self.fault_hook is not None:
+            self.fault_hook(point)
 
     # ------------------------------------------------------------------ dedup-1
     def dedup1_backup(
@@ -229,10 +238,12 @@ class TwoPhaseDeduplicator:
         stats = Dedup2Stats()
 
         new_cache = self._run_sil_rounds(stats)
+        self._checkpoint("post_sil")
         self._screen_against_checking(new_cache, stats)
         stored = self._chunk_storing(new_cache, stats)
         self.checking.append(stored)
         self._unregistered.update(stored)
+        self._checkpoint("pre_siu")
 
         self._dedup2_since_siu += 1
         run_siu = (
@@ -262,9 +273,12 @@ class TwoPhaseDeduplicator:
             stats.sil_rounds += 1
             stats.duplicate_chunks += len(result.duplicates)
             for fp, _ in result.new_cache.items():
-                merged.insert(fp)
-        if not pending:
-            stats.sil_rounds = 0
+                if not merged.insert(fp):
+                    # A fingerprint split across two SIL rounds is "new" in
+                    # both; the merge resolves the later sighting as a
+                    # duplicate so the stats agree with the chunk-log
+                    # replay, which stores it once and discards the rest.
+                    stats.duplicate_chunks += 1
         stats.sil_time = self.clock.now - sil_t0
         return merged
 
@@ -299,6 +313,7 @@ class TwoPhaseDeduplicator:
             pending_fps.clear()
             stats.containers_written += 1
             writer = ContainerWriter(self.container_bytes, materialize=self.materialize)
+            self._checkpoint("container_sealed")
 
         for record in self.chunk_log.replay():
             stats.log_chunks_processed += 1
@@ -342,7 +357,15 @@ class TwoPhaseDeduplicator:
         """SIU over the accumulated unregistered fingerprints, scaling the
         index capacity and retrying on overflow."""
         t0 = self.clock.now
-        entries = dict(self._unregistered)
+        # Skip entries already registered: a crashed SIU attempt may have
+        # landed part of the unregistered file before overflowing (the
+        # per-bucket writes are not transactional), and re-registering
+        # those on retry would duplicate their index entries.
+        entries = {
+            fp: cid
+            for fp, cid in self._unregistered.items()
+            if self.index.lookup(fp) is None
+        }
         while True:
             try:
                 SequentialIndexUpdate(self.index).run(
@@ -360,16 +383,22 @@ class TwoPhaseDeduplicator:
         self._dedup2_since_siu = 0
         stats.siu_performed = True
         stats.siu_time = self.clock.now - t0
+        self._checkpoint("post_siu")
 
     def _scale_index_capacity(self) -> None:
         """Capacity scaling (Section 4.1): double the bucket count.
 
         Charged as one sequential read of the old index plus one sequential
         write of the new, which is what the bucket-copying procedure costs.
+        ``scale_capacity`` keeps the backing store kind (a file-backed
+        index stays file-backed) and announces each migrated bucket to the
+        fault-injection hook.
         """
         old = self.index
         self.meter.charge("scale.read", self.rig.index_disk.seq_read_time(old.size_bytes))
-        self.index = old.scale_capacity()
+        self.index = old.scale_capacity(
+            checkpoint=lambda k: self._checkpoint("scale_bucket")
+        )
         self.meter.charge(
             "scale.write", self.rig.index_disk.seq_write_time(self.index.size_bytes)
         )

@@ -44,6 +44,11 @@ class _EnsembleMetadataView:
                 return director.metadata.fingerprints_for_run(run_id)
         raise KeyError(f"no metadata recorded for run {run_id}")
 
+    def iter_run_fingerprints(self):
+        """(run ID, fingerprint sequence) across every member director."""
+        for director in self._ensemble.directors:
+            yield from director.metadata.iter_run_fingerprints()
+
     def __contains__(self, run_id: int) -> bool:
         return any(run_id in d.metadata for d in self._ensemble.directors)
 

@@ -88,6 +88,15 @@ class MetadataManager:
                 return entry
         raise KeyError(f"{path} not in run {run_id}")
 
+    def iter_run_fingerprints(self):
+        """(run ID, fingerprint sequence) for every recorded run.
+
+        The auditor's restorability sweep: every fingerprint a recorded
+        backup references must still resolve to a stored chunk.  Iterates
+        the in-memory records directly, charging no store traffic.
+        """
+        return iter(self._run_fingerprints.items())
+
     def __contains__(self, run_id: int) -> bool:
         return run_id in self._files
 

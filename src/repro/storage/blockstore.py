@@ -164,6 +164,26 @@ class FileBlockStore(BlockStore):
         """Close the backing file; further access raises."""
         self._fh.close()
 
+    def commit_to(self, path: Union[str, Path]) -> None:
+        """Atomically move the backing file over ``path`` and reopen there.
+
+        The successor-index dance of capacity scaling builds the doubled
+        index in a sibling temporary file and then replaces the original in
+        one rename, so a crash mid-scale leaves the original intact.
+        """
+        target = Path(path)
+        self.flush()
+        self._fh.close()
+        os.replace(self._path, target)
+        self._path = target
+        self._fh = open(self._path, "r+b")
+
+    def unlink(self) -> None:
+        """Close and delete the backing file (abandoned scaling temps)."""
+        self._fh.close()
+        if self._path.exists():
+            self._path.unlink()
+
     def __enter__(self) -> "FileBlockStore":
         return self
 

@@ -623,6 +623,19 @@ class DebarCluster:
             force=force,
         )
 
+    # ------------------------------------------------------------------ audit
+    def audit(self, deep: bool = False):
+        """Consistency sweep over every index part and the shared repository.
+
+        Each part is checked against the placement/overflow invariants and
+        its prefix ownership; cross-references and run restorability route
+        through the owning servers, exactly as PSIL/restore would.  Tests
+        run this after every PSIL/PSIU round (see :mod:`repro.audit`).
+        """
+        from repro.audit import audit_cluster
+
+        return audit_cluster(self, deep=deep)
+
     # ------------------------------------------------------------------ accounting
     @property
     def total_index_bytes(self) -> int:

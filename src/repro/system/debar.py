@@ -165,6 +165,14 @@ class DebarSystem:
                     deep_checked += 1
         return {"chunks": checked, "payloads_verified": deep_checked}
 
+    def audit(self, deep: bool = False):
+        """Full consistency sweep: index invariants, index <-> repository
+        cross-references and restorability of every recorded run
+        (see :mod:`repro.audit`)."""
+        from repro.audit import audit_system
+
+        return audit_system(self, deep=deep)
+
     # -- accounting ---------------------------------------------------------------------
     @property
     def logical_bytes_protected(self) -> int:

@@ -203,6 +203,7 @@ class DebarVault:
             session.add_file(metadata, chunks)
         stats, entries = session.close()
         self.tpds.dedup2(force_siu=True)
+        self._sync_index_geometry()
         self._index_store.flush()
         run = VaultRun(
             run_id=len(self._catalog["runs"]) + 1,
@@ -214,6 +215,20 @@ class DebarVault:
         )
         self._record_run(run)
         return run
+
+    def _sync_index_geometry(self) -> None:
+        """Track index capacity scaling in the catalog and store handle.
+
+        ``dedup2`` may have scaled the index (new n_bits, new backing file
+        committed over ``index.bin``); the catalog must record the new
+        geometry and the vault must flush the *current* store, or the next
+        open re-attaches the wrong-sized index.
+        """
+        index = self.tpds.index
+        if index.n_bits != self._catalog["index_n_bits"]:
+            self._catalog["index_n_bits"] = index.n_bits
+            self._index_store = index.store
+            self._save_catalog()
 
     def restore(
         self,
@@ -272,6 +287,18 @@ class DebarVault:
             "fingerprints": checked,
             "payloads_verified": deep_checked,
         }
+
+    def audit(self, deep: bool = False):
+        """Sweep every invariant the store depends on (see :mod:`repro.audit`).
+
+        Unlike :meth:`verify`, which stops at the first inconsistency, the
+        auditor checks index placement/overflow invariants, index <->
+        container cross-references, catalog restorability and index
+        durability, and reports *all* findings.
+        """
+        from repro.audit import audit_vault
+
+        return audit_vault(self, deep=deep)
 
     def diff(self, run_a: int, run_b: int) -> Dict[str, List[str]]:
         """Compare two runs at file granularity via their fingerprints.

@@ -1,0 +1,460 @@
+"""Tests for the consistency auditor (:mod:`repro.audit`).
+
+Each invariant sweep is exercised both ways: a healthy system audits
+clean, and every seeded fault — including hand-crafted reproductions of
+the two pre-fix ``disk_index`` bugs (the non-cascading overflow pull-back
+and the capacity scaling that silently migrated a file-backed index to
+memory) — is pinpointed with the right finding code.
+"""
+
+import pytest
+
+from repro.audit import (
+    ERROR,
+    WARNING,
+    AuditReport,
+    audit_cluster,
+    audit_index,
+    audit_restorability,
+    audit_store,
+    audit_system,
+    audit_tpds,
+)
+from repro.core.checking import CheckingFile
+from repro.core.disk_index import DiskIndex
+from repro.core.fingerprint import fingerprint as sha1
+from repro.core.tpds import TwoPhaseDeduplicator
+from repro.server import BackupServerConfig
+from repro.storage import (
+    ChunkRepository,
+    ContainerManager,
+    ContainerWriter,
+    MemoryBlockStore,
+)
+from repro.system import DebarCluster, DebarSystem
+from tests.conftest import make_fps
+
+
+def fps_for_bucket(index, bucket, count, start=0):
+    """Fingerprints homed at a specific bucket of ``index``."""
+    out = []
+    offset = start
+    while len(out) < count:
+        batch = make_fps(200, start=offset)
+        out.extend(fp for fp in batch if index.bucket_number(fp) == bucket)
+        offset += 200
+    return out[:count]
+
+
+def make_tpds(**kwargs):
+    index = DiskIndex(kwargs.pop("n_bits", 8), bucket_bytes=512)
+    repo = ChunkRepository()
+    tpds = TwoPhaseDeduplicator(
+        index, repo, filter_capacity=4096, container_bytes=64 * 1024, **kwargs
+    )
+    return tpds, repo
+
+
+def stream(fps, size=8192):
+    return [(fp, size) for fp in fps]
+
+
+class TestAuditReport:
+    def test_empty_report_passes(self):
+        report = AuditReport()
+        assert report.ok
+        assert report.summary().startswith("audit PASS")
+
+    def test_errors_fail_warnings_do_not(self):
+        report = AuditReport()
+        report.add("some-warning", "soft", severity=WARNING)
+        assert report.ok
+        report.add("some-error", "hard")
+        assert not report.ok
+        assert [f.code for f in report.errors] == ["some-error"]
+        assert [f.code for f in report.warnings] == ["some-warning"]
+        assert report.findings[1].severity == ERROR
+
+    def test_codes_and_has(self):
+        report = AuditReport()
+        report.add("a", "1")
+        report.add("b", "2")
+        report.add("a", "3")
+        assert report.codes() == ["a", "b"]
+        assert report.has("a") and not report.has("c")
+
+    def test_merge_folds_findings_and_counters(self):
+        left, right = AuditReport(), AuditReport()
+        left.count("entries", 3)
+        right.count("entries", 4)
+        right.add("x", "boom")
+        left.merge(right)
+        assert left.counters["entries"] == 7
+        assert left.has("x")
+
+    def test_summary_lists_findings(self):
+        report = AuditReport()
+        report.add("entry-stranded", "bucket 5")
+        text = report.summary()
+        assert "audit FAIL: 1 error(s)" in text
+        assert "entry-stranded" in text
+
+
+class TestAuditIndex:
+    def test_clean_index_passes(self):
+        index = DiskIndex(6, bucket_bytes=512)
+        for i, fp in enumerate(make_fps(200)):
+            index.insert(fp, i)
+        report = audit_index(index)
+        assert report.ok
+        assert report.counters["entries"] == 200
+        assert report.counters["buckets"] == 64
+
+    def test_legal_overflow_not_flagged(self):
+        index = DiskIndex(4, bucket_bytes=512)
+        for i, fp in enumerate(fps_for_bucket(index, 5, index.bucket_capacity + 3)):
+            index.insert(fp, i)
+        assert audit_index(index).ok
+
+    def test_detects_stranded_entry(self):
+        # An overflow entry whose home bucket is NOT full: lookup never
+        # probes the neighbour, so the entry is silently unreachable.
+        index = DiskIndex(4, bucket_bytes=512)
+        fp = fps_for_bucket(index, 5, 1)[0]
+        neighbour = index.read_bucket(6)
+        neighbour.entries.append((fp, 1))
+        index.write_bucket(neighbour)
+        assert index.lookup(fp) is None  # the silent false negative
+        report = audit_index(index)
+        assert not report.ok
+        assert report.has("entry-stranded")
+
+    def test_detects_misplaced_entry(self):
+        # Two buckets from home: illegal regardless of fullness.
+        index = DiskIndex(4, bucket_bytes=512)
+        fp = fps_for_bucket(index, 5, 1)[0]
+        far = index.read_bucket(8)
+        far.entries.append((fp, 1))
+        index.write_bucket(far)
+        report = audit_index(index)
+        assert report.has("entry-misplaced")
+
+    def test_detects_duplicate_entry(self):
+        index = DiskIndex(4, bucket_bytes=512)
+        fp = fps_for_bucket(index, 5, 1)[0]
+        index.insert(fp, 1)
+        other = index.read_bucket(6)
+        other.entries.append((fp, 2))
+        index.write_bucket(other)
+        report = audit_index(index)
+        assert report.has("entry-duplicate")
+
+    def test_detects_foreign_entry(self):
+        part = DiskIndex(6, bucket_bytes=512).split(2)[0]
+        foreign = next(fp for fp in make_fps(100) if not part.owns(fp))
+        bucket = part.read_bucket(0)
+        bucket.entries.append((foreign, 1))
+        part.write_bucket(bucket)
+        report = audit_index(part)
+        assert report.has("entry-foreign")
+        # Part findings carry the part label so cluster sweeps stay readable.
+        assert any("part" in f.detail for f in report.findings)
+
+    def test_detects_count_cache_drift(self):
+        index = DiskIndex(4, bucket_bytes=512)
+        for i, fp in enumerate(make_fps(30)):
+            index.insert(fp, i)
+        index._counts[3] += 1  # simulate a cache/header divergence
+        report = audit_index(index)
+        assert report.has("count-cache")
+
+    def test_old_pull_back_bug_detected(self):
+        """Replay the pre-fix single-step pull-back on a delete chain and
+        show the auditor pinpoints the stranded entry it leaves behind."""
+        index = DiskIndex(4, bucket_bytes=512)
+        cap = index.bucket_capacity
+        for i, fp in enumerate(fps_for_bucket(index, 7, cap, start=70_000)):
+            index.insert(fp, i)  # bucket 7 full: blocks overflow 6 -> 7
+        for i, fp in enumerate(fps_for_bucket(index, 6, cap, start=60_000)):
+            index.insert(fp, i)
+        spilled_from_6 = fps_for_bucket(index, 6, 1, start=90_000)[0]
+        index.insert(spilled_from_6, 99)  # lands in bucket 5 (7 is full)
+        for i, fp in enumerate(fps_for_bucket(index, 5, cap - 1, start=50_000)):
+            index.insert(fp, i)  # bucket 5 now full
+        spilled_from_5 = fps_for_bucket(index, 5, 1, start=95_000)[0]
+        index.insert(spilled_from_5, 98)  # lands in bucket 4 (6 is full)
+        assert index.lookup(spilled_from_5) == 98
+
+        # Old delete: remove one entry homed at 6 from bucket 6, then pull
+        # exactly one overflow back WITHOUT cascading.
+        victim = next(
+            fp for fp, _ in index.read_bucket(6).entries
+            if index.bucket_number(fp) == 6
+        )
+        bucket6 = index.read_bucket(6)
+        bucket6.entries = [(fp, c) for fp, c in bucket6.entries if fp != victim]
+        index.write_bucket(bucket6)
+        bucket5 = index.read_bucket(5)
+        i = next(
+            i for i, (fp, _) in enumerate(bucket5.entries)
+            if index.bucket_number(fp) == 6
+        )
+        pulled = bucket5.entries.pop(i)  # bucket 5 drops below capacity...
+        index.write_bucket(bucket5)
+        bucket6 = index.read_bucket(6)
+        bucket6.entries.append(pulled)
+        index.write_bucket(bucket6)
+        # ...stranding the entry homed at 5 that overflowed into bucket 4.
+        assert index.lookup(spilled_from_5) is None
+        report = audit_index(index)
+        assert not report.ok
+        assert report.has("entry-stranded")
+
+    def test_fixed_delete_keeps_audit_clean(self):
+        """The same delete through the real (cascading) path audits clean."""
+        index = DiskIndex(4, bucket_bytes=512)
+        cap = index.bucket_capacity
+        for i, fp in enumerate(fps_for_bucket(index, 7, cap, start=70_000)):
+            index.insert(fp, i)
+        for i, fp in enumerate(fps_for_bucket(index, 6, cap, start=60_000)):
+            index.insert(fp, i)
+        index.insert(fps_for_bucket(index, 6, 1, start=90_000)[0], 99)
+        for i, fp in enumerate(fps_for_bucket(index, 5, cap - 1, start=50_000)):
+            index.insert(fp, i)
+        spilled_from_5 = fps_for_bucket(index, 5, 1, start=95_000)[0]
+        index.insert(spilled_from_5, 98)
+        victim = next(
+            fp for fp, _ in index.read_bucket(6).entries
+            if index.bucket_number(fp) == 6
+        )
+        assert index.delete(victim)
+        assert index.lookup(spilled_from_5) == 98
+        assert audit_index(index).ok
+
+
+class TestAuditStore:
+    def _store_one(self, repo, fp, size=100):
+        writer = ContainerWriter(64 * 1024, materialize=False)
+        writer.add(fp, size=size)
+        return ContainerManager(repo).store(writer).container_id
+
+    def test_clean_tpds_passes(self):
+        tpds, _ = make_tpds()
+        tpds.dedup1_backup(stream(make_fps(80)))
+        tpds.dedup2()
+        report = audit_tpds(tpds)
+        assert report.ok
+        assert report.counters["chunks"] == 80
+
+    def test_detects_orphaned_chunk(self):
+        tpds, repo = make_tpds()
+        fp = make_fps(1)[0]
+        self._store_one(repo, fp)
+        report = audit_store(tpds.index, repo, tpds.checking)
+        assert not report.ok
+        assert report.has("chunk-orphaned")
+
+    def test_detects_dangling_index_entry(self):
+        tpds, repo = make_tpds()
+        tpds.index.insert(make_fps(1)[0], 7)
+        report = audit_store(tpds.index, repo, tpds.checking)
+        assert report.has("index-dangling")
+
+    def test_detects_index_mismatch(self):
+        tpds, repo = make_tpds()
+        fp = make_fps(1)[0]
+        cid = self._store_one(repo, fp)
+        tpds.index.insert(fp, cid + 17)
+        report = audit_store(tpds.index, repo, tpds.checking)
+        assert report.has("index-mismatch")
+
+    def test_detects_duplicate_store(self):
+        tpds, repo = make_tpds()
+        fp = make_fps(1)[0]
+        cid = self._store_one(repo, fp)
+        self._store_one(repo, fp)
+        tpds.index.insert(fp, cid)
+        report = audit_store(tpds.index, repo, tpds.checking)
+        assert report.has("duplicate-store")
+
+    def test_pending_in_checking_is_legal(self):
+        # The SIL -> SIU window: stored, not yet indexed, but covered.
+        tpds, repo = make_tpds()
+        fp = make_fps(1)[0]
+        cid = self._store_one(repo, fp)
+        tpds.checking.append({fp: cid})
+        report = audit_store(tpds.index, repo, tpds.checking)
+        assert report.ok
+        assert report.counters["checking_pending"] == 1
+
+    def test_detects_dangling_checking_entry(self):
+        tpds, repo = make_tpds()
+        tpds.checking.append({make_fps(1)[0]: 42})
+        report = audit_store(tpds.index, repo, tpds.checking)
+        assert report.has("checking-dangling")
+
+    def test_stale_checking_entry_is_warning(self):
+        tpds, repo = make_tpds()
+        fp = make_fps(1)[0]
+        cid = self._store_one(repo, fp)
+        tpds.index.insert(fp, cid)
+        tpds.checking.append({fp: cid})  # registered but never drained
+        report = audit_store(tpds.index, repo, tpds.checking)
+        assert report.ok  # warning severity: harmless but worth surfacing
+        assert report.has("checking-stale")
+        assert report.warnings
+
+    def test_rebuild_clears_orphans(self):
+        tpds, repo = make_tpds()
+        tpds.dedup1_backup(stream(make_fps(50)))
+        tpds.dedup2()
+        # Lose the index entirely (the disaster recover_index handles).
+        tpds.index = DiskIndex(8, bucket_bytes=512)
+        tpds.checking = CheckingFile()
+        assert audit_tpds(tpds).has("chunk-orphaned")
+        tpds.index = DiskIndex.rebuild_from_entries(
+            repo.iter_index_entries(), 8, bucket_bytes=512
+        )
+        assert audit_tpds(tpds).ok
+
+
+class TestAuditRestorability:
+    def test_unresolvable_fingerprint_flagged(self):
+        tpds, repo = make_tpds()
+        fp = make_fps(1)[0]
+        report = audit_restorability([("r1", [fp])], tpds.index.lookup, repo)
+        assert report.has("chunk-unrestorable")
+
+    def test_missing_container_flagged(self):
+        tpds, repo = make_tpds()
+        fp = make_fps(1)[0]
+        tpds.index.insert(fp, 12345)
+        report = audit_restorability([("r1", [fp])], tpds.index.lookup, repo)
+        assert report.has("chunk-unrestorable")
+
+    def test_deep_verifies_materialized_payloads(self):
+        tpds, repo = make_tpds(materialize=True)
+        payloads = [b"chunk-%04d" % i * 50 for i in range(20)]
+        chunks = [(sha1(data), len(data), data) for data in payloads]
+        tpds.dedup1_backup(chunks)
+        tpds.dedup2()
+        report = audit_restorability(
+            [("r1", [fp for fp, _, _ in chunks])],
+            tpds.index.lookup,
+            repo,
+            deep=True,
+        )
+        assert report.ok
+        assert report.counters["payloads_verified"] == 20
+
+    def test_deep_detects_corrupt_payload(self):
+        tpds, repo = make_tpds(materialize=True)
+        data = b"precious bytes" * 100
+        fp = sha1(data)
+        tpds.dedup1_backup([(fp, len(data), data)])
+        tpds.dedup2()
+        cid = tpds.index.lookup(fp)
+        container = repo.fetch(cid)
+        container.data = bytes(len(container.data))  # zero the payload region
+        report = audit_restorability(
+            [("r1", [fp])], tpds.index.lookup, repo, deep=True
+        )
+        assert report.has("payload-corrupt")
+
+
+class TestSystemAudits:
+    def test_debar_system_audits_clean(self):
+        system = DebarSystem()
+        job = system.define_job("j", "client")
+        system.backup_stream(job, stream(make_fps(120)))
+        system.run_dedup2(force_siu=True)
+        report = system.audit()
+        assert report.ok
+        assert report.counters["runs"] == 1
+        assert report.counters["run_fingerprints"] == 120
+
+    def test_system_audit_finds_lost_entries(self):
+        system = DebarSystem()
+        job = system.define_job("j", "client")
+        fps = make_fps(60)
+        system.backup_stream(job, stream(fps))
+        system.run_dedup2(force_siu=True)
+        tpds = system.server.tpds
+        assert tpds.index.delete(fps[7])
+        report = system.audit()
+        assert not report.ok
+        assert report.has("chunk-orphaned")
+        assert report.has("chunk-unrestorable")
+
+
+class TestClusterAudit:
+    def _cluster(self, **kwargs):
+        cfg = BackupServerConfig(
+            index_n_bits=8,
+            index_bucket_bytes=512,
+            container_bytes=64 * 1024,
+            filter_capacity=4096,
+            siu_every=kwargs.pop("siu_every", 1),
+        )
+        return DebarCluster(w_bits=kwargs.pop("w_bits", 2), config=cfg)
+
+    def test_cluster_audits_clean_after_each_round(self):
+        cluster = self._cluster(siu_every=2)
+        for round_no in range(3):
+            job = cluster.director.define_job(f"j{round_no}", "c", [])
+            cluster.backup_streams(
+                [(job, stream(make_fps(100, start=round_no * 1000)))]
+            )
+            cluster.run_dedup2()
+            # Mid-window rounds (PSIU deferred) must still audit clean:
+            # the checking files cover every stored-but-unregistered chunk.
+            report = cluster.audit()
+            assert report.ok, report.summary()
+        cluster.run_dedup2(force_psiu=True)
+        assert cluster.audit().ok
+
+    def test_cluster_restorability_routes_to_owner(self):
+        cluster = self._cluster()
+        fps = make_fps(150)
+        job = cluster.director.define_job("j", "c", [])
+        cluster.backup_streams([(job, stream(fps))])
+        cluster.run_dedup2(force_psiu=True)
+        report = cluster.audit()
+        assert report.ok
+        assert report.counters["run_fingerprints"] == 150
+
+    def test_cluster_audit_pinpoints_damaged_part(self):
+        cluster = self._cluster()
+        fps = make_fps(100)
+        job = cluster.director.define_job("j", "c", [])
+        cluster.backup_streams([(job, stream(fps))])
+        cluster.run_dedup2(force_psiu=True)
+        owner = cluster.servers[cluster.owner_of(fps[0])]
+        assert owner.index.delete(fps[0])
+        report = cluster.audit()
+        assert not report.ok
+        assert report.has("chunk-orphaned")
+        assert report.has("chunk-unrestorable")
+
+
+class TestDurabilityFinding:
+    def test_memory_migrated_vault_index_flagged(self, tmp_path):
+        """Pre-fix reproduction: capacity scaling used to silently rebuild a
+        file-backed index onto a MemoryBlockStore; the durability check
+        exists to catch exactly that state."""
+        from repro.system.vault import DebarVault
+
+        data = tmp_path / "data"
+        data.mkdir()
+        (data / "f.bin").write_bytes(b"payload" * 4096)
+        vault = DebarVault(tmp_path / "vault", index_n_bits=6)
+        vault.backup("job", [data])
+        assert vault.audit(deep=True).ok
+        old = vault.tpds.index
+        vault.tpds.index = old.scale_capacity(
+            store=MemoryBlockStore(2 * old.size_bytes)
+        )
+        report = vault.audit()
+        assert not report.ok
+        assert report.has("durability")
+        vault.close()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser
+from repro.cli import build_parser, main
 
 
 class TestParser:
@@ -12,7 +12,7 @@ class TestParser:
             a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
         )
         assert set(sub.choices) == {
-            "backup", "list", "restore", "verify", "stats",
+            "backup", "list", "restore", "verify", "audit", "stats",
             "forget", "gc", "recover-index",
         }
 
@@ -32,6 +32,13 @@ class TestParser:
         assert args.run == 3
         assert args.strip_prefix == "/"
 
+    def test_audit_deep_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(["audit", "--vault", "/v"])
+        assert args.deep is False
+        args = parser.parse_args(["audit", "--vault", "/v", "--deep"])
+        assert args.deep is True
+
     def test_gc_threshold_default(self):
         parser = build_parser()
         args = parser.parse_args(["gc", "--vault", "/v"])
@@ -39,10 +46,18 @@ class TestParser:
 
     def test_vault_required_everywhere(self):
         parser = build_parser()
-        for cmd in ("list", "verify", "stats", "recover-index"):
+        for cmd in ("list", "verify", "audit", "stats", "recover-index"):
             with pytest.raises(SystemExit):
                 parser.parse_args([cmd])
 
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_audit_refuses_missing_vault(self, tmp_path, capsys):
+        # Opening a vault creates one; the auditor must not conjure an
+        # empty vault out of a mistyped path and report it clean.
+        missing = tmp_path / "no-such-vault"
+        assert main(["audit", "--vault", str(missing)]) == 1
+        assert "no vault" in capsys.readouterr().err
+        assert not missing.exists()

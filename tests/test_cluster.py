@@ -84,6 +84,7 @@ class TestClusterDedup2:
         stats = cluster.run_dedup2(force_psiu=True)
         assert stats.new_chunks_stored == 600
         assert stats.fingerprints_updated == 600
+        assert cluster.audit().ok
         # Every fingerprint lives in its owner's index part.
         for fps in fps_all:
             for fp in fps:
@@ -101,6 +102,7 @@ class TestClusterDedup2:
         assert stats.new_chunks_stored == 100
         assert stats.duplicate_chunks == 300
         assert cluster.physical_bytes_stored == 100 * 8192
+        assert cluster.audit().ok
 
     def test_second_round_all_duplicates_via_psil(self):
         cluster = make_cluster(w_bits=2)
@@ -108,11 +110,13 @@ class TestClusterDedup2:
         j1 = cluster.director.define_job("j1", "c", [])
         cluster.backup_streams([(j1, stream(fps))])
         cluster.run_dedup2(force_psiu=True)
+        assert cluster.audit().ok
         j2 = cluster.director.define_job("j2", "c", [])
         cluster.backup_streams([(j2, stream(fps))])
         stats = cluster.run_dedup2(force_psiu=True)
         assert stats.new_chunks_stored == 0
         assert stats.duplicate_chunks == 200
+        assert cluster.audit().ok
 
     def test_asynchronous_psiu_policy(self):
         cluster = make_cluster(w_bits=1, siu_every=2)
@@ -120,11 +124,15 @@ class TestClusterDedup2:
         cluster.backup_streams([(j1, stream(make_fps(50)))])
         s1 = cluster.run_dedup2()
         assert not s1.psiu_performed
+        # Mid-window (PSIU deferred): the checking files keep the cluster
+        # consistent, so the round still audits clean.
+        assert cluster.audit().ok
         j2 = cluster.director.define_job("j2", "c", [])
         cluster.backup_streams([(j2, stream(make_fps(50, start=100)))])
         s2 = cluster.run_dedup2()
         assert s2.psiu_performed
         assert s2.fingerprints_updated == 100
+        assert cluster.audit().ok
 
     def test_checking_file_across_rounds_without_psiu(self):
         cluster = make_cluster(w_bits=2, siu_every=100)
@@ -132,11 +140,13 @@ class TestClusterDedup2:
         j1 = cluster.director.define_job("j1", "c", [])
         cluster.backup_streams([(j1, stream(fps))])
         cluster.run_dedup2()
+        assert cluster.audit().ok
         j2 = cluster.director.define_job("j2", "c", [])
         cluster.backup_streams([(j2, stream(fps))])
         stats = cluster.run_dedup2()
         assert stats.new_chunks_stored == 0
         assert cluster.physical_bytes_stored == 80 * 8192
+        assert cluster.audit().ok
 
     def test_exchange_bytes_accounted(self):
         cluster = make_cluster(w_bits=2)

@@ -224,6 +224,142 @@ class TestOverflow:
         assert index.full_bucket_fraction() == pytest.approx(1 / 16)
 
 
+class TestPullBackCascade:
+    def _fps_for_bucket(self, index, bucket, count, start=0):
+        out = []
+        offset = start
+        while len(out) < count:
+            batch = make_fps(200, start=offset)
+            out.extend(fp for fp in batch if index.bucket_number(fp) == bucket)
+            offset += 200
+        return out[:count]
+
+    def _build_overflow_chain(self, index):
+        """Three adjacent full buckets with a two-link overflow chain:
+        bucket 6's spill sits in 5, bucket 5's spill sits in 4."""
+        cap = index.bucket_capacity
+        for i, fp in enumerate(self._fps_for_bucket(index, 7, cap, start=70_000)):
+            index.insert(fp, i)  # 7 full: forces 6's overflow leftward
+        for i, fp in enumerate(self._fps_for_bucket(index, 6, cap, start=60_000)):
+            index.insert(fp, i)
+        index.insert(self._fps_for_bucket(index, 6, 1, start=90_000)[0], 99)
+        for i, fp in enumerate(self._fps_for_bucket(index, 5, cap - 1, start=50_000)):
+            index.insert(fp, i)  # 5 now full (holds 6's spill)
+        spilled = self._fps_for_bucket(index, 5, 1, start=95_000)[0]
+        index.insert(spilled, 98)  # 6 full, so 5's spill lands in 4
+        return spilled
+
+    def test_delete_chain_pulls_back_transitively(self):
+        """Regression: deleting from a full bucket whose neighbour is also
+        full must cascade the pull-back, or the neighbour's own overflow
+        (two buckets from home) becomes unreachable."""
+        index = DiskIndex(4, bucket_bytes=512)
+        spilled = self._build_overflow_chain(index)
+        assert index.lookup(spilled) == 98
+        victim = next(
+            fp for fp, _ in index.read_bucket(6).entries
+            if index.bucket_number(fp) == 6
+        )
+        assert index.delete(victim)
+        # The cascade re-homed both links of the chain.
+        assert index.lookup(spilled) == 98
+        assert index.read_bucket(index.bucket_number(spilled)).find(spilled) == 98
+        for fp, cid in index.iter_entries():
+            assert index.lookup(fp) == cid
+
+    def test_delete_chain_audits_clean(self):
+        from repro.audit import audit_index
+
+        index = DiskIndex(4, bucket_bytes=512)
+        self._build_overflow_chain(index)
+        victim = next(
+            fp for fp, _ in index.read_bucket(6).entries
+            if index.bucket_number(fp) == 6
+        )
+        index.delete(victim)
+        assert audit_index(index).ok
+
+    def test_every_delete_preserves_reachability(self):
+        # Drain the whole chained state one delete at a time; no order of
+        # deletions may strand a surviving entry.
+        index = DiskIndex(4, bucket_bytes=512)
+        self._build_overflow_chain(index)
+        remaining = dict(index.iter_entries())
+        for fp in list(remaining):
+            assert index.delete(fp)
+            del remaining[fp]
+            for other, cid in remaining.items():
+                assert index.lookup(other) == cid
+
+
+class TestDegenerateSmallIndex:
+    """n_bits == 1: both 'adjacent' buckets are the same bucket."""
+
+    def _fps_for_bucket(self, index, bucket, count):
+        out, offset = [], 0
+        while len(out) < count:
+            batch = make_fps(200, start=offset)
+            out.extend(fp for fp in batch if index.bucket_number(fp) == bucket)
+            offset += 200
+        return out[:count]
+
+    def test_single_distinct_neighbour(self):
+        index = DiskIndex(1, bucket_bytes=512)
+        assert index.neighbours(0) == (1,)
+        assert index.neighbours(1) == (0,)
+        # Two buckets: each neighbours the other once, not twice.
+        wider = DiskIndex(2, bucket_bytes=512)
+        assert wider.neighbours(0) == (3, 1)
+
+    def test_overflow_lands_in_the_single_neighbour(self):
+        index = DiskIndex(1, bucket_bytes=512)
+        cap = index.bucket_capacity
+        fps = self._fps_for_bucket(index, 0, cap + 2)
+        for i, fp in enumerate(fps):
+            index.insert(fp, i)
+        for i, fp in enumerate(fps):
+            assert index.lookup(fp) == i
+        assert len(index.read_bucket(1).entries) == 2
+
+    def test_honest_probe_count(self):
+        # A miss in a full home bucket probes exactly one neighbour, not
+        # the same bucket twice.
+        index = DiskIndex(1, bucket_bytes=512)
+        cap = index.bucket_capacity
+        for i, fp in enumerate(self._fps_for_bucket(index, 0, cap)):
+            index.insert(fp, i)
+        missing = self._fps_for_bucket(index, 0, cap + 1)[cap]
+        cid, probes = index.lookup_with_probes(missing)
+        assert cid is None
+        assert probes == 2
+
+    def test_full_error_when_both_buckets_full(self):
+        index = DiskIndex(1, bucket_bytes=512)
+        cap = index.bucket_capacity
+        fps = self._fps_for_bucket(index, 0, cap) + self._fps_for_bucket(
+            index, 1, cap
+        )
+        for i, fp in enumerate(fps):
+            index.insert(fp, i)
+        extra = self._fps_for_bucket(index, 0, cap + 1)[cap]
+        with pytest.raises(IndexFullError):
+            index.insert(extra, 0)
+
+    def test_delete_pull_back_in_two_bucket_index(self):
+        from repro.audit import audit_index
+
+        index = DiskIndex(1, bucket_bytes=512)
+        cap = index.bucket_capacity
+        fps = self._fps_for_bucket(index, 0, cap + 1)
+        for i, fp in enumerate(fps):
+            index.insert(fp, i)
+        assert index.delete(fps[0])
+        # The spilled entry is pulled home; the invariant holds.
+        for i, fp in enumerate(fps[1:], start=1):
+            assert index.lookup(fp) == i
+        assert audit_index(index).ok
+
+
 class TestBucketIO:
     def test_read_bucket_range(self):
         index = DiskIndex(4, bucket_bytes=512)

@@ -1,0 +1,331 @@
+"""Fault-injection harness: crash dedup-2 at every step boundary and prove
+the auditor either passes (the state is a legal window) or pinpoints the
+damage, and that index reconstruction recovers it (Sections 4.1 and 5.4).
+"""
+
+import pytest
+
+from repro.audit import (
+    CONTAINER_SEALED,
+    CRASH_POINTS,
+    POST_SIL,
+    POST_SIU,
+    PRE_SIU,
+    SCALE_BUCKET,
+    FaultPlan,
+    InjectedCrash,
+    audit_index,
+    audit_tpds,
+    inject,
+)
+from repro.core.checking import CheckingFile
+from repro.core.disk_index import DiskIndex
+from repro.core.tpds import TwoPhaseDeduplicator
+from repro.storage import ChunkRepository, FileBlockStore
+from repro.system.vault import DebarVault
+from tests.conftest import make_fps
+
+
+def make_tpds(siu_every=1, n_bits=8, cache_capacity=1 << 20):
+    index = DiskIndex(n_bits, bucket_bytes=512)
+    repo = ChunkRepository()
+    tpds = TwoPhaseDeduplicator(
+        index,
+        repo,
+        filter_capacity=4096,
+        cache_capacity=cache_capacity,
+        container_bytes=64 * 1024,
+        siu_every=siu_every,
+    )
+    return tpds, repo
+
+
+def stream(fps, size=8192):
+    return [(fp, size) for fp in fps]
+
+
+def rebuild_index(tpds, repo):
+    """The paper's disaster recovery: rebuild the index part from the
+    repository's container metadata sections."""
+    tpds.index = DiskIndex.rebuild_from_entries(
+        repo.iter_index_entries(), tpds.index.n_bits, bucket_bytes=512
+    )
+
+
+class TestFaultPlan:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan("mid_air")
+        with pytest.raises(ValueError):
+            FaultPlan(POST_SIL, occurrence=0)
+
+    def test_fires_exactly_once_at_nth_hit(self):
+        plan = FaultPlan(CONTAINER_SEALED, occurrence=2)
+        plan(POST_SIL)
+        plan(CONTAINER_SEALED)
+        with pytest.raises(InjectedCrash) as exc:
+            plan(CONTAINER_SEALED)
+        assert exc.value.point == CONTAINER_SEALED
+        assert exc.value.occurrence == 2
+        plan(CONTAINER_SEALED)  # spent: never fires again
+        assert plan.hits == {POST_SIL: 1, CONTAINER_SEALED: 3}
+
+    def test_inject_restores_previous_hook(self):
+        tpds, _ = make_tpds()
+        previous = FaultPlan(PRE_SIU, occurrence=99)
+        tpds.fault_hook = previous
+        with inject(tpds, POST_SIL) as plan:
+            assert tpds.fault_hook is plan
+        assert tpds.fault_hook is previous
+
+    def test_hook_checkpoints_cover_the_pipeline(self):
+        tpds, _ = make_tpds()
+        seen = []
+        tpds.fault_hook = seen.append
+        tpds.dedup1_backup(stream(make_fps(30)))
+        tpds.dedup2(force_siu=True)
+        assert seen[0] == POST_SIL
+        assert CONTAINER_SEALED in seen
+        assert seen.index(PRE_SIU) > seen.index(CONTAINER_SEALED)
+        assert seen[-1] == POST_SIU
+        assert set(seen) <= set(CRASH_POINTS)
+
+
+class TestCrashPoints:
+    """Kill dedup-2 at each boundary; the auditor must classify the wreck."""
+
+    def test_crash_post_sil_leaves_store_consistent(self):
+        tpds, _ = make_tpds()
+        tpds.dedup1_backup(stream(make_fps(50)))
+        with inject(tpds, POST_SIL):
+            with pytest.raises(InjectedCrash):
+                tpds.dedup2(force_siu=True)
+        # Nothing was persisted yet; the chunk log still holds the records.
+        assert audit_tpds(tpds).ok
+        assert len(tpds.chunk_log) == 50
+
+    def test_crash_mid_chunk_storing_orphans_then_recovers(self):
+        tpds, repo = make_tpds()
+        fps = make_fps(50)
+        tpds.dedup1_backup(stream(fps))
+        with inject(tpds, CONTAINER_SEALED, occurrence=2):
+            with pytest.raises(InjectedCrash):
+                tpds.dedup2(force_siu=True)
+        # Sealed containers landed; neither index nor checking knows them.
+        report = audit_tpds(tpds)
+        assert not report.ok
+        assert report.codes() == ["chunk-orphaned"]
+        rebuild_index(tpds, repo)
+        assert audit_tpds(tpds).ok
+        for container in repo.iter_containers():
+            for record in container.records:
+                assert tpds.index.lookup(record.fingerprint) is not None
+
+    def test_crash_pre_siu_is_a_legal_window(self):
+        tpds, repo = make_tpds()
+        fps = make_fps(50)
+        tpds.dedup1_backup(stream(fps))
+        with inject(tpds, PRE_SIU):
+            with pytest.raises(InjectedCrash):
+                tpds.dedup2(force_siu=True)
+        # The checking file covers every stored chunk: legal state.
+        assert audit_tpds(tpds).ok
+        assert len(tpds.index) == 0
+        assert len(tpds.checking) == 50
+        # Losing the checking file turns the window into damage...
+        tpds.checking = CheckingFile()
+        report = audit_tpds(tpds)
+        assert not report.ok
+        assert report.has("chunk-orphaned")
+        # ...and reconstruction from container metadata repairs it.
+        rebuild_index(tpds, repo)
+        assert audit_tpds(tpds).ok
+        for fp in fps:
+            assert tpds.index.lookup(fp) is not None
+
+    def test_crash_post_siu_is_fully_durable(self):
+        tpds, _ = make_tpds()
+        tpds.dedup1_backup(stream(make_fps(50)))
+        with inject(tpds, POST_SIU):
+            with pytest.raises(InjectedCrash):
+                tpds.dedup2(force_siu=True)
+        assert audit_tpds(tpds).ok
+        assert len(tpds.index) == 50
+        assert len(tpds.checking) == 0
+
+
+class TestScaleCrash:
+    def test_crash_between_bucket_migrations_preserves_old_index(self):
+        tpds, repo = make_tpds(n_bits=2)
+        fps = make_fps(120)
+        tpds.dedup1_backup(stream(fps))
+        with inject(tpds, SCALE_BUCKET, occurrence=2):
+            with pytest.raises(InjectedCrash):
+                tpds.dedup2(force_siu=True)
+        # The scaling aborted: the engine still holds the old index, and
+        # every stored chunk is covered by the checking file.
+        assert tpds.index.n_bits == 2
+        assert audit_tpds(tpds).ok
+        # A restart retries SIU; scaling completes and everything lands.
+        tpds.run_siu_now()
+        assert tpds.index.n_bits > 2
+        assert audit_tpds(tpds).ok
+        for fp in fps:
+            assert tpds.index.lookup(fp) is not None
+
+    def test_file_backed_crash_leaves_original_file_untouched(self, tmp_path):
+        path = tmp_path / "idx.bin"
+        index = DiskIndex(4, bucket_bytes=512, store=FileBlockStore(path, 16 * 512))
+        fps = make_fps(100)
+        for i, fp in enumerate(fps):
+            index.insert(fp, i)
+        index.store.flush()
+
+        calls = []
+
+        def crash_at_third(k):
+            calls.append(k)
+            if len(calls) == 3:
+                raise InjectedCrash(SCALE_BUCKET, 3)
+
+        with pytest.raises(InjectedCrash):
+            index.scale_capacity(checkpoint=crash_at_third)
+        # The temp successor is cleaned up and the original never renamed.
+        assert not path.with_name("idx.bin.scale").exists()
+        assert index.store.path == path
+        assert audit_index(index).ok
+        for i, fp in enumerate(fps):
+            assert index.lookup(fp) == i
+        # A retry from the same index completes normally.
+        scaled = index.scale_capacity()
+        assert scaled.n_bits == 5
+        assert scaled.store.path == path
+        assert dict(scaled.iter_entries()) == {fp: i for i, fp in enumerate(fps)}
+
+
+class TestSilSiuWindow:
+    """The Section 5.4 window: asynchronous SIU (siu_every > 1) with
+    interleaved backups, with and without a crash inside the window."""
+
+    def test_interleaved_backups_store_once_and_audit_clean(self):
+        tpds, repo = make_tpds(siu_every=3)
+        fps = make_fps(60)
+        tpds.dedup1_backup(stream(fps))
+        s1 = tpds.dedup2()
+        assert not s1.siu_performed and s1.new_chunks_stored == 60
+        assert audit_tpds(tpds).ok  # window open, checking file covers
+        # A second backup of the same data inside the window: the checking
+        # file (not the still-empty index) must resolve every duplicate.
+        tpds.dedup1_backup(stream(fps))
+        s2 = tpds.dedup2()
+        assert s2.new_chunks_stored == 0
+        assert s2.duplicate_chunks == 60
+        assert audit_tpds(tpds).ok
+        # Third round: fresh data, and the SIU policy finally fires.
+        more = make_fps(40, start=1000)
+        tpds.dedup1_backup(stream(more))
+        s3 = tpds.dedup2()
+        assert s3.siu_performed
+        assert len(tpds.index) == 100
+        assert len(tpds.checking) == 0
+        report = audit_tpds(tpds)
+        assert report.ok
+        assert not report.has("duplicate-store")
+
+    def test_crash_inside_window_recovers(self):
+        tpds, repo = make_tpds(siu_every=5)
+        first = make_fps(40)
+        tpds.dedup1_backup(stream(first))
+        tpds.dedup2()  # stores, no SIU: window open
+        second = make_fps(40, start=500)
+        tpds.dedup1_backup(stream(second))
+        with inject(tpds, CONTAINER_SEALED):
+            with pytest.raises(InjectedCrash):
+                tpds.dedup2()
+        # First round's chunks are covered by the checking file; the
+        # crashed round's sealed container is orphaned — and nothing else.
+        report = audit_tpds(tpds)
+        assert not report.ok
+        assert report.codes() == ["chunk-orphaned"]
+        assert not report.has("duplicate-store")
+        rebuild_index(tpds, repo)
+        assert audit_tpds(tpds).ok
+        for fp in first:
+            assert tpds.index.lookup(fp) is not None
+
+
+class TestVaultCrashRoundTrip:
+    """The acceptance round trip: backup -> crash -> audit -> rebuild ->
+    restore, all against a real file-backed vault."""
+
+    def _write_tree(self, root, tag, files=3, size=40 * 1024):
+        # Deterministic incompressible content: repeating patterns would
+        # collapse under CDC and not exercise the index at all.
+        import random
+
+        root.mkdir(exist_ok=True)
+        for i in range(files):
+            rng = random.Random(sum(tag.encode()) * 1000 + i)
+            (root / f"{tag}-{i}.bin").write_bytes(rng.randbytes(size))
+
+    def test_backup_crash_audit_rebuild_restore(self, tmp_path):
+        data = tmp_path / "data"
+        self._write_tree(data, "gen1")
+        vault = DebarVault(tmp_path / "vault", index_n_bits=6)
+        run1 = vault.backup("job", [data], timestamp=1.0)
+        assert vault.audit(deep=True).ok
+
+        # New generation of data, then a crash mid chunk-storing: sealed
+        # containers are on disk, but the run never made the catalog and
+        # the index/checking state died with the process.
+        self._write_tree(data, "gen2")
+        with inject(vault.tpds, CONTAINER_SEALED):
+            with pytest.raises(InjectedCrash):
+                vault.backup("job", [data], timestamp=2.0)
+        vault.close()
+
+        # "Restart": reopen from disk alone.
+        vault = DebarVault(tmp_path / "vault")
+        report = vault.audit()
+        assert not report.ok
+        assert report.has("chunk-orphaned")
+        assert not report.has("chunk-unrestorable")  # run 1 is intact
+
+        # Rebuild the index from container metadata; the audit goes clean.
+        recovered = vault.recover_index()
+        assert recovered > 0
+        report = vault.audit(deep=True)
+        assert report.ok, report.summary()
+
+        # The recorded run restores byte-identically.
+        restored = vault.restore(run1.run_id, tmp_path / "out")
+        assert len(restored) == 3
+        for path in restored:
+            original = data / path.name
+            assert path.read_bytes() == original.read_bytes()
+
+        # And the healed vault accepts the interrupted backup cleanly.
+        run2 = vault.backup("job", [data], timestamp=3.0)
+        assert vault.audit(deep=True).ok
+        restored2 = vault.restore(run2.run_id, tmp_path / "out2")
+        assert len(restored2) == 6
+        vault.close()
+
+    def test_vault_scaling_crash_keeps_vault_reopenable(self, tmp_path):
+        data = tmp_path / "data"
+        self._write_tree(data, "bulk", files=8, size=64 * 1024)
+        # A tiny index so the backup forces capacity scaling mid-SIU.
+        vault = DebarVault(tmp_path / "vault", index_n_bits=1)
+        with inject(vault.tpds, SCALE_BUCKET):
+            with pytest.raises(InjectedCrash):
+                vault.backup("job", [data], timestamp=1.0)
+        vault.close()
+        # The aborted scaling left no temp file and the original geometry.
+        vault_dir = tmp_path / "vault"
+        assert not (vault_dir / "index.bin.scale").exists()
+        vault = DebarVault(vault_dir)
+        assert vault.tpds.index.n_bits == 1
+        report = vault.audit()
+        # Orphans are expected (the run died before SIU); nothing else is.
+        assert set(report.codes()) <= {"chunk-orphaned"}
+        vault.close()

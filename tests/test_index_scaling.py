@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.disk_index import DiskIndex
+from repro.storage import FileBlockStore, MemoryBlockStore, SparseMemoryBlockStore
 from repro.util import bit_prefix
 from tests.conftest import make_fps
 
@@ -72,6 +73,80 @@ class TestCapacityScaling:
             index.insert(fp, i)
         scaled = index.scale_capacity()
         assert dict(scaled.iter_entries()) == dict(index.iter_entries())
+
+
+class TestScalingStorePreservation:
+    """Regression: scaling a file-backed index must stay file-backed —
+    the successor is built in a sibling temp file and atomically renamed
+    over the original, never silently migrated to memory."""
+
+    def test_file_backed_scaling_stays_on_disk(self, tmp_path):
+        path = tmp_path / "idx.bin"
+        index = DiskIndex(4, bucket_bytes=512, store=FileBlockStore(path, 16 * 512))
+        fps = make_fps(150)
+        for i, fp in enumerate(fps):
+            index.insert(fp, i)
+        scaled = index.scale_capacity()
+        assert isinstance(scaled.store, FileBlockStore)
+        assert scaled.store.path == path
+        assert not path.with_name("idx.bin.scale").exists()
+        assert len(scaled) == 150
+        for i, fp in enumerate(fps):
+            assert scaled.lookup(fp) == i
+
+    def test_file_backed_scaling_survives_reopen(self, tmp_path):
+        path = tmp_path / "idx.bin"
+        index = DiskIndex(4, bucket_bytes=512, store=FileBlockStore(path, 16 * 512))
+        fps = make_fps(100)
+        for i, fp in enumerate(fps):
+            index.insert(fp, i)
+        scaled = index.scale_capacity()
+        scaled.store.flush()
+        scaled.store.close()
+        # The on-disk file now has the doubled geometry.
+        assert path.stat().st_size == 32 * 512
+        reopened = DiskIndex(
+            5, bucket_bytes=512, store=FileBlockStore(path, 32 * 512)
+        )
+        assert dict(reopened.iter_entries()) == {fp: i for i, fp in enumerate(fps)}
+
+    def test_stale_scale_temp_is_discarded(self, tmp_path):
+        # A leftover temp from an interrupted scaling must not poison the
+        # next attempt (a non-empty store would mis-load bucket counts).
+        path = tmp_path / "idx.bin"
+        path.with_name("idx.bin.scale").write_bytes(b"\xff" * 32 * 512)
+        index = DiskIndex(4, bucket_bytes=512, store=FileBlockStore(path, 16 * 512))
+        for i, fp in enumerate(make_fps(50)):
+            index.insert(fp, i)
+        scaled = index.scale_capacity()
+        assert len(scaled) == 50
+        assert not path.with_name("idx.bin.scale").exists()
+
+    def test_sparse_store_scaling_stays_sparse(self):
+        index = DiskIndex(
+            4, bucket_bytes=512, store=SparseMemoryBlockStore(16 * 512)
+        )
+        for i, fp in enumerate(make_fps(60)):
+            index.insert(fp, i)
+        scaled = index.scale_capacity()
+        assert isinstance(scaled.store, SparseMemoryBlockStore)
+        assert len(scaled) == 60
+
+    def test_explicit_store_is_honoured(self):
+        index = DiskIndex(4, bucket_bytes=512)
+        for i, fp in enumerate(make_fps(40)):
+            index.insert(fp, i)
+        target = MemoryBlockStore(32 * 512)
+        scaled = index.scale_capacity(store=target)
+        assert scaled.store is target
+
+    def test_checkpoint_called_per_source_bucket(self):
+        index = DiskIndex(4, bucket_bytes=512)
+        for i, fp in enumerate(make_fps(40)):
+            index.insert(fp, i)
+        seen = []
+        index.scale_capacity(checkpoint=seen.append)
+        assert seen == list(range(16))
 
 
 class TestPerformanceScaling:

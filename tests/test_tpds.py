@@ -123,6 +123,29 @@ class TestDedup2:
         assert stats.sil_rounds == 4
         assert stats.new_chunks_stored == 100
 
+    def test_cross_round_duplicate_counted_and_stored_once(self):
+        """Regression: a fingerprint split across two SIL rounds (separate
+        dedup-1 sessions, so the preliminary filter cannot merge them) is
+        'new' in both rounds; the cache merge must count the later sighting
+        as a duplicate so the stats add up with the chunk-log replay."""
+        tpds, repo = make_tpds()
+        tpds.cache_capacity = 4
+        fps = make_fps(7)
+        tpds.dedup1_backup(stream(fps[:4]))          # round 1: a b c d
+        tpds.dedup1_backup(stream([fps[0]] + fps[4:]))  # round 2: a e f g
+        assert tpds.undetermined_count == 8
+        stats = tpds.dedup2()
+        assert stats.sil_rounds == 2
+        assert stats.new_chunks_stored == 7
+        assert stats.log_records_discarded == 1
+        assert stats.duplicate_chunks == 1
+        # Accounting identity: every log record is stored or discarded,
+        # and every undetermined fingerprint is new or duplicate.
+        assert stats.log_chunks_processed == 8
+        assert stats.new_chunks_stored + stats.duplicate_chunks == 8
+        assert len(tpds.index) == 7
+        assert repo.stored_chunk_bytes == 7 * 8192
+
     def test_stats_timing_decomposition(self):
         tpds, _ = make_tpds()
         tpds.dedup1_backup(stream(make_fps(100)))
