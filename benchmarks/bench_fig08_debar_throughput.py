@@ -5,10 +5,14 @@ of 641.6 MB/s (the filter keeps most bytes off the wire, so dedup-1 runs
 far above the 210 MB/s NIC); overall cumulative throughput 329.2 MB/s.
 
 Device times come from the paper-calibrated cost models, so the MB/s axis
-is directly comparable.
+is directly comparable.  Phase timings are read back from the telemetry
+registry the session fixture attaches (``meter.seconds`` counters), not
+re-derived from ad-hoc timers.
 """
 
-from conftest import print_table, save_series
+import pytest
+from conftest import print_table, volume_scale
+from harness import phase_timings, save_result
 
 from repro.util import MB, fmt_rate
 
@@ -44,6 +48,15 @@ def bench_fig08_debar_throughput(benchmark, hust_result, results_dir):
     assert 230 * MB < total_cum < 450 * MB
     assert d1_cum > total_cum > d2_cum
 
+    # Registry-sourced phase timings reproduce the per-day series sums:
+    # the Meter mirrored every charge into meter.seconds{category}.
+    phases = phase_timings(hust_result.telemetry)
+    d1_time = sum(r.dedup1_time for r in hust_result.days)
+    d2_time = sum(r.dedup2_time for r in hust_result.days)
+    assert phases["dedup1"] == pytest.approx(d1_time, rel=1e-9)
+    d2_phases = sum(phases.get(p, 0.0) for p in ("sil", "store", "siu", "scale"))
+    assert d2_phases == pytest.approx(d2_time, rel=1e-9)
+
     print_table(
         "Figure 8 — DEBAR throughput (sampled days)",
         ["day", "dedup-1 daily", "dedup-2 daily"],
@@ -60,14 +73,19 @@ def bench_fig08_debar_throughput(benchmark, hust_result, results_dir):
         f"cumulative: dedup-1 {fmt_rate(d1_cum)} (paper 641.6MB/s), "
         f"dedup-2 {fmt_rate(d2_cum)}, total {fmt_rate(total_cum)} (paper 329.2MB/s)"
     )
-    save_series(
+    print("phase seconds (registry):",
+          {k: round(v, 2) for k, v in sorted(phases.items())})
+    save_result(
         results_dir,
         "fig08_debar_throughput",
-        {
+        params={"scale": volume_scale(), "days": len(rows)},
+        metrics={
             "rows": rows,
             "dedup1_cum_MBps": d1_cum / MB,
             "dedup2_cum_MBps": d2_cum / MB,
             "total_cum_MBps": total_cum / MB,
+            "phase_seconds": phases,
             "paper": {"dedup1_cum_MBps": 641.6, "total_cum_MBps": 329.2},
         },
+        registry=hust_result.telemetry,
     )

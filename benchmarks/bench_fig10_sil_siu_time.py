@@ -11,7 +11,8 @@ batch size.
 """
 
 import pytest
-from conftest import print_table, save_series
+from conftest import print_table
+from harness import meter_seconds, save_result, telemetry_session
 
 from repro.analysis import sil_time, siu_time
 from repro.core.disk_index import DiskIndex
@@ -60,21 +61,34 @@ def bench_fig10_curve(benchmark, results_dir):
             for row in rows
         ],
     )
-    save_series(results_dir, "fig10_sil_siu_time", {"rows": rows, "paper": PAPER_POINTS_MIN})
+    save_result(
+        results_dir,
+        "fig10_sil_siu_time",
+        params={"index_sizes_gb": [32, 64, 128, 256, 512]},
+        metrics={"rows": rows, "paper": PAPER_POINTS_MIN},
+    )
 
 
 def _executed_times(n_bits: int, batch: int):
-    """Charged SIL/SIU time from real executions on a materialised index."""
+    """Charged SIL/SIU time from real executions on a materialised index.
+
+    The ``Meter`` mirrors every charge into the session registry's
+    ``meter.seconds{category}`` counters; timings are read back from
+    there, the same path the CLI and Figure 8 use.
+    """
     disk = paper_index_disk()
     gen = SyntheticFingerprints(0)
-    index = DiskIndex(n_bits, bucket_bytes=512)
-    sil_meter = Meter(SimClock())
-    SequentialIndexLookup(index).run(gen.fresh(batch), meter=sil_meter, disk=disk)
-    siu_meter = Meter(SimClock())
-    SequentialIndexUpdate(index).run(
-        {fp: 1 for fp in gen.fresh(batch)}, meter=siu_meter, disk=disk
-    )
-    return sil_meter.total("sil.scan"), siu_meter.total("siu")
+    with telemetry_session() as (registry, _tracer):
+        index = DiskIndex(n_bits, bucket_bytes=512)
+        SequentialIndexLookup(index).run(
+            gen.fresh(batch), meter=Meter(SimClock()), disk=disk
+        )
+        SequentialIndexUpdate(index).run(
+            {fp: 1 for fp in gen.fresh(batch)}, meter=Meter(SimClock()), disk=disk
+        )
+        sil = sum(meter_seconds(registry, prefix="sil.scan").values())
+        siu = sum(meter_seconds(registry, prefix="siu").values())
+    return sil, siu
 
 
 def bench_fig10_execution_scaling(benchmark, results_dir):
@@ -98,10 +112,11 @@ def bench_fig10_execution_scaling(benchmark, results_dir):
     )
     # ...and SIL time is independent of the number of fingerprints processed.
     assert sil_alt == pytest.approx(sil_small, rel=1e-6)
-    save_series(
+    save_result(
         results_dir,
         "fig10_execution_scaling",
-        {
+        params={"n_bits": [10, 13], "batches": [500, 2000]},
+        metrics={
             "sil_delta_seconds": sil_large - sil_small,
             "siu_delta_seconds": siu_large - siu_small,
             "sil_batch_invariance": sil_alt / sil_small,

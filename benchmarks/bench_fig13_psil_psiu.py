@@ -7,10 +7,13 @@ The measurement drives the real cluster machinery — partition, exchange,
 owner-side SIL sweeps, chunk storing, PSIU — at sigma-scaled volumes (see
 ``repro.analysis.cluster_experiment``); speeds are scale-invariant up to
 fixed seek/RTT terms, which cost us ~15-25 % versus the paper at the ends
-of the range.
+of the range.  The whole sweep runs under a telemetry session: the
+per-point fingerprint counts and exchange volumes are cross-checked
+against the cluster's own registry counters.
 """
 
-from conftest import volume_scale, print_table, save_series
+from conftest import volume_scale, print_table
+from harness import save_result, telemetry_session
 
 from repro.analysis.cluster_experiment import measure_psil_psiu
 from repro.util import GB, TB, fmt_bytes
@@ -23,11 +26,16 @@ PAPER_ENDPOINTS = {0.5 * TB: (3710, 1524), 8 * TB: (338, 135)}
 
 def bench_fig13_psil_psiu(benchmark, results_dir):
     sigma = (1.0 / 2048) * min(1.0, volume_scale())
+    captured = {}
 
     def run():
-        return [measure_psil_psiu(gb * GB, sigma=sigma) for gb in PART_SIZES_GB]
+        with telemetry_session() as (registry, _tracer):
+            points = [measure_psil_psiu(gb * GB, sigma=sigma) for gb in PART_SIZES_GB]
+            captured["registry"] = registry
+        return points
 
     points = benchmark.pedantic(run, rounds=1, iterations=1)
+    registry = captured["registry"]
 
     # Monotone decay with index size; PSIL above PSIU everywhere.
     psil = [p.psil_kfps for p in points]
@@ -49,6 +57,16 @@ def bench_fig13_psil_psiu(benchmark, results_dir):
     single = sil_efficiency(32 * GB, 1 * GB) / 1e3
     assert points[0].psil_kfps > 8 * single
 
+    # Registry cross-checks: the clusters' own counters saw every PSIL
+    # fingerprint, and the all-to-all exchanges balanced.
+    assert registry.total("cluster.psil.fingerprints") == sum(
+        p.fingerprints for p in points
+    )
+    sent = registry.total("cluster.exchange.bytes_sent")
+    received = registry.total("cluster.exchange.bytes_received")
+    assert sent == received
+    assert sent > 0
+
     print_table(
         "Figure 13 — PSIL/PSIU speed, 16 servers",
         ["total index", "PSIL (k fps)", "PSIU (k fps)", "paper PSIL", "paper PSIU"],
@@ -63,11 +81,11 @@ def bench_fig13_psil_psiu(benchmark, results_dir):
             for p in points
         ],
     )
-    save_series(
+    save_result(
         results_dir,
         "fig13_psil_psiu",
-        {
-            "sigma": sigma,
+        params={"sigma": sigma, "part_sizes_gb": list(PART_SIZES_GB)},
+        metrics={
             "points": [
                 {
                     "total_index_bytes": p.total_index_modeled_bytes,
@@ -76,6 +94,8 @@ def bench_fig13_psil_psiu(benchmark, results_dir):
                 }
                 for p in points
             ],
+            "exchange_bytes": sent,
             "paper": {str(k): v for k, v in PAPER_ENDPOINTS.items()},
         },
+        registry=registry,
     )

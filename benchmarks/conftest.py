@@ -4,15 +4,26 @@ Heavy experiments (the 31-day HUSt comparison) run once per session and
 are shared by every figure that reads their series.  Set the environment
 variable ``REPRO_BENCH_SCALE`` to shrink or grow the workload volumes
 (default 1.0 ≈ 48 k chunks/day; ratios are scale-invariant).
+
+Measurement/reporting helpers live in :mod:`harness`; ``print_table``,
+``save_series`` and ``volume_scale`` are re-exported here for the
+benchmarks that import them from conftest.
 """
 
 from __future__ import annotations
 
-import json
-import os
 from pathlib import Path
 
 import pytest
+
+# Re-exported for the bench modules (the helpers moved to harness.py).
+from harness import (  # noqa: F401
+    RESULTS_DIR,
+    print_table,
+    save_series,
+    telemetry_session,
+    volume_scale,
+)
 
 from repro.analysis.hust_experiment import (
     HustComparisonResult,
@@ -20,40 +31,23 @@ from repro.analysis.hust_experiment import (
     run_hust_comparison,
 )
 
-RESULTS_DIR = Path(__file__).parent / "results"
-
-
-def volume_scale() -> float:
-    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
-
 
 @pytest.fixture(scope="session")
 def hust_result() -> HustComparisonResult:
-    """The Section 6.1 DEBAR-vs-DDFS month, run once per session."""
+    """The Section 6.1 DEBAR-vs-DDFS month, run once per session.
+
+    Runs under a dedicated telemetry session; the registry is attached as
+    ``result.telemetry`` so benchmarks can read phase timings from the
+    ``meter.seconds`` counters instead of re-deriving them.
+    """
     hust_cfg, debar_cfg = paper_scaled_configs(scale=volume_scale())
-    return run_hust_comparison(hust_cfg, debar_config=debar_cfg)
+    with telemetry_session() as (registry, _tracer):
+        result = run_hust_comparison(hust_cfg, debar_config=debar_cfg)
+    result.telemetry = registry
+    return result
 
 
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
-
-
-def save_series(results_dir: Path, name: str, payload: dict) -> Path:
-    """Persist one reproduced figure/table as JSON under results/."""
-    path = results_dir / f"{name}.json"
-    path.write_text(json.dumps(payload, indent=2, default=float))
-    return path
-
-
-def print_table(title: str, headers, rows) -> None:
-    """Render a reproduced table to stdout (visible with pytest -s)."""
-    widths = [
-        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
-        for i, h in enumerate(headers)
-    ]
-    print(f"\n== {title} ==")
-    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
-    for row in rows:
-        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

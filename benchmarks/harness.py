@@ -1,0 +1,151 @@
+"""Telemetry-backed measurement harness shared by the figure benchmarks.
+
+Benchmarks used to hand-roll their own ``Meter`` bookkeeping and JSON
+result writing.  This module centralises both:
+
+- :func:`telemetry_session` gives each measured workload a fresh
+  :class:`~repro.telemetry.registry.MetricsRegistry` (and tracer), so any
+  ``Meter`` built inside the block mirrors its simulated-time charges into
+  the registry's ``meter.seconds{category=...}`` counters.
+- :func:`meter_seconds` / :func:`phase_timings` read those counters back —
+  the single source of phase timing for benchmark reports.
+- :func:`save_result` persists the shared result schema
+  ``{bench, params, metrics, telemetry}`` under ``results/``.
+
+``print_table``, ``save_series`` and ``volume_scale`` moved here from
+``conftest.py`` (which re-exports them for existing imports).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.telemetry.export import build_snapshot
+from repro.telemetry.registry import MetricsRegistry, get_registry, set_registry
+from repro.telemetry.tracing import Tracer, get_tracer, set_tracer
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Phase name -> prefixes of ``Meter`` categories charged to that phase.
+PHASE_CATEGORIES = {
+    "dedup1": ("dedup1",),
+    "sil": ("sil",),
+    "store": ("store",),
+    "siu": ("siu",),
+    "scale": ("scale",),
+    "exchange": ("exchange",),
+    "restore": ("restore",),
+    "ddfs": ("ddfs",),
+}
+
+
+def volume_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@contextmanager
+def telemetry_session() -> Iterator[Tuple[MetricsRegistry, Tracer]]:
+    """A fresh live registry + tracer for one measured workload.
+
+    Swaps the process-wide telemetry in for the duration of the block (so
+    components constructed inside bind live instruments) and restores the
+    previous registry/tracer afterwards.
+    """
+    prev_registry, prev_tracer = get_registry(), get_tracer()
+    registry, tracer = MetricsRegistry(), Tracer()
+    set_registry(registry)
+    set_tracer(tracer)
+    try:
+        yield registry, tracer
+    finally:
+        set_registry(prev_registry)
+        set_tracer(prev_tracer)
+
+
+def meter_seconds(
+    registry: MetricsRegistry, prefix: Optional[str] = None
+) -> Dict[str, float]:
+    """Charged simulated seconds per ``Meter`` category, from the registry.
+
+    ``prefix`` keeps only categories equal to it or underneath it
+    (``prefix="siu"`` matches ``siu.read``, ``siu.write``, ...).
+    """
+    out: Dict[str, float] = {}
+    for family in registry.families():
+        if family.name != "meter.seconds":
+            continue
+        for labels, child in family.samples():
+            category = labels.get("category", "")
+            if prefix is not None:
+                if not (category == prefix or category.startswith(prefix + ".")):
+                    continue
+            out[category] = out.get(category, 0.0) + child.value
+    return out
+
+
+def phase_timings(registry: MetricsRegistry) -> Dict[str, float]:
+    """Pipeline phase -> charged seconds, aggregated from ``meter.seconds``.
+
+    Categories map to phases by their first dotted component (see
+    ``PHASE_CATEGORIES``); unknown categories land under ``other``.
+    """
+    by_prefix = {
+        prefix: phase
+        for phase, prefixes in PHASE_CATEGORIES.items()
+        for prefix in prefixes
+    }
+    phases: Dict[str, float] = {}
+    for category, seconds in meter_seconds(registry).items():
+        head = category.split(".", 1)[0]
+        phase = by_prefix.get(head, "other")
+        phases[phase] = phases.get(phase, 0.0) + seconds
+    return phases
+
+
+def save_result(
+    results_dir: Path,
+    bench: str,
+    params: dict,
+    metrics: dict,
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> Path:
+    """Write one benchmark's result in the shared schema.
+
+    ``{bench, params, metrics, telemetry}`` — ``telemetry`` is the full
+    snapshot document when a registry is given, else ``None``.
+    """
+    payload = {
+        "bench": bench,
+        "params": params,
+        "metrics": metrics,
+        "telemetry": build_snapshot(registry, tracer)
+        if registry is not None
+        else None,
+    }
+    path = results_dir / f"{bench}.json"
+    path.write_text(json.dumps(payload, indent=2, default=float))
+    return path
+
+
+def save_series(results_dir: Path, name: str, payload: dict) -> Path:
+    """Persist one reproduced figure/table as JSON under results/."""
+    path = results_dir / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=float))
+    return path
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Render a reproduced table to stdout (visible with pytest -s)."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n== {title} ==")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

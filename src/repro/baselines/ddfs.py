@@ -221,7 +221,11 @@ class DdfsServer:
         while True:
             try:
                 SequentialIndexUpdate(self.index).run(
-                    entries, meter=self.meter, disk=self.rig.index_disk, cpu=self.rig.cpu
+                    entries,
+                    meter=self.meter,
+                    disk=self.rig.index_disk,
+                    cpu=self.rig.cpu,
+                    category="ddfs.siu",
                 )
                 break
             except IndexFullError:

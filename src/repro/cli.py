@@ -7,29 +7,75 @@
     python -m repro restore --vault ~/.debar --run 3 --dest /restore
     python -m repro verify  --vault ~/.debar
     python -m repro audit   --vault ~/.debar --deep
-    python -m repro stats   --vault ~/.debar
+    python -m repro stats   --vault ~/.debar [--telemetry]
+    python -m repro trace   backup --vault ~/.debar --job homedirs /data/home
     python -m repro recover-index --vault ~/.debar
+
+``--telemetry`` (on ``backup``, ``restore``, ``gc`` and ``stats``) turns on
+the metrics registry for the invocation; ``backup``/``restore``/``gc``
+persist the cumulative counters to ``<vault>/telemetry.json`` so a later
+``stats --telemetry`` can report across runs.  ``trace`` wraps ``backup`` or
+``restore`` and prints the span tree of the invocation.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 from pathlib import Path
 from typing import List, Optional
 
 from repro.system.vault import DebarVault, VaultError
+from repro.telemetry import enable as telemetry_enable
+from repro.telemetry.export import build_snapshot, merge_snapshot_file, save_snapshot
 from repro.util import fmt_bytes
+
+#: Per-vault cumulative telemetry snapshot (counters survive across runs).
+TELEMETRY_SNAPSHOT = "telemetry.json"
 
 
 def _open(args) -> DebarVault:
     return DebarVault(args.vault)
 
 
+def _telemetry_wanted(args) -> bool:
+    return getattr(args, "telemetry", False) or getattr(args, "trace", False)
+
+
+def _telemetry_begin(args):
+    """Enable telemetry for this invocation (before the vault is built, so
+    every component binds live instruments).  Returns (registry, tracer) or
+    (None, None) when telemetry was not requested."""
+    if not _telemetry_wanted(args):
+        return None, None
+    return telemetry_enable()
+
+
+def _telemetry_finish(args, registry, tracer) -> None:
+    """Fold the vault's persisted counters in, re-persist, honour --trace
+    and --telemetry-json."""
+    if registry is None:
+        return
+    path = Path(args.vault) / TELEMETRY_SNAPSHOT
+    merge_snapshot_file(path, registry)
+    snapshot = build_snapshot(registry, tracer)
+    save_snapshot(snapshot, path)
+    if getattr(args, "telemetry_json", None):
+        save_snapshot(snapshot, args.telemetry_json)
+        print(f"telemetry snapshot written to {args.telemetry_json}")
+    if getattr(args, "trace", False):
+        rendered = tracer.render()
+        if rendered:
+            print(rendered.rstrip("\n"))
+
+
 def cmd_backup(args) -> int:
+    registry, tracer = _telemetry_begin(args)
     with _open(args) as vault:
-        run = vault.backup(args.job, args.paths, timestamp=time.time())
+        # The timestamp comes from the vault's single clock helper
+        # (repro.telemetry.clock.wall_now), not a raw time.time() here.
+        run = vault.backup(args.job, args.paths)
         saved = run.logical_bytes - run.transferred_bytes
         print(
             f"run {run.run_id}: {len(run.files)} files, "
@@ -37,6 +83,7 @@ def cmd_backup(args) -> int:
             f"{fmt_bytes(run.transferred_bytes)} transferred "
             f"({fmt_bytes(saved)} filtered as duplicate)"
         )
+        _telemetry_finish(args, registry, tracer)
     return 0
 
 
@@ -57,9 +104,11 @@ def cmd_list(args) -> int:
 
 
 def cmd_restore(args) -> int:
+    registry, tracer = _telemetry_begin(args)
     with _open(args) as vault:
         paths = vault.restore(args.run, args.dest, strip_prefix=args.strip_prefix)
         print(f"restored {len(paths)} files to {args.dest}")
+        _telemetry_finish(args, registry, tracer)
     return 0
 
 
@@ -86,7 +135,11 @@ def cmd_audit(args) -> int:
 
 
 def cmd_stats(args) -> int:
+    registry, tracer = _telemetry_begin(args)
     with _open(args) as vault:
+        if registry is not None:
+            # Prior runs' counters accumulate under the live gauges.
+            merge_snapshot_file(Path(args.vault) / TELEMETRY_SNAPSHOT, registry)
         s = vault.stats()
         print(f"runs               : {s['runs']:.0f}")
         print(f"logical protected  : {fmt_bytes(s['logical_bytes'])}")
@@ -95,6 +148,13 @@ def cmd_stats(args) -> int:
         print(f"containers         : {s['containers']:.0f}")
         print(f"index entries      : {s['index_entries']:.0f} "
               f"({s['index_utilization']:.1%} utilized)")
+        if registry is not None:
+            snapshot = build_snapshot(registry, tracer)
+            if getattr(args, "telemetry_json", None):
+                save_snapshot(snapshot, args.telemetry_json)
+                print(f"telemetry snapshot written to {args.telemetry_json}")
+            else:
+                print(json.dumps(snapshot, indent=1, sort_keys=True))
     return 0
 
 
@@ -106,6 +166,7 @@ def cmd_forget(args) -> int:
 
 
 def cmd_gc(args) -> int:
+    registry, tracer = _telemetry_begin(args)
     with _open(args) as vault:
         report = vault.gc(rewrite_threshold=args.rewrite_threshold)
         print(
@@ -115,6 +176,7 @@ def cmd_gc(args) -> int:
             f"{report.containers_kept_with_dead} kept with dead space; "
             f"{fmt_bytes(report.bytes_reclaimed)} reclaimed"
         )
+        _telemetry_finish(args, registry, tracer)
     return 0
 
 
@@ -135,23 +197,48 @@ def build_parser() -> argparse.ArgumentParser:
     def common(p):
         p.add_argument("--vault", required=True, help="vault directory")
 
-    p = sub.add_parser("backup", help="back up files/directories under a job name")
-    common(p)
-    p.add_argument("--job", required=True)
-    p.add_argument("paths", nargs="+")
-    p.set_defaults(func=cmd_backup)
+    def telemetry_opts(p):
+        p.add_argument(
+            "--telemetry",
+            action="store_true",
+            help="collect metrics for this invocation (persisted in the vault)",
+        )
+        p.add_argument(
+            "--telemetry-json",
+            default=None,
+            metavar="PATH",
+            help="also write the telemetry snapshot JSON to PATH",
+        )
+
+    def add_backup(parent, trace: bool):
+        p = parent.add_parser(
+            "backup", help="back up files/directories under a job name"
+        )
+        common(p)
+        p.add_argument("--job", required=True)
+        p.add_argument("paths", nargs="+")
+        telemetry_opts(p)
+        p.set_defaults(func=cmd_backup, trace=trace)
+        return p
+
+    def add_restore(parent, trace: bool):
+        p = parent.add_parser("restore", help="restore one run")
+        common(p)
+        p.add_argument("--run", type=int, required=True)
+        p.add_argument("--dest", required=True)
+        p.add_argument("--strip-prefix", default="/")
+        telemetry_opts(p)
+        p.set_defaults(func=cmd_restore, trace=trace)
+        return p
+
+    add_backup(sub, trace=False)
 
     p = sub.add_parser("list", help="list recorded runs")
     common(p)
     p.add_argument("--job", default=None)
     p.set_defaults(func=cmd_list)
 
-    p = sub.add_parser("restore", help="restore one run")
-    common(p)
-    p.add_argument("--run", type=int, required=True)
-    p.add_argument("--dest", required=True)
-    p.add_argument("--strip-prefix", default="/")
-    p.set_defaults(func=cmd_restore)
+    add_restore(sub, trace=False)
 
     p = sub.add_parser("verify", help="check every catalogued fingerprint resolves")
     common(p)
@@ -168,6 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("stats", help="vault-level accounting")
     common(p)
+    telemetry_opts(p)
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("forget", help="drop a run from the catalog (retention)")
@@ -178,11 +266,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("gc", help="reclaim space from unreferenced chunks")
     common(p)
     p.add_argument("--rewrite-threshold", type=float, default=0.5)
+    telemetry_opts(p)
     p.set_defaults(func=cmd_gc)
 
     p = sub.add_parser("recover-index", help="rebuild the index from containers")
     common(p)
     p.set_defaults(func=cmd_recover_index)
+
+    p = sub.add_parser(
+        "trace", help="run a backup/restore with tracing and print the span tree"
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    add_backup(trace_sub, trace=True)
+    add_restore(trace_sub, trace=True)
 
     return parser
 

@@ -17,6 +17,7 @@ from typing import Iterable, Iterator, List, Sequence, Tuple, Union
 from repro.chunking.cdc import Chunk, ContentDefinedChunker
 from repro.director.metadata import FileIndexEntry, FileMetadata
 from repro.server.chunk_store import ChunkStore
+from repro.telemetry.registry import MetricsRegistry, get_registry
 
 PathLike = Union[str, Path]
 
@@ -24,11 +25,33 @@ PathLike = Union[str, Path]
 class BackupEngine:
     """Reads a job dataset, chunks and fingerprints it, and moves content."""
 
-    def __init__(self, client_name: str, chunker: ContentDefinedChunker = None) -> None:
+    def __init__(
+        self,
+        client_name: str,
+        chunker: ContentDefinedChunker = None,
+        registry: "MetricsRegistry" = None,
+    ) -> None:
         if not client_name:
             raise ValueError("client needs a name")
         self.client_name = client_name
         self.chunker = chunker if chunker is not None else ContentDefinedChunker()
+        registry = registry if registry is not None else get_registry()
+        label = {"client": client_name}
+        self._t_files = registry.counter(
+            "client.files_read", "files read and chunked by the backup engine"
+        ).labels(**label)
+        self._t_bytes = registry.counter(
+            "client.bytes_read", "bytes read from dataset files"
+        ).labels(**label)
+        self._t_chunks = registry.counter(
+            "client.chunks", "chunks produced by anchoring + fingerprinting"
+        ).labels(**label)
+        self._t_restored_files = registry.counter(
+            "client.files_restored", "files rebuilt from the chunk store"
+        ).labels(**label)
+        self._t_restored_bytes = registry.counter(
+            "client.bytes_restored", "bytes written while rebuilding files"
+        ).labels(**label)
 
     # -- backup side -------------------------------------------------------------
     def scan_dataset(self, dataset: Sequence[PathLike]) -> List[Path]:
@@ -52,7 +75,11 @@ class BackupEngine:
             path=str(path), size=stat.st_size, mode=stat.st_mode & 0o7777, mtime=stat.st_mtime
         )
         data = path.read_bytes()
-        return metadata, list(self.chunker.chunks(data))
+        chunks = list(self.chunker.chunks(data))
+        self._t_files.inc()
+        self._t_bytes.inc(len(data))
+        self._t_chunks.inc(len(chunks))
+        return metadata, chunks
 
     def iter_dataset(
         self, dataset: Sequence[PathLike]
@@ -83,6 +110,8 @@ class BackupEngine:
                 fh.write(chunk_store.read_chunk(fp))
         os.chmod(target, entry.metadata.mode)
         restored_size = target.stat().st_size
+        self._t_restored_files.inc()
+        self._t_restored_bytes.inc(restored_size)
         if restored_size != entry.metadata.size:
             raise IOError(
                 f"restore of {entry.metadata.path} produced {restored_size} bytes, "

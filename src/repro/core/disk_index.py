@@ -485,7 +485,33 @@ class DiskIndex:
         (if given) is called with each source bucket number after its
         entries migrate — the fault-injection hook.
         """
+        from repro.telemetry.registry import get_registry
+        from repro.telemetry.tracing import trace_span
+
+        registry = get_registry()
         successor = self._successor_store() if store is None else store
+        part = str(self.prefix_value) if self.prefix_bits else "0"
+        with trace_span("index.scale_capacity") as span:
+            span.annotate(from_n_bits=self.n_bits, to_n_bits=self.n_bits + 1, part=part)
+            span.set_io(bytes_in=self.size_bytes, bytes_out=2 * self.size_bytes)
+            new = self._scale_into(successor, store, checkpoint)
+        registry.counter(
+            "index.capacity_scalings", "capacity-scaling events (bucket count doubled)"
+        ).labels(part=part).inc()
+        registry.gauge(
+            "index.n_bits", "current bucket-count exponent per index part"
+        ).labels(part=part).set(new.n_bits)
+        registry.gauge(
+            "index.entries", "entries registered per index part"
+        ).labels(part=part).set(new.entry_count)
+        return new
+
+    def _scale_into(
+        self,
+        successor: Optional[BlockStore],
+        store: Optional[BlockStore],
+        checkpoint: Optional[Callable[[int], None]],
+    ) -> "DiskIndex":
         try:
             new = DiskIndex(
                 self.n_bits + 1,

@@ -29,9 +29,10 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from enum import Enum
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from repro.core.fingerprint import Fingerprint
+from repro.telemetry.registry import MetricsRegistry, get_registry
 
 
 class FilterDecision(Enum):
@@ -53,7 +54,7 @@ class PreliminaryFilter:
         node holds tens of millions; scaled runs pass smaller values).
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, registry: Optional[MetricsRegistry] = None) -> None:
         if capacity < 1:
             raise ValueError("filter capacity must be positive")
         self.capacity = capacity
@@ -63,6 +64,19 @@ class PreliminaryFilter:
         self.misses = 0
         self.evictions = 0
         self.replaced_new = 0
+        registry = registry if registry is not None else get_registry()
+        self._t_hits = registry.counter(
+            "prefilter.hits", "dedup-1 fingerprints filtered as duplicate"
+        ).labels()
+        self._t_misses = registry.counter(
+            "prefilter.misses", "dedup-1 fingerprints admitted as new/undetermined"
+        ).labels()
+        self._t_preloaded = registry.counter(
+            "prefilter.preloaded", "filtering fingerprints installed from job chains"
+        ).labels()
+        self._t_evictions = registry.counter(
+            "prefilter.evictions", "filter entries evicted (FIFO+LRU replacement)"
+        ).labels()
 
     # -- setup -------------------------------------------------------------------
     def preload(self, filtering_fps: Iterable[Fingerprint]) -> int:
@@ -78,6 +92,7 @@ class PreliminaryFilter:
             self._make_room()
             self._nodes[fp] = False
             count += 1
+        self._t_preloaded.inc(count)
         return count
 
     # -- the filter ---------------------------------------------------------------
@@ -86,16 +101,19 @@ class PreliminaryFilter:
         if fp in self._nodes:
             self._nodes.move_to_end(fp)  # LRU refresh within the FIFO queue
             self.hits += 1
+            self._t_hits.inc()
             return FilterDecision.DUPLICATE
         self._make_room()
         self._nodes[fp] = True
         self.misses += 1
+        self._t_misses.inc()
         return FilterDecision.NEW
 
     def _make_room(self) -> None:
         while len(self._nodes) >= self.capacity:
             _, was_new = self._nodes.popitem(last=False)
             self.evictions += 1
+            self._t_evictions.inc()
             if was_new:
                 self.replaced_new += 1
 

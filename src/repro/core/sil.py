@@ -23,6 +23,8 @@ from repro.core.index_cache import IndexCache
 from repro.simdisk.cpu import CpuModel
 from repro.simdisk.disk import DiskModel
 from repro.simdisk.ledger import Meter
+from repro.telemetry.registry import MetricsRegistry, get_registry
+from repro.telemetry.tracing import trace_span
 
 
 @dataclass
@@ -60,10 +62,30 @@ class SequentialIndexLookup:
         index: DiskIndex,
         cache_capacity: Optional[int] = None,
         cache_m_bits: int = 20,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.index = index
         self.cache_capacity = cache_capacity
         self.cache_m_bits = min(cache_m_bits, index.n_bits)
+        registry = registry if registry is not None else get_registry()
+        self._t_rounds = registry.counter(
+            "sil.rounds", "sequential index lookup sweeps performed"
+        ).labels()
+        self._t_fps = registry.counter(
+            "sil.fingerprints", "distinct fingerprints looked up by SIL"
+        ).labels()
+        self._t_duplicates = registry.counter(
+            "sil.duplicates", "fingerprints SIL resolved as duplicates"
+        ).labels()
+        self._t_new = registry.counter(
+            "sil.new", "fingerprints SIL resolved as new to the system"
+        ).labels()
+        self._t_bytes = registry.counter(
+            "sil.index_bytes_read", "index bytes charged as sequential SIL scans"
+        ).labels()
+        self._t_buckets = registry.counter(
+            "sil.buckets_probed", "disk buckets parsed during SIL sweeps"
+        ).labels()
 
     def run(
         self,
@@ -78,48 +100,61 @@ class SequentialIndexLookup:
         :class:`~repro.core.index_cache.CacheFullError` propagates — DEBAR
         splits oversized batches into multiple SIL rounds at a higher level.
         """
+        sim_clock = meter.clock if meter is not None else None
         result = LookupResult(new_cache=IndexCache(self.cache_capacity, self.cache_m_bits))
         cache = result.new_cache
-        for fp in fingerprints:
-            result.fingerprints_processed += 1
-            if not self.index.owns(fp):
-                raise ValueError(
-                    f"fingerprint {fp.hex()[:12]} routed to the wrong index part"
-                )
-            cache.insert(fp)  # batch-internal duplicates collapse here
-        result.fingerprints_distinct = len(cache)
+        with trace_span("sil.cache_build", sim_clock=sim_clock) as span:
+            for fp in fingerprints:
+                result.fingerprints_processed += 1
+                if not self.index.owns(fp):
+                    raise ValueError(
+                        f"fingerprint {fp.hex()[:12]} routed to the wrong index part"
+                    )
+                cache.insert(fp)  # batch-internal duplicates collapse here
+            result.fingerprints_distinct = len(cache)
+            span.annotate(fingerprints=result.fingerprints_distinct)
 
         # One sequential sweep: cache buckets arrive in disk-bucket order.
-        for bucket_no, fps in list(
-            cache.by_disk_bucket(self.index.n_bits, self.index.prefix_bits)
-        ):
-            bucket = self.index.read_bucket(bucket_no)
-            result.buckets_probed += 1
-            neighbours = None
-            for fp in fps:
-                cid = bucket.find(fp)
-                if cid is None and bucket.full:
-                    # The entry may have overflowed to an adjacent bucket.
-                    # ``neighbours`` is deduplicated: at tiny index sizes
-                    # both adjacent buckets are the same bucket, probed once.
-                    if neighbours is None:
-                        neighbours = [
-                            self.index.read_bucket(j)
-                            for j in self.index.neighbours(bucket_no)
-                        ]
-                        result.buckets_probed += len(neighbours)
-                    for neighbour in neighbours:
-                        cid = neighbour.find(fp)
-                        if cid is not None:
-                            break
-                if cid is not None:
-                    result.duplicates[fp] = cid
-                    cache.remove(fp)
+        with trace_span("sil.scan", sim_clock=sim_clock) as span:
+            for bucket_no, fps in list(
+                cache.by_disk_bucket(self.index.n_bits, self.index.prefix_bits)
+            ):
+                bucket = self.index.read_bucket(bucket_no)
+                result.buckets_probed += 1
+                neighbours = None
+                for fp in fps:
+                    cid = bucket.find(fp)
+                    if cid is None and bucket.full:
+                        # The entry may have overflowed to an adjacent bucket.
+                        # ``neighbours`` is deduplicated: at tiny index sizes
+                        # both adjacent buckets are the same bucket, probed once.
+                        if neighbours is None:
+                            neighbours = [
+                                self.index.read_bucket(j)
+                                for j in self.index.neighbours(bucket_no)
+                            ]
+                            result.buckets_probed += len(neighbours)
+                        for neighbour in neighbours:
+                            cid = neighbour.find(fp)
+                            if cid is not None:
+                                break
+                    if cid is not None:
+                        result.duplicates[fp] = cid
+                        cache.remove(fp)
 
-        result.index_bytes_read = self.index.size_bytes
-        if meter is not None:
-            if disk is not None:
-                meter.charge("sil.scan", disk.seq_read_time(result.index_bytes_read))
-            if cpu is not None:
-                meter.charge("sil.cpu", cpu.fp_search_time(result.fingerprints_distinct))
+            result.index_bytes_read = self.index.size_bytes
+            if meter is not None:
+                if disk is not None:
+                    meter.charge("sil.scan", disk.seq_read_time(result.index_bytes_read))
+                if cpu is not None:
+                    meter.charge("sil.cpu", cpu.fp_search_time(result.fingerprints_distinct))
+            span.set_io(bytes_in=result.index_bytes_read)
+            span.annotate(buckets=result.buckets_probed)
+
+        self._t_rounds.inc()
+        self._t_fps.inc(result.fingerprints_distinct)
+        self._t_duplicates.inc(len(result.duplicates))
+        self._t_new.inc(len(result.new_cache))
+        self._t_bytes.inc(result.index_bytes_read)
+        self._t_buckets.inc(result.buckets_probed)
         return result

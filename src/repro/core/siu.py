@@ -22,6 +22,8 @@ from repro.core.index_cache import IndexCache
 from repro.simdisk.cpu import CpuModel
 from repro.simdisk.disk import DiskModel
 from repro.simdisk.ledger import Meter
+from repro.telemetry.registry import MetricsRegistry, get_registry
+from repro.telemetry.tracing import trace_span
 
 
 @dataclass
@@ -39,8 +41,24 @@ class UpdateResult:
 class SequentialIndexUpdate:
     """Runs SIU against one disk index (or index part)."""
 
-    def __init__(self, index: DiskIndex) -> None:
+    def __init__(self, index: DiskIndex, registry: Optional[MetricsRegistry] = None) -> None:
         self.index = index
+        registry = registry if registry is not None else get_registry()
+        self._t_runs = registry.counter(
+            "siu.runs", "sequential index update merges performed"
+        ).labels()
+        self._t_registered = registry.counter(
+            "siu.fingerprints_registered", "fingerprints merged into the disk index"
+        ).labels()
+        self._t_overflowed = registry.counter(
+            "siu.overflowed", "entries spilled to adjacent buckets during SIU"
+        ).labels()
+        self._t_bytes_read = registry.counter(
+            "siu.index_bytes_read", "index bytes charged as the SIU sequential read"
+        ).labels()
+        self._t_bytes_written = registry.counter(
+            "siu.index_bytes_written", "index bytes charged as the SIU sequential write"
+        ).labels()
 
     def run(
         self,
@@ -48,6 +66,7 @@ class SequentialIndexUpdate:
         meter: Optional[Meter] = None,
         disk: Optional[DiskModel] = None,
         cpu: Optional[CpuModel] = None,
+        category: str = "siu",
     ) -> UpdateResult:
         """Register all entries; raises :class:`IndexFullError` if the index
         needs capacity scaling first (the caller scales and retries).
@@ -55,7 +74,13 @@ class SequentialIndexUpdate:
         The merge is grouped per home bucket — one read and one write per
         touched bucket — with the rare overflow entries falling back to the
         adjacent-bucket placement rule.
+
+        ``category`` prefixes the meter charges (``siu.read`` et al.), so a
+        caller reusing the mechanism outside DEBAR's dedup-2 (the DDFS
+        baseline's write-buffer flush) keeps its time attributable to its
+        own phase.
         """
+        sim_clock = meter.clock if meter is not None else None
         result = UpdateResult()
         cache = IndexCache(m_bits=min(20, self.index.n_bits))
         for fp, cid in entries.items():
@@ -70,34 +95,45 @@ class SequentialIndexUpdate:
                 )
             cache.insert(fp, cid)
 
-        overflow: Dict[Fingerprint, int] = {}
-        for bucket_no, fps in list(
-            cache.by_disk_bucket(self.index.n_bits, self.index.prefix_bits)
-        ):
-            bucket = self.index.read_bucket(bucket_no)
-            result.buckets_touched += 1
-            room = bucket.capacity - len(bucket.entries)
-            accepted, spilled = fps[:room], fps[room:]
-            for fp in accepted:
-                bucket.entries.append((fp, cache.get(fp)))
-            if accepted:
-                self.index.write_bucket(bucket)
-            for fp in spilled:
-                overflow[fp] = cache.get(fp)
+        with trace_span(f"{category}.merge", sim_clock=sim_clock) as span:
+            overflow: Dict[Fingerprint, int] = {}
+            for bucket_no, fps in list(
+                cache.by_disk_bucket(self.index.n_bits, self.index.prefix_bits)
+            ):
+                bucket = self.index.read_bucket(bucket_no)
+                result.buckets_touched += 1
+                room = bucket.capacity - len(bucket.entries)
+                accepted, spilled = fps[:room], fps[room:]
+                for fp in accepted:
+                    bucket.entries.append((fp, cache.get(fp)))
+                if accepted:
+                    self.index.write_bucket(bucket)
+                for fp in spilled:
+                    overflow[fp] = cache.get(fp)
 
-        # Overflow entries use the point-insert path (random adjacent bucket);
-        # IndexFullError propagates to trigger capacity scaling upstream.
-        for fp, cid in overflow.items():
-            self.index.insert(fp, cid)
-            result.overflowed += 1
+            # Overflow entries use the point-insert path (random adjacent bucket);
+            # IndexFullError propagates to trigger capacity scaling upstream.
+            for fp, cid in overflow.items():
+                self.index.insert(fp, cid)
+                result.overflowed += 1
 
-        result.fingerprints_registered = len(cache)
-        result.index_bytes_read = self.index.size_bytes
-        result.index_bytes_written = self.index.size_bytes
-        if meter is not None:
-            if disk is not None:
-                meter.charge("siu.read", disk.seq_read_time(result.index_bytes_read))
-                meter.charge("siu.write", disk.seq_write_time(result.index_bytes_written))
-            if cpu is not None:
-                meter.charge("siu.cpu", cpu.fp_search_time(len(cache)))
+            result.fingerprints_registered = len(cache)
+            result.index_bytes_read = self.index.size_bytes
+            result.index_bytes_written = self.index.size_bytes
+            if meter is not None:
+                if disk is not None:
+                    meter.charge(f"{category}.read", disk.seq_read_time(result.index_bytes_read))
+                    meter.charge(f"{category}.write", disk.seq_write_time(result.index_bytes_written))
+                if cpu is not None:
+                    meter.charge(f"{category}.cpu", cpu.fp_search_time(len(cache)))
+            span.set_io(bytes_in=result.index_bytes_read,
+                        bytes_out=result.index_bytes_written)
+            span.annotate(registered=result.fingerprints_registered,
+                          overflowed=result.overflowed)
+
+        self._t_runs.inc()
+        self._t_registered.inc(result.fingerprints_registered)
+        self._t_overflowed.inc(result.overflowed)
+        self._t_bytes_read.inc(result.index_bytes_read)
+        self._t_bytes_written.inc(result.index_bytes_written)
         return result

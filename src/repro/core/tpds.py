@@ -36,6 +36,8 @@ from repro.storage.chunk_log import ChunkLog
 from repro.storage.container import CONTAINER_SIZE, ContainerManager, ContainerWriter
 from repro.storage.repository import ChunkRepository
 from repro.core.fingerprint import FINGERPRINT_SIZE
+from repro.telemetry.registry import MetricsRegistry, get_registry
+from repro.telemetry.tracing import trace_span
 
 #: A stream element: (fingerprint, chunk size) or (fingerprint, size, data).
 StreamChunk = Union[Tuple[Fingerprint, int], Tuple[Fingerprint, int, bytes]]
@@ -121,6 +123,9 @@ class TwoPhaseDeduplicator:
         pure logic with no time accounting.
     affinity:
         Repository placement affinity (the server number in a cluster).
+    telemetry:
+        Metrics registry to report pipeline counters/spans to; defaults to
+        the process-wide registry (a no-op unless telemetry is enabled).
     """
 
     def __init__(
@@ -136,6 +141,7 @@ class TwoPhaseDeduplicator:
         rig: Optional[PaperRig] = None,
         clock: Optional[SimClock] = None,
         affinity: Optional[int] = None,
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         if siu_every < 1:
             raise ValueError("siu_every must be >= 1")
@@ -149,10 +155,12 @@ class TwoPhaseDeduplicator:
         self.affinity = affinity
         self.rig = rig if rig is not None else paper_rig()
         self.clock = clock if clock is not None else SimClock()
-        self.meter = Meter(self.clock)
-        self.container_manager = ContainerManager(repository)
-        self.chunk_log = ChunkLog()
+        self.telemetry = telemetry if telemetry is not None else get_registry()
+        self.meter = Meter(self.clock, registry=self.telemetry)
+        self.container_manager = ContainerManager(repository, registry=self.telemetry)
+        self.chunk_log = ChunkLog(registry=self.telemetry)
         self.checking = CheckingFile()
+        self._bind_instruments(self.telemetry)
         self._undetermined: List[Fingerprint] = []
         self._unregistered: Dict[Fingerprint, int] = {}
         self._dedup2_since_siu = 0
@@ -161,6 +169,37 @@ class TwoPhaseDeduplicator:
         #: dedup-2 step boundary (see :mod:`repro.audit.faults`).  ``None``
         #: (the default) costs one attribute check per checkpoint.
         self.fault_hook: Optional[Callable[[str], None]] = None
+
+    def _bind_instruments(self, registry: MetricsRegistry) -> None:
+        """Create the pipeline's counter children once, at construction.
+
+        Hot paths increment cached children; with telemetry disabled every
+        child is the shared no-op instrument.
+        """
+        label = {} if self.affinity is None else {"server": str(self.affinity)}
+        counter = lambda name, help_: registry.counter(name, help_).labels(**label)
+        self._t_d1_sessions = counter(
+            "dedup1.sessions", "dedup-1 backup sessions completed")
+        self._t_d1_logical_bytes = counter(
+            "dedup1.bytes_logical", "logical bytes presented to dedup-1")
+        self._t_d1_transferred_bytes = counter(
+            "dedup1.bytes_transferred", "bytes surviving the preliminary filter")
+        self._t_d1_chunks = counter(
+            "dedup1.chunks", "chunks presented to dedup-1")
+        self._t_d1_filtered = counter(
+            "dedup1.chunks_filtered", "chunks the preliminary filter removed")
+        self._t_d2_runs = counter(
+            "dedup2.runs", "dedup-2 executions")
+        self._t_d2_duplicates = counter(
+            "dedup2.duplicate_chunks", "chunks dedup-2 resolved as duplicates")
+        self._t_d2_new_chunks = counter(
+            "dedup2.new_chunks", "genuinely new chunks stored by dedup-2")
+        self._t_d2_new_bytes = counter(
+            "dedup2.new_bytes", "payload bytes of genuinely new chunks stored")
+        self._t_d2_log_bytes = counter(
+            "dedup2.log_bytes_replayed", "chunk-log bytes replayed by chunk storing")
+        self._t_d2_discarded = counter(
+            "dedup2.log_records_discarded", "chunk-log records discarded as duplicate")
 
     def _checkpoint(self, point: str) -> None:
         """Announce a dedup-2 step boundary to the fault-injection hook."""
@@ -182,38 +221,46 @@ class TwoPhaseDeduplicator:
         t0 = self.clock.now
         stats = Dedup1Stats()
         file_index: List[Fingerprint] = []
-        prefilter = PreliminaryFilter(self.filter_capacity)
-        if filtering_fps is not None:
-            prefilter.preload(filtering_fps)
+        with trace_span("dedup1", sim_clock=self.clock) as span:
+            prefilter = PreliminaryFilter(self.filter_capacity, registry=self.telemetry)
+            if filtering_fps is not None:
+                prefilter.preload(filtering_fps)
 
-        for element in stream:
-            fp, size = element[0], element[1]
-            data = element[2] if len(element) > 2 else None
-            file_index.append(fp)
-            stats.logical_chunks += 1
-            stats.logical_bytes += size
-            if prefilter.check(fp) is FilterDecision.NEW:
-                self.chunk_log.append(fp, data=data, size=size)
-                self._undetermined.append(fp)
-                stats.transferred_chunks += 1
-                stats.transferred_bytes += size
-            else:
-                stats.filtered_chunks += 1
-                stats.filtered_bytes += size
-        stats.undetermined_fingerprints = stats.transferred_chunks
+            for element in stream:
+                fp, size = element[0], element[1]
+                data = element[2] if len(element) > 2 else None
+                file_index.append(fp)
+                stats.logical_chunks += 1
+                stats.logical_bytes += size
+                if prefilter.check(fp) is FilterDecision.NEW:
+                    self.chunk_log.append(fp, data=data, size=size)
+                    self._undetermined.append(fp)
+                    stats.transferred_chunks += 1
+                    stats.transferred_bytes += size
+                else:
+                    stats.filtered_chunks += 1
+                    stats.filtered_bytes += size
+            stats.undetermined_fingerprints = stats.transferred_chunks
 
-        # Time: every fingerprint crosses the network for checking; only the
-        # chunks the filter admits carry payload.  Receiving and appending to
-        # the chunk log are overlapped, so the slower device gates.
-        fingerprint_traffic = stats.logical_chunks * FINGERPRINT_SIZE
-        net = self.rig.network.transfer_time(stats.transferred_bytes + fingerprint_traffic)
-        log_write = self.rig.log_disk.append_write_time(
-            stats.transferred_bytes + stats.transferred_chunks * FINGERPRINT_SIZE
-        )
-        self.meter.charge("dedup1.pipeline", max(net, log_write))
-        self.meter.record("dedup1.network", net)
-        self.meter.charge("dedup1.cpu", self.rig.cpu.filter_probe_time(stats.logical_chunks))
+            # Time: every fingerprint crosses the network for checking; only the
+            # chunks the filter admits carry payload.  Receiving and appending to
+            # the chunk log are overlapped, so the slower device gates.
+            fingerprint_traffic = stats.logical_chunks * FINGERPRINT_SIZE
+            net = self.rig.network.transfer_time(stats.transferred_bytes + fingerprint_traffic)
+            log_write = self.rig.log_disk.append_write_time(
+                stats.transferred_bytes + stats.transferred_chunks * FINGERPRINT_SIZE
+            )
+            self.meter.charge("dedup1.pipeline", max(net, log_write))
+            self.meter.record("dedup1.network", net)
+            self.meter.charge("dedup1.cpu", self.rig.cpu.filter_probe_time(stats.logical_chunks))
+            span.set_io(bytes_in=stats.logical_bytes, bytes_out=stats.transferred_bytes)
+            span.annotate(chunks=stats.logical_chunks, filtered=stats.filtered_chunks)
         stats.elapsed = self.clock.now - t0
+        self._t_d1_sessions.inc()
+        self._t_d1_logical_bytes.inc(stats.logical_bytes)
+        self._t_d1_transferred_bytes.inc(stats.transferred_bytes)
+        self._t_d1_chunks.inc(stats.logical_chunks)
+        self._t_d1_filtered.inc(stats.filtered_chunks)
         return stats, file_index
 
     @property
@@ -237,24 +284,39 @@ class TwoPhaseDeduplicator:
         t0 = self.clock.now
         stats = Dedup2Stats()
 
-        new_cache = self._run_sil_rounds(stats)
-        self._checkpoint("post_sil")
-        self._screen_against_checking(new_cache, stats)
-        stored = self._chunk_storing(new_cache, stats)
-        self.checking.append(stored)
-        self._unregistered.update(stored)
-        self._checkpoint("pre_siu")
+        with trace_span("dedup2", sim_clock=self.clock) as span:
+            new_cache = self._run_sil_rounds(stats)
+            self._checkpoint("post_sil")
+            self._screen_against_checking(new_cache, stats)
+            stored = self._chunk_storing(new_cache, stats)
+            self.checking.append(stored)
+            self._unregistered.update(stored)
+            self._checkpoint("pre_siu")
 
-        self._dedup2_since_siu += 1
-        run_siu = (
-            force_siu
-            if force_siu is not None
-            else self._dedup2_since_siu >= self.siu_every
-        )
-        if run_siu and self._unregistered:
-            self._run_siu(stats)
-        stats.capacity_scalings = self.capacity_scalings
+            self._dedup2_since_siu += 1
+            run_siu = (
+                force_siu
+                if force_siu is not None
+                else self._dedup2_since_siu >= self.siu_every
+            )
+            if run_siu and self._unregistered:
+                self._run_siu(stats)
+            stats.capacity_scalings = self.capacity_scalings
+            span.set_io(bytes_in=stats.log_bytes_processed,
+                        bytes_out=stats.new_bytes_stored)
+            span.annotate(
+                sil_rounds=stats.sil_rounds,
+                duplicates=stats.duplicate_chunks,
+                new_chunks=stats.new_chunks_stored,
+                siu=stats.siu_performed,
+            )
         stats.elapsed = self.clock.now - t0
+        self._t_d2_runs.inc()
+        self._t_d2_duplicates.inc(stats.duplicate_chunks)
+        self._t_d2_new_chunks.inc(stats.new_chunks_stored)
+        self._t_d2_new_bytes.inc(stats.new_bytes_stored)
+        self._t_d2_log_bytes.inc(stats.log_bytes_processed)
+        self._t_d2_discarded.inc(stats.log_records_discarded)
         return stats
 
     # -- dedup-2 internals --------------------------------------------------------
@@ -263,22 +325,26 @@ class TwoPhaseDeduplicator:
         merged = IndexCache(m_bits=min(20, self.index.n_bits))
         pending = self._undetermined
         self._undetermined = []
-        sil = SequentialIndexLookup(self.index, cache_capacity=self.cache_capacity)
+        sil = SequentialIndexLookup(
+            self.index, cache_capacity=self.cache_capacity, registry=self.telemetry
+        )
         sil_t0 = self.clock.now
-        for start in range(0, len(pending), self.cache_capacity):
-            batch = pending[start : start + self.cache_capacity]
-            result = sil.run(
-                batch, meter=self.meter, disk=self.rig.index_disk, cpu=self.rig.cpu
-            )
-            stats.sil_rounds += 1
-            stats.duplicate_chunks += len(result.duplicates)
-            for fp, _ in result.new_cache.items():
-                if not merged.insert(fp):
-                    # A fingerprint split across two SIL rounds is "new" in
-                    # both; the merge resolves the later sighting as a
-                    # duplicate so the stats agree with the chunk-log
-                    # replay, which stores it once and discards the rest.
-                    stats.duplicate_chunks += 1
+        with trace_span("dedup2.sil", sim_clock=self.clock) as span:
+            for start in range(0, len(pending), self.cache_capacity):
+                batch = pending[start : start + self.cache_capacity]
+                result = sil.run(
+                    batch, meter=self.meter, disk=self.rig.index_disk, cpu=self.rig.cpu
+                )
+                stats.sil_rounds += 1
+                stats.duplicate_chunks += len(result.duplicates)
+                for fp, _ in result.new_cache.items():
+                    if not merged.insert(fp):
+                        # A fingerprint split across two SIL rounds is "new" in
+                        # both; the merge resolves the later sighting as a
+                        # duplicate so the stats agree with the chunk-log
+                        # replay, which stores it once and discards the rest.
+                        stats.duplicate_chunks += 1
+            span.annotate(rounds=stats.sil_rounds, fingerprints=len(pending))
         stats.sil_time = self.clock.now - sil_t0
         return merged
 
@@ -315,41 +381,45 @@ class TwoPhaseDeduplicator:
             writer = ContainerWriter(self.container_bytes, materialize=self.materialize)
             self._checkpoint("container_sealed")
 
-        for record in self.chunk_log.replay():
-            stats.log_chunks_processed += 1
-            stats.log_bytes_processed += record.log_bytes
-            if record.fingerprint not in cache:
-                stats.log_records_discarded += 1
-                continue
-            cid = cache.get(record.fingerprint)
-            if cid is not None:
-                # PENDING or already sealed: a later copy of a chunk stored
-                # this round — discard (Section 5.3's "otherwise discards").
-                stats.log_records_discarded += 1
-                continue
-            if not writer.fits(record.size):
-                seal_current()
-            if not writer.add(record.fingerprint, data=record.data, size=record.size):
-                raise ValueError(
-                    f"chunk of {record.size} bytes cannot fit an empty "
-                    f"{self.container_bytes}-byte container"
-                )
-            cache.set_container(record.fingerprint, PENDING_CONTAINER)
-            pending_fps.append(record.fingerprint)
-            stats.new_chunks_stored += 1
-            new_bytes += record.size
-        seal_current()
-        stats.new_bytes_stored = new_bytes
+        with trace_span("dedup2.store", sim_clock=self.clock) as span:
+            for record in self.chunk_log.replay():
+                stats.log_chunks_processed += 1
+                stats.log_bytes_processed += record.log_bytes
+                if record.fingerprint not in cache:
+                    stats.log_records_discarded += 1
+                    continue
+                cid = cache.get(record.fingerprint)
+                if cid is not None:
+                    # PENDING or already sealed: a later copy of a chunk stored
+                    # this round — discard (Section 5.3's "otherwise discards").
+                    stats.log_records_discarded += 1
+                    continue
+                if not writer.fits(record.size):
+                    seal_current()
+                if not writer.add(record.fingerprint, data=record.data, size=record.size):
+                    raise ValueError(
+                        f"chunk of {record.size} bytes cannot fit an empty "
+                        f"{self.container_bytes}-byte container"
+                    )
+                cache.set_container(record.fingerprint, PENDING_CONTAINER)
+                pending_fps.append(record.fingerprint)
+                stats.new_chunks_stored += 1
+                new_bytes += record.size
+            seal_current()
+            stats.new_bytes_stored = new_bytes
 
-        # Sequential log replay overlapped with container appends: the
-        # slower stream gates (log read dominates at equal rates since the
-        # log carries duplicates the containers do not).
-        log_read = self.rig.log_disk.seq_read_time(stats.log_bytes_processed)
-        container_write = self.rig.repository_disk.append_write_time(
-            stats.containers_written * self.container_bytes
-        )
-        self.meter.charge("store.pipeline", max(log_read, container_write))
-        self.chunk_log.clear()
+            # Sequential log replay overlapped with container appends: the
+            # slower stream gates (log read dominates at equal rates since the
+            # log carries duplicates the containers do not).
+            log_read = self.rig.log_disk.seq_read_time(stats.log_bytes_processed)
+            container_write = self.rig.repository_disk.append_write_time(
+                stats.containers_written * self.container_bytes
+            )
+            self.meter.charge("store.pipeline", max(log_read, container_write))
+            self.chunk_log.clear()
+            span.set_io(bytes_in=stats.log_bytes_processed, bytes_out=stats.new_bytes_stored)
+            span.annotate(containers=stats.containers_written,
+                          discarded=stats.log_records_discarded)
         stats.storing_time = self.clock.now - t0
         return stored
 
@@ -366,18 +436,20 @@ class TwoPhaseDeduplicator:
             for fp, cid in self._unregistered.items()
             if self.index.lookup(fp) is None
         }
-        while True:
-            try:
-                SequentialIndexUpdate(self.index).run(
-                    entries, meter=self.meter, disk=self.rig.index_disk, cpu=self.rig.cpu
-                )
-                break
-            except IndexFullError:
-                self._scale_index_capacity()
-                # Retry only what did not land before the overflow.
-                entries = {
-                    fp: cid for fp, cid in entries.items() if self.index.lookup(fp) is None
-                }
+        with trace_span("dedup2.siu", sim_clock=self.clock) as span:
+            while True:
+                try:
+                    SequentialIndexUpdate(self.index, registry=self.telemetry).run(
+                        entries, meter=self.meter, disk=self.rig.index_disk, cpu=self.rig.cpu
+                    )
+                    break
+                except IndexFullError:
+                    self._scale_index_capacity()
+                    # Retry only what did not land before the overflow.
+                    entries = {
+                        fp: cid for fp, cid in entries.items() if self.index.lookup(fp) is None
+                    }
+            span.annotate(registered=len(self._unregistered))
         self.checking.registered(self._unregistered)
         self._unregistered.clear()
         self._dedup2_since_siu = 0

@@ -3,22 +3,44 @@
 Every phase of TPDS charges its device time here under a category name
 ("dedup1.network", "sil.scan", "siu.write", ...), so throughput figures can
 be decomposed exactly the way the paper's Figures 8-10 decompose them.
+
+Each charge is also mirrored into the telemetry registry (when one is
+enabled) as ``meter.seconds{category=...}`` — overlapped time recorded
+with :meth:`Meter.record` lands in ``meter.seconds_overlapped`` instead so
+summing ``meter.seconds`` over categories still reproduces wall time.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.simdisk.clock import SimClock
+from repro.telemetry.registry import MetricsRegistry, get_registry
 
 
 class Meter:
     """Accumulates simulated time by category while advancing a clock."""
 
-    def __init__(self, clock: SimClock) -> None:
+    def __init__(self, clock: SimClock, registry: Optional[MetricsRegistry] = None) -> None:
         self.clock = clock
         self.by_category: Dict[str, float] = defaultdict(float)
+        registry = registry if registry is not None else get_registry()
+        self._charged_family = registry.counter(
+            "meter.seconds", "simulated device seconds charged, by category"
+        )
+        self._recorded_family = registry.counter(
+            "meter.seconds_overlapped",
+            "simulated seconds of phases overlapped with (not added to) wall time",
+        )
+        self._charged: Dict[str, object] = {}
+        self._recorded: Dict[str, object] = {}
+
+    def _counter(self, cache: Dict[str, object], family, category: str):
+        child = cache.get(category)
+        if child is None:
+            child = cache[category] = family.labels(category=category)
+        return child
 
     def charge(self, category: str, seconds: float) -> float:
         """Advance the clock by ``seconds`` and record it under ``category``."""
@@ -26,6 +48,7 @@ class Meter:
             raise ValueError("cannot charge negative time")
         self.clock.advance(seconds)
         self.by_category[category] += seconds
+        self._counter(self._charged, self._charged_family, category).inc(seconds)
         return seconds
 
     def record(self, category: str, seconds: float) -> float:
@@ -34,6 +57,7 @@ class Meter:
         if seconds < 0:
             raise ValueError("cannot record negative time")
         self.by_category[category] += seconds
+        self._counter(self._recorded, self._recorded_family, category).inc(seconds)
         return seconds
 
     def total(self, prefix: str = "") -> float:

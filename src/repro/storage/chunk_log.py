@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
 from repro.core.fingerprint import FINGERPRINT_SIZE, Fingerprint
+from repro.telemetry.registry import MetricsRegistry, get_registry
 
 
 @dataclass(frozen=True)
@@ -35,9 +36,19 @@ class LogRecord:
 class ChunkLog:
     """An append-only log of chunk groups with sequential replay."""
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._records: List[LogRecord] = []
         self._bytes = 0
+        registry = registry if registry is not None else get_registry()
+        self._t_appends = registry.counter(
+            "chunk_log.appends", "chunk groups appended to the dedup-1 log"
+        ).labels()
+        self._t_bytes = registry.counter(
+            "chunk_log.bytes_appended", "on-disk bytes appended to the dedup-1 log"
+        ).labels()
+        self._t_replays = registry.counter(
+            "chunk_log.replays", "sequential replays consumed by chunk storing"
+        ).labels()
 
     def append(self, fp: Fingerprint, data: Optional[bytes] = None, size: Optional[int] = None) -> None:
         """Append one group (pass ``data``, or ``size`` alone when virtual)."""
@@ -50,9 +61,12 @@ class ChunkLog:
         record = LogRecord(fp, size, data)
         self._records.append(record)
         self._bytes += record.log_bytes
+        self._t_appends.inc()
+        self._t_bytes.inc(record.log_bytes)
 
     def replay(self) -> Iterator[LogRecord]:
         """Sequentially iterate all groups in append order."""
+        self._t_replays.inc()
         return iter(self._records)
 
     def clear(self) -> None:

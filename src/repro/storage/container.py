@@ -27,6 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.storage.repository import ChunkRepository
 
 from repro.core.fingerprint import FINGERPRINT_SIZE, Fingerprint
+from repro.telemetry.registry import MetricsRegistry, get_registry
 
 #: Default container size (the paper's 8 MB).
 CONTAINER_SIZE = 8 * 1024 * 1024
@@ -204,12 +205,33 @@ class ContainerManager:
     counters the server layer converts into simulated time.
     """
 
-    def __init__(self, repository: "ChunkRepository") -> None:
+    def __init__(self, repository: "ChunkRepository",
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.repository = repository
         self.containers_written = 0
         self.containers_read = 0
         self.bytes_written = 0
         self.bytes_read = 0
+        registry = registry if registry is not None else get_registry()
+        self._t_sealed = registry.counter(
+            "container.sealed", "containers sealed and appended to the repository"
+        ).labels()
+        self._t_chunks = registry.counter(
+            "container.chunks_packed", "chunks packed into sealed containers"
+        ).labels()
+        self._t_bytes_written = registry.counter(
+            "container.bytes_written", "container capacity bytes appended"
+        ).labels()
+        self._t_fetched = registry.counter(
+            "container.fetched", "containers read back from the repository"
+        ).labels()
+        self._t_bytes_read = registry.counter(
+            "container.bytes_read", "container capacity bytes read back"
+        ).labels()
+        self._t_fill = registry.histogram(
+            "container.fill_fraction", "payload fill fraction of sealed containers",
+            buckets=(0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0),
+        ).labels()
 
     def store(self, writer: ContainerWriter, affinity: Optional[int] = None) -> Container:
         """Seal an open container, append it to the repository, return it."""
@@ -218,6 +240,10 @@ class ContainerManager:
         self.repository.store(container, affinity=affinity)
         self.containers_written += 1
         self.bytes_written += container.capacity
+        self._t_sealed.inc()
+        self._t_chunks.inc(len(container.records))
+        self._t_bytes_written.inc(container.capacity)
+        self._t_fill.observe(writer.used_bytes / container.capacity)
         return container
 
     def fetch(self, container_id: int) -> Container:
@@ -225,4 +251,6 @@ class ContainerManager:
         container = self.repository.fetch(container_id)
         self.containers_read += 1
         self.bytes_read += container.capacity
+        self._t_fetched.inc()
+        self._t_bytes_read.inc(container.capacity)
         return container

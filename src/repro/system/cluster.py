@@ -41,11 +41,27 @@ from repro.director.scheduler import Dedup2Policy
 from repro.server.backup_server import BackupServer, BackupServerConfig
 from repro.simdisk import NetworkModel, paper_network
 from repro.simdisk.clock import barrier
+from repro.telemetry.registry import MetricsRegistry, get_registry
+from repro.telemetry.tracing import trace_span
 from repro.util import bit_prefix
 from repro.storage.repository import ChunkRepository
 
 #: Wire size of one (fingerprint, container ID) result record.
 _RESULT_RECORD = FINGERPRINT_SIZE + 5
+
+
+class _LaneClock:
+    """Presents the cluster's latest lane as a single ``.now`` clock, so
+    phase spans report cluster wall time (the barrier semantics)."""
+
+    __slots__ = ("_lanes",)
+
+    def __init__(self, lanes) -> None:
+        self._lanes = lanes
+
+    @property
+    def now(self) -> float:
+        return max(lane.now for lane in self._lanes)
 
 
 @dataclass
@@ -116,6 +132,7 @@ class DebarCluster:
         network: Optional[NetworkModel] = None,
         repository_nodes: Optional[int] = None,
         n_directors: int = 1,
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         if w_bits < 0:
             raise ValueError("w_bits must be non-negative")
@@ -145,6 +162,32 @@ class DebarCluster:
             for k in range(self.n_servers)
         ]
         self._rounds_since_psiu = 0
+        self._bind_instruments(telemetry)
+
+    def _bind_instruments(self, registry: Optional[MetricsRegistry]) -> None:
+        """Bind per-server exchange/phase counters (no-ops when disabled)."""
+        self.telemetry = registry if registry is not None else get_registry()
+        sent = self.telemetry.counter(
+            "cluster.exchange.bytes_sent",
+            "fingerprint-exchange bytes sent, per backup server",
+        )
+        received = self.telemetry.counter(
+            "cluster.exchange.bytes_received",
+            "fingerprint-exchange bytes received, per backup server",
+        )
+        self._t_sent = [sent.labels(server=str(k)) for k in range(self.n_servers)]
+        self._t_received = [
+            received.labels(server=str(k)) for k in range(self.n_servers)
+        ]
+        self._t_psil_fps = self.telemetry.counter(
+            "cluster.psil.fingerprints", "fingerprints looked up by PSIL rounds"
+        ).labels()
+        self._t_psiu_fps = self.telemetry.counter(
+            "cluster.psiu.fingerprints", "fingerprints registered by PSIU rounds"
+        ).labels()
+        self._t_rounds = self.telemetry.counter(
+            "cluster.dedup2.rounds", "cluster-wide dedup-2 rounds completed"
+        ).labels()
 
     # -- routing helpers ----------------------------------------------------------
     def owner_of(self, fp: Fingerprint) -> int:
@@ -257,149 +300,184 @@ class DebarCluster:
         """One cluster-wide dedup-2 (the barriered phases described above)."""
         stats = ClusterDedup2Stats()
         lanes = self._lanes()
+        lane_clock = _LaneClock(lanes)
         round_t0 = barrier(lanes)
+        with trace_span(
+            "cluster.dedup2", sim_clock=lane_clock, servers=self.n_servers
+        ) as round_span:
+            stats = self._run_dedup2_phases(stats, lanes, lane_clock, force_psiu)
+            round_span.annotate(
+                psil_fingerprints=stats.fingerprints_looked_up,
+                psiu_fingerprints=stats.fingerprints_updated,
+                exchange_bytes=stats.exchange_bytes,
+            )
+        stats.wall_time = max(lane.now for lane in lanes) - round_t0
+        self._t_rounds.inc()
+        self._t_psil_fps.inc(stats.fingerprints_looked_up)
+        self._t_psiu_fps.inc(stats.fingerprints_updated)
+        self.director.record_dedup2()
+        return stats
 
+    def _run_dedup2_phases(
+        self,
+        stats: ClusterDedup2Stats,
+        lanes,
+        lane_clock: "_LaneClock",
+        force_psiu: Optional[bool],
+    ) -> ClusterDedup2Stats:
+        """The four barriered phases of one cluster-wide dedup-2."""
         # -- Phase 1: partition undetermined fingerprints and exchange.
-        outgoing: List[Dict[int, List[Fingerprint]]] = []
-        for server in self.servers:
-            parts: Dict[int, List[Fingerprint]] = defaultdict(list)
-            for fp in server.tpds.drain_undetermined():
-                parts[self.owner_of(fp)].append(fp)
-            outgoing.append(parts)
-        self._charge_exchange(
-            stats,
-            sent=[
-                sum(len(v) for k, v in parts.items() if k != j) * FINGERPRINT_SIZE
-                for j, parts in enumerate(outgoing)
-            ],
-            received=[
-                sum(
-                    len(outgoing[j].get(k, ()))
-                    for j in range(self.n_servers)
-                    if j != k
-                )
-                * FINGERPRINT_SIZE
-                for k in range(self.n_servers)
-            ],
-        )
-        barrier(lanes)
+        with trace_span("cluster.exchange.partition", sim_clock=lane_clock):
+            outgoing: List[Dict[int, List[Fingerprint]]] = []
+            for server in self.servers:
+                parts: Dict[int, List[Fingerprint]] = defaultdict(list)
+                for fp in server.tpds.drain_undetermined():
+                    parts[self.owner_of(fp)].append(fp)
+                outgoing.append(parts)
+            self._charge_exchange(
+                stats,
+                sent=[
+                    sum(len(v) for k, v in parts.items() if k != j) * FINGERPRINT_SIZE
+                    for j, parts in enumerate(outgoing)
+                ],
+                received=[
+                    sum(
+                        len(outgoing[j].get(k, ()))
+                        for j in range(self.n_servers)
+                        if j != k
+                    )
+                    * FINGERPRINT_SIZE
+                    for k in range(self.n_servers)
+                ],
+            )
+            barrier(lanes)
 
         # -- Phase 2: PSIL on every index part concurrently.
         psil_t0 = max(lane.now for lane in lanes)
-        # owner -> fp -> sorted list of requesting servers
-        requests: List[Dict[Fingerprint, List[int]]] = [dict() for _ in self.servers]
-        for j, parts in enumerate(outgoing):
-            for owner, fps in parts.items():
-                table = requests[owner]
-                for fp in fps:
-                    reqs = table.setdefault(fp, [])
-                    if j not in reqs:
-                        reqs.append(j)
-        # per-origin decisions: fp -> ("dup", cid) | ("store",) | ("skip",)
-        decisions: List[Dict[Fingerprint, Tuple] ] = [dict() for _ in self.servers]
-        for k, server in enumerate(self.servers):
-            table = requests[k]
-            if not table:
-                continue
-            sil = SequentialIndexLookup(
-                server.index, cache_capacity=self.config.cache_capacity
-            )
-            # An owner may receive more than one cache-full; like the
-            # single-server path, each SIL round sweeps at most a cache of
-            # fingerprints (Section 5.2's "synchronous lookups" batching).
-            pending = list(table.keys())
-            duplicates: Dict[Fingerprint, int] = {}
-            new_fps: List[Fingerprint] = []
-            for start in range(0, len(pending), self.config.cache_capacity):
-                batch = pending[start : start + self.config.cache_capacity]
-                result = sil.run(
-                    batch,
-                    meter=server.meter,
-                    disk=server.rig.index_disk,
-                    cpu=server.rig.cpu,
+        with trace_span("cluster.psil", sim_clock=lane_clock) as psil_span:
+            # owner -> fp -> sorted list of requesting servers
+            requests: List[Dict[Fingerprint, List[int]]] = [dict() for _ in self.servers]
+            for j, parts in enumerate(outgoing):
+                for owner, fps in parts.items():
+                    table = requests[owner]
+                    for fp in fps:
+                        reqs = table.setdefault(fp, [])
+                        if j not in reqs:
+                            reqs.append(j)
+            # per-origin decisions: fp -> ("dup", cid) | ("store",) | ("skip",)
+            decisions: List[Dict[Fingerprint, Tuple] ] = [dict() for _ in self.servers]
+            for k, server in enumerate(self.servers):
+                table = requests[k]
+                if not table:
+                    continue
+                sil = SequentialIndexLookup(
+                    server.index,
+                    cache_capacity=self.config.cache_capacity,
+                    registry=self.telemetry,
                 )
-                stats.fingerprints_looked_up += result.fingerprints_distinct
-                duplicates.update(result.duplicates)
-                new_fps.extend(fp for fp, _ in result.new_cache.items())
-            genuinely_new, already_pending = server.tpds.checking.screen(new_fps)
-            for fp, requesters in table.items():
-                if fp in duplicates:
-                    for j in requesters:
-                        decisions[j][fp] = ("dup", duplicates[fp])
-                elif fp in already_pending:
-                    for j in requesters:
-                        decisions[j][fp] = ("dup", already_pending[fp])
-            for fp in genuinely_new:
-                requesters = sorted(table[fp])
-                decisions[requesters[0]][fp] = ("store",)
-                for j in requesters[1:]:
-                    decisions[j][fp] = ("skip",)
-        barrier(lanes)
+                # An owner may receive more than one cache-full; like the
+                # single-server path, each SIL round sweeps at most a cache of
+                # fingerprints (Section 5.2's "synchronous lookups" batching).
+                pending = list(table.keys())
+                duplicates: Dict[Fingerprint, int] = {}
+                new_fps: List[Fingerprint] = []
+                for start in range(0, len(pending), self.config.cache_capacity):
+                    batch = pending[start : start + self.config.cache_capacity]
+                    result = sil.run(
+                        batch,
+                        meter=server.meter,
+                        disk=server.rig.index_disk,
+                        cpu=server.rig.cpu,
+                    )
+                    stats.fingerprints_looked_up += result.fingerprints_distinct
+                    duplicates.update(result.duplicates)
+                    new_fps.extend(fp for fp, _ in result.new_cache.items())
+                genuinely_new, already_pending = server.tpds.checking.screen(new_fps)
+                for fp, requesters in table.items():
+                    if fp in duplicates:
+                        for j in requesters:
+                            decisions[j][fp] = ("dup", duplicates[fp])
+                    elif fp in already_pending:
+                        for j in requesters:
+                            decisions[j][fp] = ("dup", already_pending[fp])
+                for fp in genuinely_new:
+                    requesters = sorted(table[fp])
+                    decisions[requesters[0]][fp] = ("store",)
+                    for j in requesters[1:]:
+                        decisions[j][fp] = ("skip",)
+            barrier(lanes)
+            psil_span.annotate(fingerprints=stats.fingerprints_looked_up)
         stats.psil_wall_time = max(lane.now for lane in lanes) - psil_t0
 
         # Result exchange back to the requesting servers.
-        self._charge_exchange(
-            stats,
-            sent=[
-                sum(
-                    sum(1 for j in reqs if j != k) * _RESULT_RECORD
-                    for reqs in requests[k].values()
-                )
-                for k in range(self.n_servers)
-            ],
-            received=[
-                sum(
-                    _RESULT_RECORD
-                    for fp, decision in decisions[j].items()
-                    if self.owner_of(fp) != j
-                )
-                for j in range(self.n_servers)
-            ],
-        )
-        barrier(lanes)
+        with trace_span("cluster.exchange.results", sim_clock=lane_clock):
+            self._charge_exchange(
+                stats,
+                sent=[
+                    sum(
+                        sum(1 for j in reqs if j != k) * _RESULT_RECORD
+                        for reqs in requests[k].values()
+                    )
+                    for k in range(self.n_servers)
+                ],
+                received=[
+                    sum(
+                        _RESULT_RECORD
+                        for fp, decision in decisions[j].items()
+                        if self.owner_of(fp) != j
+                    )
+                    for j in range(self.n_servers)
+                ],
+            )
+            barrier(lanes)
 
         # -- Phase 3: chunk storing on every server, in parallel.
         storing_t0 = max(lane.now for lane in lanes)
-        stored_by_origin: List[Dict[Fingerprint, int]] = [dict() for _ in self.servers]
-        stored_by_owner: List[Dict[Fingerprint, int]] = [dict() for _ in self.servers]
-        for j, server in enumerate(self.servers):
-            to_store = [fp for fp, d in decisions[j].items() if d[0] == "store"]
-            stats.duplicate_chunks += sum(1 for d in decisions[j].values() if d[0] != "store")
-            stored, s_stats = server.tpds.store_from_log(to_store)
-            stored_by_origin[j] = stored
-            stats.new_chunks_stored += s_stats.new_chunks_stored
-            stats.new_bytes_stored += s_stats.new_bytes_stored
-            stats.log_bytes_processed += s_stats.log_bytes_processed
-            stats.containers_written += s_stats.containers_written
-            for fp, cid in stored.items():
-                stored_by_owner[self.owner_of(fp)][fp] = cid
-        barrier(lanes)
+        with trace_span("cluster.store", sim_clock=lane_clock) as store_span:
+            stored_by_origin: List[Dict[Fingerprint, int]] = [dict() for _ in self.servers]
+            stored_by_owner: List[Dict[Fingerprint, int]] = [dict() for _ in self.servers]
+            for j, server in enumerate(self.servers):
+                to_store = [fp for fp, d in decisions[j].items() if d[0] == "store"]
+                stats.duplicate_chunks += sum(1 for d in decisions[j].values() if d[0] != "store")
+                stored, s_stats = server.tpds.store_from_log(to_store)
+                stored_by_origin[j] = stored
+                stats.new_chunks_stored += s_stats.new_chunks_stored
+                stats.new_bytes_stored += s_stats.new_bytes_stored
+                stats.log_bytes_processed += s_stats.log_bytes_processed
+                stats.containers_written += s_stats.containers_written
+                for fp, cid in stored.items():
+                    stored_by_owner[self.owner_of(fp)][fp] = cid
+            barrier(lanes)
+            store_span.set_io(bytes_in=stats.log_bytes_processed,
+                              bytes_out=stats.new_bytes_stored)
+            store_span.annotate(containers=stats.containers_written)
         stats.storing_wall_time = max(lane.now for lane in lanes) - storing_t0
 
         # Route stored entries to their owning servers' checking files.
-        self._charge_exchange(
-            stats,
-            sent=[
-                sum(
-                    _RESULT_RECORD
-                    for fp in stored_by_origin[j]
-                    if self.owner_of(fp) != j
-                )
-                for j in range(self.n_servers)
-            ],
-            received=[
-                sum(
-                    _RESULT_RECORD
-                    for fp in stored_by_owner[k]
-                    if self.owner_of(fp) == k and fp not in stored_by_origin[k]
-                )
-                for k in range(self.n_servers)
-            ],
-        )
-        for k, entries in enumerate(stored_by_owner):
-            if entries:
-                self.servers[k].tpds.accept_unregistered(entries)
-        barrier(lanes)
+        with trace_span("cluster.exchange.stored", sim_clock=lane_clock):
+            self._charge_exchange(
+                stats,
+                sent=[
+                    sum(
+                        _RESULT_RECORD
+                        for fp in stored_by_origin[j]
+                        if self.owner_of(fp) != j
+                    )
+                    for j in range(self.n_servers)
+                ],
+                received=[
+                    sum(
+                        _RESULT_RECORD
+                        for fp in stored_by_owner[k]
+                        if self.owner_of(fp) == k and fp not in stored_by_origin[k]
+                    )
+                    for k in range(self.n_servers)
+                ],
+            )
+            for k, entries in enumerate(stored_by_owner):
+                if entries:
+                    self.servers[k].tpds.accept_unregistered(entries)
+            barrier(lanes)
 
         # -- Phase 4: PSIU per the asynchronous policy (one PSIU may service
         # several PSILs, Section 5.4).
@@ -412,19 +490,19 @@ class DebarCluster:
         )
         if run_psiu:
             psiu_t0 = max(lane.now for lane in lanes)
-            for server in self.servers:
-                pending = server.tpds.unregistered_count
-                if pending:
-                    server.tpds.run_siu_now()
-                    stats.fingerprints_updated += pending
-            barrier(lanes)
+            with trace_span("cluster.psiu", sim_clock=lane_clock) as psiu_span:
+                for server in self.servers:
+                    pending = server.tpds.unregistered_count
+                    if pending:
+                        server.tpds.run_siu_now()
+                        stats.fingerprints_updated += pending
+                barrier(lanes)
+                psiu_span.annotate(fingerprints=stats.fingerprints_updated)
             stats.psiu_wall_time = max(lane.now for lane in lanes) - psiu_t0
             stats.psiu_performed = stats.fingerprints_updated > 0
             if stats.psiu_performed:
                 self._rounds_since_psiu = 0
 
-        stats.wall_time = max(lane.now for lane in lanes) - round_t0
-        self.director.record_dedup2()
         return stats
 
     def _charge_exchange(
@@ -432,11 +510,15 @@ class DebarCluster:
     ) -> None:
         """Charge an all-to-all exchange: each lane pays for the larger of
         its send and receive volumes at its NIC rate."""
-        for server, s_bytes, r_bytes in zip(self.servers, sent, received):
+        for k, (server, s_bytes, r_bytes) in enumerate(
+            zip(self.servers, sent, received)
+        ):
             t = self.network.exchange_time(s_bytes, r_bytes)
             if t:
                 server.meter.charge("exchange.network", t)
             stats.exchange_bytes += int(s_bytes)
+            self._t_sent[k].inc(int(s_bytes))
+            self._t_received[k].inc(int(r_bytes))
 
     # ------------------------------------------------------------------ scaling
     def scale_out(self, keep_part_size: bool = False) -> "DebarCluster":
@@ -490,6 +572,7 @@ class DebarCluster:
         new.director._chains = self.director._chains
         new.director.dedup2_runs = self.director.dedup2_runs
         new._rounds_since_psiu = 0
+        new._bind_instruments(self.telemetry)
         new.servers = []
         for server in self.servers:
             halves = server.index.split(1)

@@ -34,6 +34,9 @@ from repro.server.chunk_store import ChunkStore
 from repro.server.file_store import FileStore
 from repro.storage.blockstore import FileBlockStore
 from repro.storage.file_repository import FileChunkRepository
+from repro.telemetry.clock import wall_now
+from repro.telemetry.registry import MetricsRegistry, get_registry
+from repro.telemetry.tracing import trace_span
 
 PathLike = Union[str, Path]
 
@@ -86,7 +89,9 @@ class DebarVault:
         container_bytes: int = 1 << 20,
         filter_capacity: int = 1 << 16,
         cache_capacity: int = 1 << 20,
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
+        self.telemetry = telemetry if telemetry is not None else get_registry()
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         catalog_path = self.root / _CATALOG
@@ -124,10 +129,19 @@ class DebarVault:
             container_bytes=container_bytes,
             materialize=True,
             siu_every=1,
+            telemetry=self.telemetry,
         )
         self.file_store = FileStore(self.tpds)
         self.chunk_store = ChunkStore(self.tpds)
-        self.engine = BackupEngine("vault", chunker=ContentDefinedChunker())
+        self.engine = BackupEngine(
+            "vault", chunker=ContentDefinedChunker(), registry=self.telemetry
+        )
+        self._t_backups = self.telemetry.counter(
+            "vault.backups", "backup runs completed by this vault"
+        ).labels()
+        self._t_restores = self.telemetry.counter(
+            "vault.restores", "restore operations completed by this vault"
+        ).labels()
         self._save_catalog()
 
     # -- catalog ------------------------------------------------------------------
@@ -186,34 +200,51 @@ class DebarVault:
         chain = self.runs(job)
         return chain[-1] if chain else None
 
-    def backup(self, job: str, dataset: List[PathLike], timestamp: float = 0.0) -> VaultRun:
+    def backup(
+        self, job: str, dataset: List[PathLike], timestamp: Optional[float] = None
+    ) -> VaultRun:
         """Back up a dataset under a job name; dedup-2 completes inline.
 
         The previous run of the same job seeds the preliminary filter, per
-        the paper's job-chain semantics.
+        the paper's job-chain semantics.  ``timestamp`` defaults to the
+        telemetry wall clock (:func:`repro.telemetry.clock.wall_now`), the
+        single time source the CLI and tests can redirect.
         """
         if not job:
             raise VaultError("job name required")
+        if timestamp is None:
+            timestamp = wall_now()
         previous = self.latest_run(job)
         filtering = None
         if previous is not None:
             filtering = [fp for e in previous.files for fp in e.fingerprints]
-        session = self.file_store.begin_session(filtering)
-        for metadata, chunks in self.engine.iter_dataset([Path(p) for p in dataset]):
-            session.add_file(metadata, chunks)
-        stats, entries = session.close()
-        self.tpds.dedup2(force_siu=True)
-        self._sync_index_geometry()
-        self._index_store.flush()
-        run = VaultRun(
-            run_id=len(self._catalog["runs"]) + 1,
-            job=job,
-            timestamp=timestamp,
-            logical_bytes=stats.logical_bytes,
-            transferred_bytes=stats.transferred_bytes,
-            files=entries,
-        )
-        self._record_run(run)
+        with trace_span("backup", sim_clock=self.tpds.clock, job=job) as span:
+            with trace_span("client.ingest", sim_clock=self.tpds.clock) as ingest:
+                session = self.file_store.begin_session(filtering)
+                files = 0
+                for metadata, chunks in self.engine.iter_dataset(
+                    [Path(p) for p in dataset]
+                ):
+                    session.add_file(metadata, chunks)
+                    files += 1
+                ingest.annotate(files=files)
+            stats, entries = session.close()  # runs dedup-1 (its own child span)
+            self.tpds.dedup2(force_siu=True)  # child span "dedup2"
+            with trace_span("catalog", sim_clock=self.tpds.clock):
+                self._sync_index_geometry()
+                self._index_store.flush()
+                run = VaultRun(
+                    run_id=len(self._catalog["runs"]) + 1,
+                    job=job,
+                    timestamp=timestamp,
+                    logical_bytes=stats.logical_bytes,
+                    transferred_bytes=stats.transferred_bytes,
+                    files=entries,
+                )
+                self._record_run(run)
+            span.set_io(bytes_in=stats.logical_bytes, bytes_out=stats.transferred_bytes)
+            span.annotate(run_id=run.run_id)
+        self._t_backups.inc()
         return run
 
     def _sync_index_geometry(self) -> None:
@@ -243,7 +274,14 @@ class DebarVault:
                 break
         else:
             raise VaultError(f"no run {run_id} in this vault")
-        return self.engine.restore_run(run.files, self.chunk_store, dest, strip_prefix)
+        with trace_span("restore", sim_clock=self.tpds.clock, run_id=run_id) as span:
+            paths = self.engine.restore_run(
+                run.files, self.chunk_store, dest, strip_prefix
+            )
+            span.set_io(bytes_out=sum(e.metadata.size for e in run.files))
+            span.annotate(files=len(paths))
+        self._t_restores.inc()
+        return paths
 
     def verify(self, deep: bool = False) -> Dict[str, int]:
         """Integrity check: every catalogued fingerprint must resolve.
@@ -380,6 +418,16 @@ class DebarVault:
         """
         if not 0 <= rewrite_threshold <= 1:
             raise VaultError("rewrite_threshold must be in [0, 1]")
+        with trace_span("gc", sim_clock=self.tpds.clock) as gc_span:
+            report = self._gc(rewrite_threshold)
+            gc_span.set_io(bytes_out=report.bytes_reclaimed)
+            gc_span.annotate(
+                removed=report.containers_removed,
+                rewritten=report.containers_rewritten,
+            )
+        return report
+
+    def _gc(self, rewrite_threshold: float) -> GcReport:
         live = self.live_fingerprints()
         report = GcReport()
         index = self.tpds.index
@@ -444,10 +492,10 @@ class DebarVault:
         return report
 
     def stats(self) -> Dict[str, float]:
-        """Vault-level accounting."""
+        """Vault-level accounting (also published as telemetry gauges)."""
         logical = sum(p["logical_bytes"] for p in self._catalog["runs"])
         physical = self.repository.stored_chunk_bytes
-        return {
+        stats = {
             "runs": len(self._catalog["runs"]),
             "logical_bytes": logical,
             "physical_bytes": physical,
@@ -456,6 +504,12 @@ class DebarVault:
             "index_entries": len(self.tpds.index),
             "index_utilization": self.tpds.index.utilization,
         }
+        for key, value in stats.items():
+            if value != float("inf"):
+                self.telemetry.gauge(
+                    f"vault.{key}", f"vault accounting: {key}"
+                ).set(value)
+        return stats
 
     def close(self) -> None:
         """Flush and release the on-disk index."""

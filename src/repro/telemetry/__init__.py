@@ -1,0 +1,101 @@
+"""``repro.telemetry``: metrics registry + pipeline tracing (DESIGN.md §8).
+
+The observability layer every perf PR measures itself against: a
+process-wide but injectable :class:`MetricsRegistry` (counters, gauges,
+histograms with labels), :func:`trace_span` pipeline tracing over wall and
+simulated time, a JSON snapshot exporter with a validated schema, and a
+Prometheus text exporter.
+
+Disabled by default at zero cost — the global registry and tracer are
+no-op singletons until :func:`enable` swaps live ones in::
+
+    from repro import telemetry
+
+    registry, tracer = telemetry.enable()
+    ... run a backup ...
+    print(registry.render_prometheus())
+    print(tracer.render())
+    telemetry.disable()
+
+Components bind their instruments at construction time, so enable
+telemetry *before* building the vault/system/cluster being observed (the
+CLI's ``--telemetry`` flag and the benchmark harness both do).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.telemetry.clock import monotonic, reset_time_source, set_time_source, wall_now
+from repro.telemetry.export import (
+    SNAPSHOT_VERSION,
+    build_snapshot,
+    load_snapshot,
+    merge_snapshot_file,
+    save_snapshot,
+)
+from repro.telemetry.registry import (
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.telemetry.tracing import (
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    trace_span,
+)
+
+
+def enable() -> Tuple[MetricsRegistry, Tracer]:
+    """Install a live registry and tracer as the process-wide defaults.
+
+    Idempotent: already-enabled telemetry keeps its collected state.
+    """
+    registry = get_registry()
+    if not registry.enabled:
+        registry = set_registry(MetricsRegistry())
+    tracer = get_tracer()
+    if not tracer.enabled:
+        tracer = set_tracer(Tracer())
+    return registry, tracer
+
+
+def disable() -> None:
+    """Return to the zero-cost no-op registry and tracer."""
+    set_registry(NullRegistry())
+    set_tracer(NullTracer())
+
+
+def enabled() -> bool:
+    """Is a live registry currently installed?"""
+    return get_registry().enabled
+
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "SNAPSHOT_VERSION",
+    "get_registry",
+    "set_registry",
+    "get_tracer",
+    "set_tracer",
+    "trace_span",
+    "enable",
+    "disable",
+    "enabled",
+    "build_snapshot",
+    "save_snapshot",
+    "load_snapshot",
+    "merge_snapshot_file",
+    "wall_now",
+    "monotonic",
+    "set_time_source",
+    "reset_time_source",
+]

@@ -1,0 +1,57 @@
+"""One wall-clock source for the whole process.
+
+Run timestamps (``DebarVault.backup``), telemetry span wall times and any
+future scheduling all read time from here instead of calling
+:func:`time.time` at scattered call sites, so a test (or a simulated-clock
+run) can redirect every consumer at once with :func:`set_time_source`.
+
+Two notions of time are exposed:
+
+``wall_now()``
+    Epoch seconds — what gets *recorded* (run timestamps, snapshot
+    ``generated_at``).
+``monotonic()``
+    Monotonic seconds — what gets *subtracted* (span durations), immune to
+    wall-clock steps.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+_wall_source: Callable[[], float] = time.time
+_mono_source: Callable[[], float] = time.perf_counter
+
+
+def wall_now() -> float:
+    """Current epoch time in seconds from the configured source."""
+    return _wall_source()
+
+
+def monotonic() -> float:
+    """Current monotonic time in seconds from the configured source."""
+    return _mono_source()
+
+
+def set_time_source(
+    wall: Optional[Callable[[], float]] = None,
+    mono: Optional[Callable[[], float]] = None,
+) -> None:
+    """Redirect the process time source(s); ``None`` leaves one unchanged.
+
+    A simulated-clock run can pass ``wall=lambda: sim_clock.now`` so run
+    timestamps and trace spans advance with simulated time.
+    """
+    global _wall_source, _mono_source
+    if wall is not None:
+        _wall_source = wall
+    if mono is not None:
+        _mono_source = mono
+
+
+def reset_time_source() -> None:
+    """Restore the real :mod:`time`-backed sources."""
+    global _wall_source, _mono_source
+    _wall_source = time.time
+    _mono_source = time.perf_counter

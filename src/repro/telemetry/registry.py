@@ -1,0 +1,357 @@
+"""The metrics registry: counters, gauges and histograms with labels.
+
+DEBAR's argument is throughput arithmetic — filter hit rates, SIL/SIU scan
+times, container packing rates, PSIL/PSIU exchange volumes — so every phase
+of the pipeline reports to a :class:`MetricsRegistry` under a stable,
+catalogued name (DESIGN.md §8).  The registry is process-wide by default
+(:func:`get_registry`) but injectable: every instrumented component accepts
+an explicit registry, and the global can be swapped with
+:func:`set_registry`.
+
+Telemetry is *disabled* by default.  The disabled registry is a
+:class:`NullRegistry` whose instruments are shared no-op singletons, so an
+uninstrumented run pays one no-op method call per event and allocates
+nothing — and its snapshot is always empty.
+
+Metric names are dotted (``sil.index_bytes_read``); the Prometheus exporter
+(:meth:`MetricsRegistry.render_prometheus`) rewrites them to the
+``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset on the way out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Histogram bucket bounds used when the caller does not pass any: tuned for
+#: seconds-scale phase durations (microseconds through minutes).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0, 600.0
+)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value (one labelled child of a family)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (one labelled child of a family)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A bucketed distribution (one labelled child of a family)."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs ending at +Inf."""
+        out, running = [], 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((repr(bound), running))
+        out.append(("+Inf", self.count))
+        return out
+
+
+_CHILD_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """All children of one metric name, keyed by their label sets."""
+
+    __slots__ = ("name", "type", "help", "buckets", "_children")
+
+    def __init__(self, name: str, type_: str, help_: str = "",
+                 buckets: Optional[Tuple[float, ...]] = None) -> None:
+        self.name = name
+        self.type = type_
+        self.help = help_
+        self.buckets = buckets if buckets is not None else DEFAULT_BUCKETS
+        self._children: Dict[_LabelKey, object] = {}
+
+    def labels(self, **labels: object):
+        """The child instrument for one label set (created on first use)."""
+        key = _label_key(labels)  # type: ignore[arg-type]
+        child = self._children.get(key)
+        if child is None:
+            if self.type == "histogram":
+                child = Histogram(self.buckets)
+            else:
+                child = _CHILD_TYPES[self.type]()
+            self._children[key] = child
+        return child
+
+    # Unlabelled convenience: family.inc() == family.labels().inc() etc.
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.labels().dec(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    def samples(self) -> Iterable[Tuple[Dict[str, str], object]]:
+        for key, child in sorted(self._children.items()):
+            yield dict(key), child
+
+
+class MetricsRegistry:
+    """A live, collecting registry of metric families."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    # -- instrument factories -----------------------------------------------------
+    def _family(self, name: str, type_: str, help_: str,
+                buckets: Optional[Tuple[float, ...]] = None) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = MetricFamily(name, type_, help_, buckets)
+        elif family.type != type_:
+            raise ValueError(
+                f"metric {name!r} already registered as a {family.type}, "
+                f"not a {type_}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "") -> MetricFamily:
+        return self._family(name, "counter", help)
+
+    def gauge(self, name: str, help: str = "") -> MetricFamily:
+        return self._family(name, "gauge", help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Tuple[float, ...]] = None) -> MetricFamily:
+        return self._family(name, "histogram", help, buckets)
+
+    # -- introspection -------------------------------------------------------------
+    def families(self) -> List[MetricFamily]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    def value(self, name: str, **labels: object) -> float:
+        """The current value of one counter/gauge sample (0.0 if absent)."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        child = family._children.get(_label_key(labels))  # type: ignore[arg-type]
+        if child is None:
+            return 0.0
+        return child.value  # type: ignore[union-attr]
+
+    def total(self, name: str) -> float:
+        """Sum of one counter/gauge family across all label sets."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        return sum(child.value for _, child in family.samples())  # type: ignore[union-attr]
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    # -- export ---------------------------------------------------------------------
+    def snapshot_metrics(self) -> List[dict]:
+        """JSON-able dump of every family (the ``metrics`` section of the
+        snapshot document; see :mod:`repro.telemetry.export`)."""
+        out = []
+        for family in self.families():
+            samples = []
+            for labels, child in family.samples():
+                if family.type == "histogram":
+                    samples.append({
+                        "labels": labels,
+                        "count": child.count,        # type: ignore[union-attr]
+                        "sum": child.sum,            # type: ignore[union-attr]
+                        "buckets": dict(child.cumulative()),  # type: ignore[union-attr]
+                    })
+                else:
+                    samples.append({"labels": labels, "value": child.value})  # type: ignore[union-attr]
+            out.append({
+                "name": family.name,
+                "type": family.type,
+                "help": family.help,
+                "samples": samples,
+            })
+        return out
+
+    def merge_snapshot_metrics(self, metrics: List[dict]) -> None:
+        """Fold a previously exported ``metrics`` section back in.
+
+        Counters and histograms accumulate; gauges take the imported value.
+        Lets CLI invocations in separate processes build one cumulative
+        picture (the vault persists its snapshot across runs).
+        """
+        for metric in metrics:
+            name, type_ = metric["name"], metric["type"]
+            if type_ == "counter":
+                family = self.counter(name, metric.get("help", ""))
+                for s in metric["samples"]:
+                    family.labels(**s["labels"]).inc(s["value"])
+            elif type_ == "gauge":
+                family = self.gauge(name, metric.get("help", ""))
+                for s in metric["samples"]:
+                    family.labels(**s["labels"]).set(s["value"])
+            elif type_ == "histogram":
+                family = self.histogram(name, metric.get("help", ""))
+                for s in metric["samples"]:
+                    child = family.labels(**s["labels"])
+                    child.count += s["count"]
+                    child.sum += s["sum"]
+            else:
+                raise ValueError(f"unknown metric type {type_!r}")
+
+    def render_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        lines: List[str] = []
+        for family in self.families():
+            name = prometheus_name(family.name)
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.type}")
+            for labels, child in family.samples():
+                if family.type == "histogram":
+                    for le, count in child.cumulative():  # type: ignore[union-attr]
+                        lines.append(
+                            f"{name}_bucket{_prom_labels({**labels, 'le': le})} {count}"
+                        )
+                    lines.append(f"{name}_sum{_prom_labels(labels)} {_prom_num(child.sum)}")   # type: ignore[union-attr]
+                    lines.append(f"{name}_count{_prom_labels(labels)} {child.count}")          # type: ignore[union-attr]
+                else:
+                    lines.append(
+                        f"{name}{_prom_labels(labels)} {_prom_num(child.value)}"  # type: ignore[union-attr]
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def prometheus_name(name: str) -> str:
+    """Rewrite a dotted metric name into the Prometheus charset."""
+    out = "".join(c if c.isalnum() or c in "_:" else "_" for c in name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prom_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{prometheus_name(k)}="{str(v).replace(chr(92), chr(92)*2).replace(chr(34), chr(92) + chr(34))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _prom_num(value: float) -> str:
+    return repr(int(value)) if float(value).is_integer() else repr(value)
+
+
+# ---------------------------------------------------------------- no-op mode
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram/family."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+
+    def labels(self, **labels: object) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: hands out no-op instruments, records nothing."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str, help: str = "") -> _NullInstrument:  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "") -> _NullInstrument:  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Tuple[float, ...]] = None) -> _NullInstrument:  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+
+# ---------------------------------------------------------------- the global
+_registry: MetricsRegistry = NullRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry (a :class:`NullRegistry` until enabled)."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the new one."""
+    global _registry
+    _registry = registry
+    return registry

@@ -1,0 +1,145 @@
+"""Validation of the telemetry snapshot document (DESIGN.md §8).
+
+Pure-Python structural validation — no external jsonschema dependency —
+used by tests and by the CI smoke job::
+
+    PYTHONPATH=src python -m repro.telemetry.schema snapshot.json
+
+Exit status 0 when the document conforms; 1 with a pin-pointed path
+otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List, Optional
+
+from repro.telemetry.export import SNAPSHOT_VERSION
+
+_METRIC_TYPES = {"counter", "gauge", "histogram"}
+
+
+class SchemaError(ValueError):
+    """A snapshot document violating the documented shape."""
+
+    def __init__(self, path: str, message: str) -> None:
+        super().__init__(f"{path}: {message}")
+        self.path = path
+
+
+def _require(cond: bool, path: str, message: str) -> None:
+    if not cond:
+        raise SchemaError(path, message)
+
+
+def _check_labels(labels: object, path: str) -> None:
+    _require(isinstance(labels, dict), path, "labels must be an object")
+    for k, v in labels.items():  # type: ignore[union-attr]
+        _require(isinstance(k, str), f"{path}.{k}", "label names must be strings")
+        _require(isinstance(v, str), f"{path}.{k}", "label values must be strings")
+
+
+def _check_sample(sample: object, type_: str, path: str) -> None:
+    _require(isinstance(sample, dict), path, "sample must be an object")
+    _check_labels(sample.get("labels"), f"{path}.labels")  # type: ignore[union-attr]
+    if type_ == "histogram":
+        for key in ("count", "sum", "buckets"):
+            _require(key in sample, f"{path}.{key}", "histogram sample field missing")  # type: ignore[operator]
+        _require(isinstance(sample["count"], int), f"{path}.count", "must be an integer")  # type: ignore[index]
+        _require(isinstance(sample["sum"], (int, float)), f"{path}.sum", "must be a number")  # type: ignore[index]
+        buckets = sample["buckets"]  # type: ignore[index]
+        _require(isinstance(buckets, dict), f"{path}.buckets", "must be an object")
+        _require("+Inf" in buckets, f"{path}.buckets", "must include the +Inf bound")
+        for le, count in buckets.items():
+            _require(isinstance(count, int) and count >= 0,
+                     f"{path}.buckets[{le}]", "bucket counts must be non-negative integers")
+    else:
+        _require("value" in sample, f"{path}.value", "sample value missing")  # type: ignore[operator]
+        _require(isinstance(sample["value"], (int, float)), f"{path}.value", "must be a number")  # type: ignore[index]
+        if type_ == "counter":
+            _require(sample["value"] >= 0, f"{path}.value", "counters cannot be negative")  # type: ignore[index]
+
+
+def _check_span(span: object, path: str) -> None:
+    _require(isinstance(span, dict), path, "span must be an object")
+    _require(isinstance(span.get("name"), str) and span["name"],  # type: ignore[union-attr, index]
+             f"{path}.name", "span name must be a non-empty string")
+    _require(isinstance(span.get("wall_seconds"), (int, float)) and span["wall_seconds"] >= 0,  # type: ignore[union-attr, index]
+             f"{path}.wall_seconds", "must be a non-negative number")
+    if "sim_seconds" in span:  # type: ignore[operator]
+        _require(isinstance(span["sim_seconds"], (int, float)) and span["sim_seconds"] >= 0,  # type: ignore[index]
+                 f"{path}.sim_seconds", "must be a non-negative number")
+    for key in ("bytes_in", "bytes_out"):
+        _require(isinstance(span.get(key), int) and span[key] >= 0,  # type: ignore[union-attr, index]
+                 f"{path}.{key}", "must be a non-negative integer")
+    children = span.get("children")  # type: ignore[union-attr]
+    _require(isinstance(children, list), f"{path}.children", "must be an array")
+    for i, child in enumerate(children):  # type: ignore[union-attr]
+        _check_span(child, f"{path}.children[{i}]")
+
+
+def validate_snapshot(doc: object) -> dict:
+    """Validate one snapshot document; returns summary counts.
+
+    Raises :class:`SchemaError` naming the offending path otherwise.
+    """
+    _require(isinstance(doc, dict), "$", "snapshot must be an object")
+    _require(doc.get("version") == SNAPSHOT_VERSION,  # type: ignore[union-attr]
+             "$.version", f"must be {SNAPSHOT_VERSION}")
+    _require(isinstance(doc.get("enabled"), bool), "$.enabled", "must be a boolean")  # type: ignore[union-attr]
+    _require(isinstance(doc.get("generated_at"), (int, float)),  # type: ignore[union-attr]
+             "$.generated_at", "must be a number (epoch seconds)")
+    metrics = doc.get("metrics")  # type: ignore[union-attr]
+    _require(isinstance(metrics, list), "$.metrics", "must be an array")
+    seen = set()
+    samples = 0
+    for i, metric in enumerate(metrics):  # type: ignore[union-attr]
+        path = f"$.metrics[{i}]"
+        _require(isinstance(metric, dict), path, "metric must be an object")
+        name = metric.get("name")
+        _require(isinstance(name, str) and bool(name), f"{path}.name",
+                 "metric name must be a non-empty string")
+        _require(name not in seen, f"{path}.name", f"duplicate metric {name!r}")
+        seen.add(name)
+        type_ = metric.get("type")
+        _require(type_ in _METRIC_TYPES, f"{path}.type",
+                 f"must be one of {sorted(_METRIC_TYPES)}")
+        _require(isinstance(metric.get("help", ""), str), f"{path}.help", "must be a string")
+        metric_samples = metric.get("samples")
+        _require(isinstance(metric_samples, list), f"{path}.samples", "must be an array")
+        for j, sample in enumerate(metric_samples):
+            _check_sample(sample, type_, f"{path}.samples[{j}]")
+            samples += 1
+    traces = doc.get("traces")  # type: ignore[union-attr]
+    _require(isinstance(traces, list), "$.traces", "must be an array")
+    for i, span in enumerate(traces):
+        _check_span(span, f"$.traces[{i}]")
+    return {"metrics": len(metrics), "samples": samples, "traces": len(traces)}  # type: ignore[arg-type]
+
+
+def validate_file(path: str) -> dict:
+    """Validate a snapshot JSON file on disk."""
+    with open(path) as fh:
+        return validate_snapshot(json.load(fh))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 1:
+        print("usage: python -m repro.telemetry.schema SNAPSHOT.json", file=sys.stderr)
+        return 2
+    try:
+        summary = validate_file(argv[0])
+    except (OSError, json.JSONDecodeError, SchemaError) as exc:
+        print(f"invalid telemetry snapshot: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"ok: {summary['metrics']} metrics, {summary['samples']} samples, "
+        f"{summary['traces']} trace trees"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    raise SystemExit(main())

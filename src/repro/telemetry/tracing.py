@@ -1,0 +1,221 @@
+"""Pipeline tracing: nested spans over wall *and* simulated time.
+
+A :func:`trace_span` wraps one pipeline phase::
+
+    with trace_span("dedup2.sil", sim_clock=self.clock) as span:
+        ...
+        span.set_io(bytes_in=batch_bytes, bytes_out=0)
+
+Spans nest into a tree rooted at each top-level phase (one ``backup`` span
+with ``dedup1`` / ``dedup2`` / ``catalog`` children, the dedup-2 span with
+``sil`` / ``store`` / ``siu`` children, ...).  Each span records:
+
+* ``wall`` — monotonic wall seconds (via :mod:`repro.telemetry.clock`);
+* ``sim`` — simulated seconds, when the phase runs against a
+  :class:`repro.simdisk.SimClock` (anything with a ``.now`` attribute);
+* ``bytes_in`` / ``bytes_out`` — payload crossing the phase boundary;
+* free-form ``attrs`` set via :meth:`Span.annotate`.
+
+Like the metrics registry, tracing is disabled by default: the global
+tracer is a :class:`NullTracer` whose ``span`` hands back one shared no-op
+span inside a reusable null context, so untraced runs allocate nothing.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from typing import Dict, Iterator, List, Optional
+
+from repro.telemetry.clock import monotonic
+
+
+class Span:
+    """One timed phase in the trace tree."""
+
+    __slots__ = (
+        "name", "t0", "t1", "sim_t0", "sim_t1",
+        "bytes_in", "bytes_out", "attrs", "children",
+    )
+
+    def __init__(self, name: str, sim_clock=None) -> None:
+        self.name = name
+        self.t0 = monotonic()
+        self.t1: Optional[float] = None
+        self.sim_t0 = sim_clock.now if sim_clock is not None else None
+        self.sim_t1: Optional[float] = None
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.attrs: Dict[str, object] = {}
+        self.children: List["Span"] = []
+
+    # -- recording -----------------------------------------------------------------
+    def set_io(self, bytes_in: Optional[int] = None, bytes_out: Optional[int] = None) -> None:
+        if bytes_in is not None:
+            self.bytes_in = int(bytes_in)
+        if bytes_out is not None:
+            self.bytes_out = int(bytes_out)
+
+    def annotate(self, **attrs: object) -> None:
+        self.attrs.update(attrs)
+
+    def _close(self, sim_clock=None) -> None:
+        self.t1 = monotonic()
+        if sim_clock is not None:
+            self.sim_t1 = sim_clock.now
+
+    # -- readings ------------------------------------------------------------------
+    @property
+    def wall(self) -> float:
+        """Wall seconds this span covered (0.0 while still open)."""
+        return (self.t1 - self.t0) if self.t1 is not None else 0.0
+
+    @property
+    def sim(self) -> Optional[float]:
+        """Simulated seconds covered, or ``None`` if no sim clock attached."""
+        if self.sim_t0 is None or self.sim_t1 is None:
+            return None
+        return self.sim_t1 - self.sim_t0
+
+    def child(self, name: str) -> Optional["Span"]:
+        """First direct child with the given name."""
+        for c in self.children:
+            if c.name == name:
+                return c
+        return None
+
+    def to_dict(self) -> dict:
+        d: Dict[str, object] = {
+            "name": self.name,
+            "wall_seconds": self.wall,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+        }
+        if self.sim is not None:
+            d["sim_seconds"] = self.sim
+        if self.attrs:
+            d["attrs"] = dict(self.attrs)
+        d["children"] = [c.to_dict() for c in self.children]
+        return d
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, wall={self.wall:.6f}, children={len(self.children)})"
+
+
+class NullSpan:
+    """The shared span handed out while tracing is disabled."""
+
+    __slots__ = ()
+    name = "<disabled>"
+    wall = 0.0
+    sim = None
+    bytes_in = 0
+    bytes_out = 0
+    children: List[Span] = []
+
+    def set_io(self, bytes_in: Optional[int] = None, bytes_out: Optional[int] = None) -> None:
+        pass
+
+    def annotate(self, **attrs: object) -> None:
+        pass
+
+
+_NULL_SPAN = NullSpan()
+_NULL_CONTEXT = nullcontext(_NULL_SPAN)
+
+
+class Tracer:
+    """Collects span trees; one open-span stack per tracer.
+
+    The repository is single-threaded by design (the cluster *simulates*
+    concurrency on clock lanes), so the stack is plain instance state.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, sim_clock=None, **attrs: object) -> Iterator[Span]:
+        s = Span(name, sim_clock=sim_clock)
+        if attrs:
+            s.attrs.update(attrs)
+        if self._stack:
+            self._stack[-1].children.append(s)
+        else:
+            self.roots.append(s)
+        self._stack.append(s)
+        try:
+            yield s
+        finally:
+            self._stack.pop()
+            s._close(sim_clock=sim_clock)
+
+    def reset(self) -> None:
+        self.roots = []
+        self._stack = []
+
+    def last_root(self) -> Optional[Span]:
+        return self.roots[-1] if self.roots else None
+
+    def to_dict_list(self) -> List[dict]:
+        return [s.to_dict() for s in self.roots]
+
+    # -- rendering -----------------------------------------------------------------
+    def render(self) -> str:
+        """The span forest as an indented text tree (the ``repro trace``
+        output)."""
+        lines: List[str] = []
+        for root in self.roots:
+            self._render_span(root, lines, prefix="", is_last=True, is_root=True)
+        return "\n".join(lines)
+
+    def _render_span(self, span: Span, lines: List[str], prefix: str,
+                     is_last: bool, is_root: bool = False) -> None:
+        from repro.util import fmt_bytes
+
+        if is_root:
+            head, child_prefix = "", ""
+        else:
+            head = prefix + ("└─ " if is_last else "├─ ")
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        cols = [f"wall {span.wall * 1e3:9.3f} ms"]
+        if span.sim is not None:
+            cols.append(f"sim {span.sim:10.4f} s")
+        if span.bytes_in or span.bytes_out:
+            cols.append(f"in {fmt_bytes(span.bytes_in)} / out {fmt_bytes(span.bytes_out)}")
+        for k, v in span.attrs.items():
+            cols.append(f"{k}={v}")
+        lines.append(f"{head}{span.name:<{max(1, 40 - len(head))}} {'  '.join(cols)}")
+        for i, child in enumerate(span.children):
+            self._render_span(child, lines, child_prefix, i == len(span.children) - 1)
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: no spans collected, no allocation per call."""
+
+    enabled = False
+
+    def span(self, name: str, sim_clock=None, **attrs: object):  # type: ignore[override]
+        return _NULL_CONTEXT
+
+
+_tracer: Tracer = NullTracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (a :class:`NullTracer` until enabled)."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-wide tracer; returns the new one."""
+    global _tracer
+    _tracer = tracer
+    return tracer
+
+
+def trace_span(name: str, sim_clock=None, **attrs: object):
+    """Open a span on the process-wide tracer (no-op when disabled)."""
+    return _tracer.span(name, sim_clock=sim_clock, **attrs)

@@ -32,3 +32,22 @@ def small_config():
         siu_every=1,
         materialize=False,
     )
+
+
+@pytest.fixture
+def live_telemetry():
+    """A live registry + tracer installed as the process globals for one test.
+
+    Components bind instruments at construction time, so build the system
+    under test *inside* the test body, after this fixture has run.  The
+    previous globals (normally the no-op singletons) are restored afterwards.
+    """
+    from repro import telemetry
+
+    prev_registry = telemetry.get_registry()
+    prev_tracer = telemetry.get_tracer()
+    registry = telemetry.set_registry(telemetry.MetricsRegistry())
+    tracer = telemetry.set_tracer(telemetry.Tracer())
+    yield registry, tracer
+    telemetry.set_registry(prev_registry)
+    telemetry.set_tracer(prev_tracer)

@@ -13,7 +13,7 @@ class TestParser:
         )
         assert set(sub.choices) == {
             "backup", "list", "restore", "verify", "audit", "stats",
-            "forget", "gc", "recover-index",
+            "forget", "gc", "recover-index", "trace",
         }
 
     def test_backup_requires_job_and_paths(self):
@@ -53,6 +53,41 @@ class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_telemetry_flags_default_off(self):
+        parser = build_parser()
+        for argv in (
+            ["backup", "--vault", "/v", "--job", "j", "/a"],
+            ["restore", "--vault", "/v", "--run", "1", "--dest", "/d"],
+            ["stats", "--vault", "/v"],
+            ["gc", "--vault", "/v"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.telemetry is False
+            assert args.telemetry_json is None
+        args = parser.parse_args(["stats", "--vault", "/v", "--telemetry",
+                                  "--telemetry-json", "/tmp/t.json"])
+        assert args.telemetry is True
+        assert args.telemetry_json == "/tmp/t.json"
+
+    def test_trace_wraps_backup_and_restore(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["trace", "backup", "--vault", "/v", "--job", "j", "/a"]
+        )
+        assert args.trace is True
+        assert args.job == "j" and args.paths == ["/a"]
+        args = parser.parse_args(
+            ["trace", "restore", "--vault", "/v", "--run", "2", "--dest", "/d"]
+        )
+        assert args.trace is True and args.run == 2
+        # Plain backup/restore are untraced.
+        assert parser.parse_args(
+            ["backup", "--vault", "/v", "--job", "j", "/a"]
+        ).trace is False
+        # The trace wrapper requires a sub-command.
+        with pytest.raises(SystemExit):
+            parser.parse_args(["trace"])
 
     def test_audit_refuses_missing_vault(self, tmp_path, capsys):
         # Opening a vault creates one; the auditor must not conjure an

@@ -1,0 +1,372 @@
+"""Tests for the telemetry subsystem (registry, tracing, export, clock).
+
+Covers the DESIGN.md §8 contract: labelled instruments, the zero-entry
+no-op mode, snapshot build/validate/merge round-trips, span trees over wall
+and simulated time, and the single wall-clock source the vault's run
+timestamps flow through.
+"""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.export import (
+    SNAPSHOT_VERSION,
+    build_snapshot,
+    load_snapshot,
+    merge_snapshot_file,
+    save_snapshot,
+)
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+    prometheus_name,
+)
+from repro.telemetry.schema import SchemaError, validate_snapshot
+from repro.telemetry.tracing import NullTracer, Tracer
+
+
+class FakeSimClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+# ---------------------------------------------------------------- registry
+class TestRegistry:
+    def test_counter_labels_and_totals(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("dedup1.chunks", "chunks seen")
+        fam.labels(server="0").inc(10)
+        fam.labels(server="1").inc(5)
+        fam.labels(server="0").inc(2)
+        assert reg.value("dedup1.chunks", server="0") == 12
+        assert reg.value("dedup1.chunks", server="1") == 5
+        assert reg.total("dedup1.chunks") == 17
+
+    def test_same_label_set_is_same_child(self):
+        fam = MetricsRegistry().counter("c")
+        assert fam.labels(a="1", b="2") is fam.labels(b="2", a="1")
+
+    def test_counter_rejects_negative(self):
+        fam = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            fam.labels().inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = MetricsRegistry().gauge("vault.runs").labels()
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value == 3
+
+    def test_histogram_buckets_and_sum(self):
+        h = MetricsRegistry().histogram("fill", buckets=(0.5, 1.0)).labels()
+        for v in (0.1, 0.6, 0.9, 5.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(6.6)
+        assert dict(h.cumulative()) == {"0.5": 1, "1.0": 3, "+Inf": 4}
+
+    def test_histogram_default_buckets(self):
+        h = MetricsRegistry().histogram("t").labels()
+        assert h.bounds == DEFAULT_BUCKETS
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_unlabelled_convenience_on_family(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        assert reg.value("c") == 3
+
+    def test_missing_metric_reads_zero(self):
+        reg = MetricsRegistry()
+        assert reg.value("nope") == 0.0
+        assert reg.total("nope") == 0.0
+
+    def test_prometheus_render(self):
+        reg = MetricsRegistry()
+        reg.counter("sil.bytes_read", "index bytes").labels(server="0").inc(42)
+        reg.histogram("container.fill", buckets=(0.5,)).labels().observe(0.25)
+        text = reg.render_prometheus()
+        assert '# TYPE sil_bytes_read counter' in text
+        assert 'sil_bytes_read{server="0"} 42' in text
+        assert 'container_fill_bucket{le="0.5"} 1' in text
+        assert 'container_fill_count 1' in text
+        assert text.endswith("\n")
+
+    def test_prometheus_name_rewrite(self):
+        assert prometheus_name("dedup2.sil.rounds") == "dedup2_sil_rounds"
+        assert prometheus_name("0bad") == "_0bad"
+
+
+class TestNullRegistry:
+    def test_disabled_registry_records_nothing(self):
+        """Satellite: the no-op registry adds zero entries when disabled."""
+        reg = NullRegistry()
+        reg.counter("a", "x").labels(k="v").inc(100)
+        reg.gauge("b").set(5)
+        reg.histogram("c").observe(1.0)
+        assert len(reg) == 0
+        assert reg.snapshot_metrics() == []
+        assert reg.total("a") == 0.0
+        assert not reg.enabled
+
+    def test_null_instruments_are_shared_singletons(self):
+        reg = NullRegistry()
+        assert reg.counter("a") is reg.counter("b")
+        assert reg.counter("a").labels(x="1") is reg.gauge("c")
+
+    def test_pipeline_run_with_telemetry_disabled_adds_zero_entries(self):
+        """A full dedup round against the default (disabled) globals must
+        leave the global registry empty and the tracer span-free."""
+        from repro.core.fingerprint import SyntheticFingerprints
+        from repro.system.debar import DebarSystem
+
+        assert not telemetry.enabled()
+        registry = telemetry.get_registry()
+        tracer = telemetry.get_tracer()
+        system = DebarSystem()
+        job = system.define_job("j", "c")
+        fps = SyntheticFingerprints(0).fresh(64)
+        system.backup_stream(job, [(fp, 4096) for fp in fps], auto_dedup2=False)
+        system.run_dedup2(force_siu=True)
+        assert len(registry) == 0
+        assert registry.snapshot_metrics() == []
+        assert tracer.roots == []
+
+    def test_enable_disable_cycle(self):
+        assert not telemetry.enabled()
+        registry, tracer = telemetry.enable()
+        try:
+            assert telemetry.enabled()
+            assert registry.enabled and tracer.enabled
+            # Idempotent: a second enable keeps the same live objects.
+            again, _ = telemetry.enable()
+            assert again is registry
+        finally:
+            telemetry.disable()
+        assert not telemetry.enabled()
+        assert isinstance(telemetry.get_registry(), NullRegistry)
+
+
+# ----------------------------------------------------------------- tracing
+class TestTracing:
+    def test_span_nesting(self):
+        tracer = Tracer()
+        with tracer.span("backup") as root:
+            with tracer.span("dedup1"):
+                pass
+            with tracer.span("dedup2") as d2:
+                with tracer.span("dedup2.sil"):
+                    pass
+        assert [r.name for r in tracer.roots] == ["backup"]
+        assert [c.name for c in root.children] == ["dedup1", "dedup2"]
+        assert root.child("dedup2") is d2
+        assert d2.children[0].name == "dedup2.sil"
+        assert root.wall >= 0.0
+
+    def test_sim_clock_window(self):
+        tracer = Tracer()
+        clock = FakeSimClock(10.0)
+        with tracer.span("phase", sim_clock=clock) as span:
+            clock.now = 14.5
+        assert span.sim == pytest.approx(4.5)
+        with tracer.span("unclocked") as span2:
+            pass
+        assert span2.sim is None
+
+    def test_io_attrs_and_dict_shape(self):
+        tracer = Tracer()
+        with tracer.span("dedup1", job="docs") as span:
+            span.set_io(bytes_in=1000, bytes_out=200)
+            span.annotate(chunks=5)
+        d = tracer.to_dict_list()[0]
+        assert d["name"] == "dedup1"
+        assert d["bytes_in"] == 1000 and d["bytes_out"] == 200
+        assert d["attrs"] == {"job": "docs", "chunks": 5}
+        assert d["children"] == []
+
+    def test_render_tree(self):
+        tracer = Tracer()
+        clock = FakeSimClock()
+        with tracer.span("backup", sim_clock=clock):
+            with tracer.span("dedup1"):
+                pass
+        text = tracer.render()
+        assert "backup" in text and "└─ dedup1" in text
+        assert "sim" in text  # the sim column shows up when clocked
+
+    def test_reset_and_last_root(self):
+        tracer = Tracer()
+        assert tracer.last_root() is None
+        with tracer.span("a"):
+            pass
+        assert tracer.last_root().name == "a"
+        tracer.reset()
+        assert tracer.roots == []
+
+    def test_null_tracer_collects_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("anything", sim_clock=FakeSimClock()) as span:
+            span.set_io(bytes_in=1)
+            span.annotate(x=1)
+        assert tracer.roots == []
+        # The shared no-op span reads as empty.
+        assert span.wall == 0.0 and span.bytes_in == 0
+
+
+# ---------------------------------------------------------- export + schema
+class TestSnapshot:
+    def _populated_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("dedup1.chunks", "chunks").labels(server="0").inc(7)
+        reg.gauge("vault.runs").labels().set(2)
+        reg.histogram("container.fill").labels().observe(0.8)
+        return reg
+
+    def test_build_and_validate(self, live_telemetry):
+        registry, tracer = live_telemetry
+        registry.counter("c").inc()
+        with tracer.span("backup"):
+            pass
+        doc = build_snapshot(registry, tracer)
+        assert doc["version"] == SNAPSHOT_VERSION
+        assert doc["enabled"] is True
+        summary = validate_snapshot(doc)
+        assert summary == {"metrics": 1, "samples": 1, "traces": 1}
+
+    def test_snapshot_is_json_and_roundtrips(self, tmp_path):
+        reg = self._populated_registry()
+        doc = build_snapshot(reg, Tracer())
+        path = save_snapshot(doc, tmp_path / "snap.json")
+        loaded = load_snapshot(path)
+        assert loaded == json.loads(json.dumps(doc))
+        validate_snapshot(loaded)
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert load_snapshot(tmp_path / "absent.json") is None
+
+    def test_merge_accumulates_counters_overwrites_gauges(self, tmp_path):
+        path = tmp_path / "snap.json"
+        save_snapshot(build_snapshot(self._populated_registry(), Tracer()), path)
+        live = self._populated_registry()  # same values again
+        assert merge_snapshot_file(path, live)
+        assert live.value("dedup1.chunks", server="0") == 14  # 7 + 7
+        assert live.value("vault.runs") == 2  # gauge: persisted value wins
+        fill = live.histogram("container.fill").labels()
+        assert fill.count == 2 and fill.sum == pytest.approx(1.6)
+
+    def test_merge_missing_file_is_noop(self, tmp_path):
+        live = MetricsRegistry()
+        assert not merge_snapshot_file(tmp_path / "absent.json", live)
+        assert len(live) == 0
+
+    def test_schema_rejects_bad_documents(self):
+        with pytest.raises(SchemaError, match=r"\$\.version"):
+            validate_snapshot({"version": 999})
+        doc = build_snapshot(MetricsRegistry(), Tracer())
+        doc["metrics"] = [{"name": "x", "type": "teapot", "samples": []}]
+        with pytest.raises(SchemaError, match="type"):
+            validate_snapshot(doc)
+
+    def test_schema_rejects_negative_counter(self):
+        doc = build_snapshot(MetricsRegistry(), Tracer())
+        doc["metrics"] = [{
+            "name": "c", "type": "counter",
+            "samples": [{"labels": {}, "value": -1}],
+        }]
+        with pytest.raises(SchemaError, match="negative"):
+            validate_snapshot(doc)
+
+    def test_schema_cli_entrypoint(self, tmp_path, capsys):
+        from repro.telemetry.schema import main as schema_main
+
+        path = save_snapshot(
+            build_snapshot(self._populated_registry(), Tracer()), tmp_path / "s.json"
+        )
+        assert schema_main([str(path)]) == 0
+        assert "ok:" in capsys.readouterr().out
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"version\": 999}")
+        assert schema_main([str(bad)]) == 1
+
+
+# -------------------------------------------------------------------- clock
+class TestClockSource:
+    def test_time_source_swap_and_reset(self):
+        try:
+            telemetry.set_time_source(wall=lambda: 1234.5, mono=lambda: 7.0)
+            assert telemetry.wall_now() == 1234.5
+            assert telemetry.monotonic() == 7.0
+        finally:
+            telemetry.reset_time_source()
+        assert telemetry.wall_now() > 1e9  # back on the real epoch clock
+
+    def test_vault_run_timestamps_flow_through_wall_now(self, tmp_path):
+        """Satellite: the CLI/vault no longer call time.time() directly —
+        redirecting the process clock redirects run timestamps."""
+        from repro.system import DebarVault
+
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "a.bin").write_bytes(b"x" * 8192)
+        try:
+            telemetry.set_time_source(wall=lambda: 777.0)
+            with DebarVault(tmp_path / "vault") as vault:
+                run = vault.backup("docs", [src])
+            assert run.timestamp == 777.0
+        finally:
+            telemetry.reset_time_source()
+
+
+# -------------------------------------------------- pipeline integration
+class TestPipelineIntegration:
+    def test_backup_span_tree_and_counters(self, tmp_path, live_telemetry):
+        """Acceptance: a traced backup yields one span tree whose phase
+        breakdown accounts for the root's wall time, and the registry holds
+        the full metric catalogue for the run."""
+        from repro.system import DebarVault
+
+        registry, tracer = live_telemetry
+        src = tmp_path / "src"
+        src.mkdir()
+        for i in range(4):
+            (src / f"f{i}.bin").write_bytes(bytes([i]) * 16384)
+
+        with DebarVault(tmp_path / "vault") as vault:
+            vault.backup("docs", [src])
+
+        root = tracer.last_root()
+        assert root.name == "backup"
+        child_names = [c.name for c in root.children]
+        for phase in ("client.ingest", "dedup1", "dedup2", "catalog"):
+            assert phase in child_names
+        # The instrumented phases cover the traced run's wall time.
+        assert sum(c.wall for c in root.children) <= root.wall + 1e-9
+        assert sum(c.wall for c in root.children) >= 0.5 * root.wall
+
+        assert registry.total("vault.backups") == 1
+        assert registry.total("dedup1.sessions") == 1
+        assert registry.total("client.files_read") == 4
+        assert registry.total("dedup2.new_chunks") > 0
+        # Counters and the span agree on the logical volume.
+        assert root.bytes_in == registry.total("dedup1.bytes_logical")
+
+    def test_meter_charges_mirror_to_registry(self, live_telemetry):
+        from repro.simdisk import Meter, SimClock
+
+        registry, _ = live_telemetry
+        meter = Meter(SimClock())
+        meter.charge("sil.scan", 2.0)
+        meter.charge("sil.scan", 1.5)
+        meter.record("dedup1.network", 4.0)
+        assert registry.value("meter.seconds", category="sil.scan") == pytest.approx(3.5)
+        assert registry.value(
+            "meter.seconds_overlapped", category="dedup1.network"
+        ) == pytest.approx(4.0)
