@@ -1,0 +1,126 @@
+"""Wire-protocol overhead: in-process vs loopback-RPC backup (real wall time).
+
+The repro.net protocol adds framing, request/response round trips and an
+extra serialization of every transferred chunk.  This bench backs up the
+same synthetic dataset twice — straight through :class:`DebarVault` and
+through a live ``repro serve`` daemon on loopback — and reports both
+throughputs plus the protocol byte overhead the client's ``net.*``
+counters measured.  No paper counterpart; the daemon is our extension
+(DESIGN.md section 9).  Tracked so a chatty-protocol regression (say, an
+accidental per-chunk round trip) shows up as a throughput cliff.
+"""
+
+import random
+import threading
+import time
+from pathlib import Path
+
+from harness import save_result, telemetry_session
+from conftest import print_table, volume_scale
+
+from repro.net.client import RemoteBackupClient
+from repro.net.server import serve_vault
+from repro.system.vault import DebarVault
+
+#: Dataset volume at scale 1.0 (files x bytes each, ~24 MB).
+N_FILES = 24
+FILE_BYTES = 1 << 20
+
+
+def _write_dataset(root: Path, scale: float) -> Path:
+    rng = random.Random(1302)
+    data = root / "data"
+    data.mkdir()
+    n_files = max(2, int(N_FILES * scale))
+    for i in range(n_files):
+        # Compressible-but-unique content: fresh random head, repeated
+        # tail, so chunking and dedup both have work to do.
+        head = rng.randbytes(FILE_BYTES // 2)
+        (data / f"f{i:03d}.bin").write_bytes(head + head[: FILE_BYTES // 2])
+    return data
+
+
+def _measure_in_process(tmp: Path, data: Path):
+    vault = DebarVault(tmp / "vault-local")
+    t0 = time.perf_counter()
+    run = vault.backup("bench", [str(data)])
+    elapsed = time.perf_counter() - t0
+    vault.close()
+    return run, elapsed
+
+
+def _measure_loopback(tmp: Path, data: Path, registry):
+    vault = DebarVault(tmp / "vault-remote")
+    server = serve_vault(vault, registry=registry)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address
+    try:
+        with RemoteBackupClient(host, port, registry=registry) as client:
+            t0 = time.perf_counter()
+            run = client.backup("bench", [str(data)])
+            elapsed = time.perf_counter() - t0
+    finally:
+        server.shutdown()
+        server.server_close()
+        vault.close()
+    return run, elapsed
+
+
+def test_net_overhead(results_dir, tmp_path):
+    scale = volume_scale()
+    data = _write_dataset(tmp_path, scale)
+    logical = sum(p.stat().st_size for p in data.iterdir())
+
+    local_run, local_s = _measure_in_process(tmp_path, data)
+    with telemetry_session() as (registry, tracer):
+        remote_run, remote_s = _measure_loopback(tmp_path, data, registry)
+
+    # Same dedup outcome either way -- the protocol must not change what
+    # is stored, only how it travels.
+    assert remote_run.logical_bytes == local_run.logical_bytes == logical
+    assert remote_run.transferred_bytes == local_run.transferred_bytes
+
+    metrics = {row["name"]: row for row in registry.snapshot_metrics()}
+    wire_bytes = sum(
+        s["value"] for s in metrics["net.bytes_sent"]["samples"]
+    ) + sum(s["value"] for s in metrics["net.bytes_received"]["samples"])
+    requests = sum(s["value"] for s in metrics["net.requests"]["samples"])
+    local_mbps = logical / local_s / 1e6
+    remote_mbps = logical / remote_s / 1e6
+    overhead = wire_bytes / logical
+
+    # Sanity floor, not a performance target: loopback RPC must stay
+    # within 50x of in-process (a per-chunk round-trip bug is ~1000x),
+    # and protocol overhead must stay below 3x the payload.
+    assert remote_mbps > local_mbps / 50
+    assert overhead < 3.0
+    # Batching keeps the request count far below the chunk count.
+    assert requests < logical / 4096
+
+    print_table(
+        "repro.net loopback overhead",
+        ["path", "MB/s", "seconds", "wire bytes / logical"],
+        [
+            ("in-process", f"{local_mbps:,.1f}", f"{local_s:.3f}", "-"),
+            ("loopback RPC", f"{remote_mbps:,.1f}", f"{remote_s:.3f}",
+             f"{overhead:.2f}"),
+        ],
+    )
+    save_result(
+        results_dir,
+        "net_overhead",
+        params={"scale": scale, "files": len(list(data.iterdir())),
+                "logical_bytes": logical},
+        metrics={
+            "local_seconds": local_s,
+            "remote_seconds": remote_s,
+            "local_mb_per_s": local_mbps,
+            "remote_mb_per_s": remote_mbps,
+            "wire_bytes": wire_bytes,
+            "wire_overhead_ratio": overhead,
+            "requests": requests,
+        },
+        registry=registry,
+        tracer=tracer,
+    )

@@ -1,4 +1,4 @@
-"""Command-line interface to a local DEBAR vault.
+"""Command-line interface to a local or remote DEBAR vault.
 
 ::
 
@@ -10,22 +10,47 @@
     python -m repro stats   --vault ~/.debar [--telemetry]
     python -m repro trace   backup --vault ~/.debar --job homedirs /data/home
     python -m repro recover-index --vault ~/.debar
+    python -m repro serve   --vault ~/.debar --port 7070
+    python -m repro backup  --connect host:7070 --job homedirs /data/home
 
 ``--telemetry`` (on ``backup``, ``restore``, ``gc`` and ``stats``) turns on
 the metrics registry for the invocation; ``backup``/``restore``/``gc``
 persist the cumulative counters to ``<vault>/telemetry.json`` so a later
 ``stats --telemetry`` can report across runs.  ``trace`` wraps ``backup`` or
 ``restore`` and prints the span tree of the invocation.
+
+``serve`` hosts a vault behind the wire protocol of :mod:`repro.net`
+(DESIGN.md §9); every data command except ``audit`` and ``recover-index``
+then also accepts ``--connect host:port`` in place of ``--vault`` and runs
+against the daemon through :class:`repro.net.client.RemoteBackupClient`.
+
+Exit codes are part of the interface::
+
+    0   success
+    1   operational error (missing vault/run, I/O failure, refused
+        connection, retry budget exhausted)
+    2   usage error (argparse: unknown flags, missing arguments, or
+        neither/both of --vault and --connect)
+    3   corruption: ``verify`` failed to resolve a fingerprint or found a
+        payload digest mismatch; ``audit`` reported findings
+    4   ``serve`` could not bind its listening socket
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
+from contextlib import contextmanager
 from pathlib import Path
+from types import SimpleNamespace
 from typing import List, Optional
 
+from repro.net.client import RemoteBackupClient
+from repro.net.framing import ProtocolError
+from repro.net.server import serve_vault
 from repro.system.vault import DebarVault, VaultError
 from repro.telemetry import enable as telemetry_enable
 from repro.telemetry.export import build_snapshot, merge_snapshot_file, save_snapshot
@@ -34,9 +59,39 @@ from repro.util import fmt_bytes
 #: Per-vault cumulative telemetry snapshot (counters survive across runs).
 TELEMETRY_SNAPSHOT = "telemetry.json"
 
+# Documented exit codes (see module docstring).
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2  # argparse's own convention; validated in main()
+EXIT_CORRUPTION = 3
+EXIT_SERVE = 4
 
-def _open(args) -> DebarVault:
-    return DebarVault(args.vault)
+
+def _parse_connect(spec: str):
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise VaultError(f"--connect expects host:port, got {spec!r}")
+    return host or "127.0.0.1", int(port)
+
+
+@contextmanager
+def _open(args):
+    """The command's target: a local vault or a remote daemon.
+
+    Both expose the same data surface (backup/restore/runs/stats/gc/
+    verify/forget), so the commands below stay shape-agnostic except
+    where return types genuinely differ.
+    """
+    if getattr(args, "connect", None):
+        host, port = _parse_connect(args.connect)
+        client = RemoteBackupClient(host, port)
+        try:
+            yield client
+        finally:
+            client.close()
+    else:
+        with DebarVault(args.vault) as vault:
+            yield vault
 
 
 def _telemetry_wanted(args) -> bool:
@@ -54,13 +109,18 @@ def _telemetry_begin(args):
 
 def _telemetry_finish(args, registry, tracer) -> None:
     """Fold the vault's persisted counters in, re-persist, honour --trace
-    and --telemetry-json."""
+    and --telemetry-json.  Remote invocations have no vault directory to
+    persist into; their (client-side, ``net.*``-bearing) snapshot still
+    goes to --telemetry-json."""
     if registry is None:
         return
-    path = Path(args.vault) / TELEMETRY_SNAPSHOT
-    merge_snapshot_file(path, registry)
-    snapshot = build_snapshot(registry, tracer)
-    save_snapshot(snapshot, path)
+    if getattr(args, "vault", None):
+        path = Path(args.vault) / TELEMETRY_SNAPSHOT
+        merge_snapshot_file(path, registry)
+        snapshot = build_snapshot(registry, tracer)
+        save_snapshot(snapshot, path)
+    else:
+        snapshot = build_snapshot(registry, tracer)
     if getattr(args, "telemetry_json", None):
         save_snapshot(snapshot, args.telemetry_json)
         print(f"telemetry snapshot written to {args.telemetry_json}")
@@ -70,56 +130,71 @@ def _telemetry_finish(args, registry, tracer) -> None:
             print(rendered.rstrip("\n"))
 
 
+def _file_count(run) -> int:
+    # VaultRun carries the file list; RemoteRun carries the count.
+    return run.files if isinstance(run.files, int) else len(run.files)
+
+
 def cmd_backup(args) -> int:
     registry, tracer = _telemetry_begin(args)
-    with _open(args) as vault:
+    with _open(args) as target:
         # The timestamp comes from the vault's single clock helper
         # (repro.telemetry.clock.wall_now), not a raw time.time() here.
-        run = vault.backup(args.job, args.paths)
+        run = target.backup(args.job, args.paths)
         saved = run.logical_bytes - run.transferred_bytes
         print(
-            f"run {run.run_id}: {len(run.files)} files, "
+            f"run {run.run_id}: {_file_count(run)} files, "
             f"{fmt_bytes(run.logical_bytes)} logical, "
             f"{fmt_bytes(run.transferred_bytes)} transferred "
             f"({fmt_bytes(saved)} filtered as duplicate)"
         )
         _telemetry_finish(args, registry, tracer)
-    return 0
+    return EXIT_OK
 
 
 def cmd_list(args) -> int:
-    with _open(args) as vault:
-        runs = vault.runs(job=args.job)
+    with _open(args) as target:
+        runs = target.runs(job=args.job)
         if not runs:
             print("no runs recorded")
-            return 0
+            return EXIT_OK
         print(f"{'run':>4}  {'job':<16} {'files':>6} {'logical':>10} {'transferred':>12}")
         for run in runs:
             print(
-                f"{run.run_id:>4}  {run.job:<16} {len(run.files):>6} "
+                f"{run.run_id:>4}  {run.job:<16} {_file_count(run):>6} "
                 f"{fmt_bytes(run.logical_bytes):>10} "
                 f"{fmt_bytes(run.transferred_bytes):>12}"
             )
-    return 0
+    return EXIT_OK
 
 
 def cmd_restore(args) -> int:
     registry, tracer = _telemetry_begin(args)
-    with _open(args) as vault:
-        paths = vault.restore(args.run, args.dest, strip_prefix=args.strip_prefix)
+    with _open(args) as target:
+        paths = target.restore(args.run, args.dest, strip_prefix=args.strip_prefix)
         print(f"restored {len(paths)} files to {args.dest}")
         _telemetry_finish(args, registry, tracer)
-    return 0
+    return EXIT_OK
 
 
 def cmd_verify(args) -> int:
-    with _open(args) as vault:
-        report = vault.verify()
+    with _open(args) as target:
+        try:
+            report = target.verify(deep=args.deep)
+        except VaultError as exc:
+            print(f"corruption: {exc}", file=sys.stderr)
+            return EXIT_CORRUPTION
+        # The daemon reports corruption in-band so a remote verify can
+        # still exit 3 (the server's exception does not cross the wire
+        # as a VaultError).
+        if not report.get("ok", True):
+            print(f"corruption: {report.get('finding')}", file=sys.stderr)
+            return EXIT_CORRUPTION
         print(
             f"OK: {report['fingerprints']} fingerprints across "
             f"{report['runs']} runs all resolve"
         )
-    return 0
+    return EXIT_OK
 
 
 def cmd_audit(args) -> int:
@@ -127,24 +202,26 @@ def cmd_audit(args) -> int:
     # it just conjured out of a mistyped path.
     if not Path(args.vault).is_dir():
         print(f"error: no vault at {args.vault}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     with _open(args) as vault:
         report = vault.audit(deep=args.deep)
         print(report.summary())
-    return 0 if report.ok else 1
+    return EXIT_OK if report.ok else EXIT_CORRUPTION
 
 
 def cmd_stats(args) -> int:
     registry, tracer = _telemetry_begin(args)
-    with _open(args) as vault:
-        if registry is not None:
+    with _open(args) as target:
+        if registry is not None and getattr(args, "vault", None):
             # Prior runs' counters accumulate under the live gauges.
             merge_snapshot_file(Path(args.vault) / TELEMETRY_SNAPSHOT, registry)
-        s = vault.stats()
+        s = target.stats()
+        ratio = s.get("compression_ratio")
+        ratio_text = "inf" if ratio is None or ratio == float("inf") else f"{ratio:.2f}:1"
         print(f"runs               : {s['runs']:.0f}")
         print(f"logical protected  : {fmt_bytes(s['logical_bytes'])}")
         print(f"physical stored    : {fmt_bytes(s['physical_bytes'])}")
-        print(f"compression        : {s['compression_ratio']:.2f}:1")
+        print(f"compression        : {ratio_text}")
         print(f"containers         : {s['containers']:.0f}")
         print(f"index entries      : {s['index_entries']:.0f} "
               f"({s['index_utilization']:.1%} utilized)")
@@ -155,20 +232,22 @@ def cmd_stats(args) -> int:
                 print(f"telemetry snapshot written to {args.telemetry_json}")
             else:
                 print(json.dumps(snapshot, indent=1, sort_keys=True))
-    return 0
+    return EXIT_OK
 
 
 def cmd_forget(args) -> int:
-    with _open(args) as vault:
-        vault.forget(args.run)
+    with _open(args) as target:
+        target.forget(args.run)
         print(f"run {args.run} dropped from the catalog (space reclaimed on gc)")
-    return 0
+    return EXIT_OK
 
 
 def cmd_gc(args) -> int:
     registry, tracer = _telemetry_begin(args)
-    with _open(args) as vault:
-        report = vault.gc(rewrite_threshold=args.rewrite_threshold)
+    with _open(args) as target:
+        report = target.gc(rewrite_threshold=args.rewrite_threshold)
+        if isinstance(report, dict):  # the daemon returns the report's fields
+            report = SimpleNamespace(**report)
         print(
             f"scanned {report.containers_scanned} containers: "
             f"{report.containers_removed} removed, "
@@ -177,25 +256,84 @@ def cmd_gc(args) -> int:
             f"{fmt_bytes(report.bytes_reclaimed)} reclaimed"
         )
         _telemetry_finish(args, registry, tracer)
-    return 0
+    return EXIT_OK
 
 
 def cmd_recover_index(args) -> int:
     with _open(args) as vault:
         entries = vault.recover_index()
         print(f"rebuilt index from container metadata: {entries} entries")
-    return 0
+    return EXIT_OK
+
+
+def cmd_serve(args) -> int:
+    registry, tracer = _telemetry_begin(args)
+    with DebarVault(args.vault) as vault:
+        try:
+            server = serve_vault(
+                vault, host=args.host, port=args.port, registry=registry
+            )
+        except OSError as exc:
+            print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+                  file=sys.stderr)
+            return EXIT_SERVE
+        host, port = server.server_address
+        if args.port_file:
+            # Written after bind so a supervisor polling the file never
+            # reads a port nobody listens on.
+            Path(args.port_file).write_text(f"{port}\n")
+        print(f"serving vault {args.vault} on {host}:{port}", flush=True)
+
+        stop = threading.Event()
+
+        def _request_stop(signum, frame):
+            stop.set()
+
+        previous = {
+            sig: signal.signal(sig, _request_stop)
+            for sig in (signal.SIGTERM, signal.SIGINT)
+        }
+        thread = threading.Thread(
+            target=server.serve_forever, name="repro-serve", daemon=True
+        )
+        thread.start()
+        try:
+            while not stop.is_set():
+                stop.wait(0.2)
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            _telemetry_finish(args, registry, tracer)
+    print("shutdown complete", flush=True)
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DEBAR de-duplicating backup vault (paper reproduction)",
+        epilog=(
+            "exit codes: 0 success, 1 operational error, 2 usage error, "
+            "3 corruption found (verify/audit), 4 serve could not bind"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p):
-        p.add_argument("--vault", required=True, help="vault directory")
+    def common(p, remote_ok: bool = False):
+        if remote_ok:
+            p.add_argument("--vault", default=None, help="vault directory")
+            p.add_argument(
+                "--connect",
+                default=None,
+                metavar="HOST:PORT",
+                help="run against a `repro serve` daemon instead of a "
+                "local vault (exactly one of --vault/--connect)",
+            )
+        else:
+            p.add_argument("--vault", required=True, help="vault directory")
 
     def telemetry_opts(p):
         p.add_argument(
@@ -214,7 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
         p = parent.add_parser(
             "backup", help="back up files/directories under a job name"
         )
-        common(p)
+        common(p, remote_ok=True)
         p.add_argument("--job", required=True)
         p.add_argument("paths", nargs="+")
         telemetry_opts(p)
@@ -223,7 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_restore(parent, trace: bool):
         p = parent.add_parser("restore", help="restore one run")
-        common(p)
+        common(p, remote_ok=True)
         p.add_argument("--run", type=int, required=True)
         p.add_argument("--dest", required=True)
         p.add_argument("--strip-prefix", default="/")
@@ -234,14 +372,17 @@ def build_parser() -> argparse.ArgumentParser:
     add_backup(sub, trace=False)
 
     p = sub.add_parser("list", help="list recorded runs")
-    common(p)
+    common(p, remote_ok=True)
     p.add_argument("--job", default=None)
     p.set_defaults(func=cmd_list)
 
     add_restore(sub, trace=False)
 
     p = sub.add_parser("verify", help="check every catalogued fingerprint resolves")
-    common(p)
+    common(p, remote_ok=True)
+    p.add_argument(
+        "--deep", action="store_true", help="also re-hash every referenced payload"
+    )
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser(
@@ -254,17 +395,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_audit)
 
     p = sub.add_parser("stats", help="vault-level accounting")
-    common(p)
+    common(p, remote_ok=True)
     telemetry_opts(p)
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("forget", help="drop a run from the catalog (retention)")
-    common(p)
+    common(p, remote_ok=True)
     p.add_argument("--run", type=int, required=True)
     p.set_defaults(func=cmd_forget)
 
     p = sub.add_parser("gc", help="reclaim space from unreferenced chunks")
-    common(p)
+    common(p, remote_ok=True)
     p.add_argument("--rewrite-threshold", type=float, default=0.5)
     telemetry_opts(p)
     p.set_defaults(func=cmd_gc)
@@ -272,6 +413,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("recover-index", help="rebuild the index from containers")
     common(p)
     p.set_defaults(func=cmd_recover_index)
+
+    p = sub.add_parser(
+        "serve", help="host the vault for remote clients (repro.net protocol)"
+    )
+    common(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listening port (0 = ephemeral)")
+    p.add_argument("--port-file", default=None, metavar="PATH",
+                   help="write the bound port here once listening")
+    telemetry_opts(p)
+    p.set_defaults(func=cmd_serve, trace=False)
 
     p = sub.add_parser(
         "trace", help="run a backup/restore with tracing and print the span tree"
@@ -284,12 +437,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if hasattr(args, "connect") and bool(args.vault) == bool(args.connect):
+        # parser.error prints usage and exits EXIT_USAGE (2).
+        parser.error("exactly one of --vault or --connect is required")
     try:
         return args.func(args)
     except (VaultError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
+    except (ProtocolError, ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

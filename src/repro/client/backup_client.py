@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.chunking.cdc import Chunk, ContentDefinedChunker
 from repro.director.metadata import FileIndexEntry, FileMetadata
@@ -28,8 +28,8 @@ class BackupEngine:
     def __init__(
         self,
         client_name: str,
-        chunker: ContentDefinedChunker = None,
-        registry: "MetricsRegistry" = None,
+        chunker: Optional[ContentDefinedChunker] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if not client_name:
             raise ValueError("client needs a name")

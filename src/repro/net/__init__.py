@@ -1,0 +1,61 @@
+"""``repro.net`` — the wire protocol between backup clients and servers.
+
+DEBAR's architecture (Section 3) is a director plus backup servers plus
+client backup engines talking over a network; this package makes those node
+boundaries real.  It provides, bottom up:
+
+- :mod:`repro.net.framing` — a length-prefixed, versioned binary frame
+  layer with a handshake (DESIGN.md §9.1).
+- :mod:`repro.net.messages` — the typed message catalogue: batched
+  preliminary-filter queries, chunk appends into the chunk log, metadata
+  put/get, the dedup-2 trigger, PSIL/PSIU fingerprint exchange and
+  LPC-backed chunk reads (DESIGN.md §9.2).
+- :mod:`repro.net.server` — ``repro serve``: a threaded daemon hosting a
+  :class:`~repro.system.vault.DebarVault` behind the protocol.
+- :mod:`repro.net.client` — :class:`RemoteBackupClient` and
+  :class:`RemoteChunkReader`, mirroring the in-process vault API so the
+  CLI runs against ``--connect host:port`` unchanged.
+- :mod:`repro.net.faults` — deterministic frame-level fault injection
+  (drop / truncate / duplicate), the network face of
+  :mod:`repro.audit.faults`.
+- :mod:`repro.net.exchange` — a loopback all-to-all fingerprint exchange
+  so :class:`~repro.system.cluster.DebarCluster` PSIL/PSIU volumes are
+  measured on a real wire.
+
+Every byte in or out is counted under the ``net.*`` telemetry names
+(DESIGN.md §8): ``net.bytes_sent`` / ``net.bytes_received`` (labelled by
+role), ``net.requests`` / ``net.responses`` per message type,
+``net.rpc_latency`` histograms and ``net.retries``.
+"""
+
+from repro.net.client import NetClient, RemoteBackupClient, RemoteChunkReader, RetryPolicy
+from repro.net.framing import (
+    FRAME_HEADER_SIZE,
+    MAX_PAYLOAD,
+    PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
+    BadFrame,
+    Frame,
+    FrameError,
+    ProtocolError,
+    TruncatedFrame,
+)
+from repro.net.server import VaultProtocolServer, serve_vault
+
+__all__ = [
+    "BadFrame",
+    "Frame",
+    "FrameError",
+    "FRAME_HEADER_SIZE",
+    "MAX_PAYLOAD",
+    "NetClient",
+    "PROTOCOL_MAGIC",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteBackupClient",
+    "RemoteChunkReader",
+    "RetryPolicy",
+    "TruncatedFrame",
+    "VaultProtocolServer",
+    "serve_vault",
+]

@@ -1,0 +1,481 @@
+"""The remote backup client: the vault API over the wire (DESIGN.md §9).
+
+:class:`NetClient` is the RPC layer — one TCP connection, a handshake,
+``call()`` with per-request timeouts, bounded retry with exponential
+backoff and deterministic jitter, and idempotent request ids (a retried
+request re-sends the *same* id; the server's response cache makes the
+retry safe even when the original executed).
+
+:class:`RemoteBackupClient` mirrors the parts of
+:class:`~repro.system.vault.DebarVault` the CLI uses — ``backup``,
+``restore``, ``runs``, ``stats``, ``gc``, ``verify``, ``forget``,
+``dedup2`` — so ``repro backup --connect host:port ...`` behaves like
+``repro backup --vault ...`` with the pipeline split across the wire at
+exactly the paper's Section 3 client/server boundary: anchoring,
+chunking and fingerprinting run here; filtering, the chunk log, dedup-2
+and the LPC run on the server.
+
+:class:`RemoteChunkReader` adapts ``CHUNK_READ`` to the
+``ChunkStore.read_chunk`` interface (with plan-driven batched reads) so
+:meth:`~repro.client.backup_client.BackupEngine.restore_run` works
+unchanged against a remote server.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.chunking.cdc import ContentDefinedChunker
+from repro.client.backup_client import BackupEngine
+from repro.core.fingerprint import Fingerprint
+from repro.director.metadata import FileIndexEntry, FileMetadata
+from repro.net import messages as m
+from repro.net.framing import Frame, FrameError, ProtocolError, read_frame
+from repro.telemetry.clock import wall_now
+from repro.telemetry.registry import MetricsRegistry, get_registry
+
+PathLike = Union[str, Path]
+
+#: Fingerprints per FILTER_QUERY batch and chunks per CHUNK_APPEND batch.
+QUERY_BATCH = 4096
+APPEND_BATCH_BYTES = 4 * 1024 * 1024
+#: Chunks fetched per CHUNK_READ during a planned restore.
+READ_BATCH = 64
+
+
+class RemoteError(ProtocolError):
+    """The server reported an application error (not a transport failure)."""
+
+    def __init__(self, error: str, message: str) -> None:
+        super().__init__(f"{error}: {message}")
+        self.error = error
+        self.message = message
+
+
+class RemoteUnavailable(ProtocolError):
+    """The retry budget ran out without a successful round trip."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter."""
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    timeout: float = 10.0
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry ``attempt`` (1-based): ``base * 2^(n-1)``
+        capped at ``max_delay``, times a jitter factor in ``[1-j, 1+j]``."""
+        backoff = min(self.base_delay * (2 ** (attempt - 1)), self.max_delay)
+        return backoff * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+class NetClient:
+    """One logical connection to a ``repro serve`` daemon."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        client_name: str = "client",
+        retry: Optional[RetryPolicy] = None,
+        registry: Optional[MetricsRegistry] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.client_name = client_name
+        self.retry = retry if retry is not None else RetryPolicy()
+        # Request ids must be unique across reconnects of this client and
+        # across clients sharing a server (they key the server's
+        # idempotency cache): a random 32-bit nonce prefixes a local
+        # counter.  The nonce comes from the OS unless a seed is forced;
+        # two clients sharing a nonce would read each other's cached
+        # responses.
+        nonce = (
+            random.SystemRandom().getrandbits(32)
+            if seed is None
+            else random.Random(seed).getrandbits(32)
+        )
+        self._rng = random.Random(nonce)
+        self._rid_base = nonce << 32
+        self._rid_next = 0
+        self._sock: Optional[socket.socket] = None
+        #: Fault-injection hook on outgoing frames (repro.net.faults).
+        self.fault_hook = None
+        self._sleep = None  # test seam; defaults to time.sleep
+        registry = registry if registry is not None else get_registry()
+        self._t_bytes_out = registry.counter(
+            "net.bytes_sent", "protocol bytes sent, by role"
+        ).labels(role="client")
+        self._t_bytes_in = registry.counter(
+            "net.bytes_received", "protocol bytes received, by role"
+        ).labels(role="client")
+        self._t_requests = registry.counter(
+            "net.requests", "protocol requests handled, by message type"
+        )
+        self._t_retries = registry.counter(
+            "net.retries", "request retries after timeouts/transport faults"
+        ).labels()
+        self._t_latency = registry.histogram(
+            "net.rpc_latency", "round-trip seconds per request, by type"
+        )
+        self._t_reconnects = registry.counter(
+            "net.reconnects", "connections (re)established by the client"
+        ).labels()
+
+    # -- connection ---------------------------------------------------------------
+    def _connect(self) -> None:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.retry.timeout
+        )
+        self._sock = sock
+        self._t_reconnects.inc()
+        hello = Frame(
+            m.HELLO, self._next_rid(), m.encode_json({"client": self.client_name})
+        )
+        self._send_raw(hello.encode())
+        response = self._recv_frame()
+        if response.msg_type != m.HELLO_OK:
+            raise ProtocolError(
+                f"handshake failed: got {m.msg_name(response.msg_type)}"
+            )
+
+    def _ensure_connected(self) -> None:
+        if self._sock is None:
+            self._connect()
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def _drop_connection(self) -> None:
+        self.close()
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- wire I/O -----------------------------------------------------------------
+    def _next_rid(self) -> int:
+        self._rid_next += 1
+        return self._rid_base | (self._rid_next & 0xFFFFFFFF)
+
+    def _send_raw(self, blob: bytes) -> None:
+        if self._sock is None:
+            raise OSError("connection closed")
+        self._sock.sendall(blob)
+        self._t_bytes_out.inc(len(blob))
+
+    def _send_frame(self, frame: Frame) -> None:
+        blob = frame.encode()
+        if self.fault_hook is not None:
+            blob = self.fault_hook("send", blob, self)
+            if blob is None:
+                return  # frame dropped on the floor
+        self._send_raw(blob)
+
+    def _recv_frame(self) -> Frame:
+        if self._sock is None:
+            raise OSError("connection closed")
+        sock = self._sock
+
+        def counted_recv(n: int) -> bytes:
+            block = sock.recv(n)
+            self._t_bytes_in.inc(len(block))
+            return block
+
+        return read_frame(counted_recv)
+
+    def _recv_matching(self, request_id: int) -> Frame:
+        """Read until the response for ``request_id`` arrives.
+
+        Stale frames (responses to an earlier attempt that the server
+        answered after we had given up, or duplicates a fault injected)
+        are discarded by id.
+        """
+        while True:
+            frame = self._recv_frame()
+            if frame.request_id == request_id:
+                return frame
+
+    # -- the RPC ------------------------------------------------------------------
+    def call(self, msg_type: int, payload: bytes = b"") -> bytes:
+        """One request/response round trip with retries.
+
+        Transport failures (timeout, connection loss, truncated or
+        malformed frames) reconnect and re-send the same request id, up to
+        ``retry.max_attempts``; application errors raise
+        :class:`RemoteError` immediately and are never retried.
+        """
+        rid = self._next_rid()
+        frame = Frame(msg_type, rid, payload)
+        expected = m.RESPONSE_OF.get(msg_type)
+        last_error: Optional[Exception] = None
+        t0 = wall_now()
+        for attempt in range(1, self.retry.max_attempts + 1):
+            if attempt > 1:
+                self._t_retries.inc()
+                sleep = self._sleep if self._sleep is not None else time.sleep
+                sleep(self.retry.delay(attempt - 1, self._rng))
+            try:
+                self._ensure_connected()
+                self._send_frame(frame)
+                response = self._recv_matching(rid)
+            except (socket.timeout, TimeoutError, FrameError, OSError) as exc:
+                last_error = exc
+                self._drop_connection()
+                continue
+            self._t_requests.labels(type=m.msg_name(msg_type)).inc()
+            self._t_latency.labels(type=m.msg_name(msg_type)).observe(
+                wall_now() - t0
+            )
+            if response.msg_type == m.ERROR:
+                doc = m.decode_json(response.payload)
+                raise RemoteError(doc.get("error", "Error"), doc.get("message", ""))
+            if expected is not None and response.msg_type != expected:
+                raise ProtocolError(
+                    f"expected {m.msg_name(expected)} for {m.msg_name(msg_type)}, "
+                    f"got {m.msg_name(response.msg_type)}"
+                )
+            return response.payload
+        raise RemoteUnavailable(
+            f"{m.msg_name(msg_type)} failed after {self.retry.max_attempts} "
+            f"attempts: {last_error}"
+        )
+
+    def call_json(self, msg_type: int, doc: Optional[dict] = None) -> dict:
+        return m.decode_json(self.call(msg_type, m.encode_json(doc or {})))
+
+    def ping(self) -> bool:
+        return self.call(m.PING, b"ping") == b"ping"
+
+
+@dataclass
+class RemoteRun:
+    """A run summary as reported by the server."""
+
+    run_id: int
+    job: str
+    timestamp: float
+    files: int
+    logical_bytes: int
+    transferred_bytes: int
+
+
+class RemoteChunkReader:
+    """``ChunkStore.read_chunk`` over the wire, with planned batch reads.
+
+    ``plan()`` primes the reader with the fingerprint sequence a restore
+    is about to follow; each cache miss then fetches the next
+    ``READ_BATCH`` planned fingerprints in one ``CHUNK_READ``, so a
+    sequential restore pays one RPC per batch instead of one per chunk
+    (the wire analogue of the LPC's locality argument).
+    """
+
+    def __init__(self, net: NetClient, batch: int = READ_BATCH) -> None:
+        self._net = net
+        self._batch = batch
+        self._plan: List[Fingerprint] = []
+        self._plan_pos = 0
+        self._cache: Dict[Fingerprint, bytes] = {}
+
+    def plan(self, fps: Sequence[Fingerprint]) -> None:
+        self._plan = list(fps)
+        self._plan_pos = 0
+
+    def _fetch(self, fps: Sequence[Fingerprint]) -> None:
+        chunks, _ = m.decode_chunk_batch(self._net.call(m.CHUNK_READ, m.encode_fps(fps)))
+        for fp, data in chunks:
+            self._cache[fp] = data
+
+    def read_chunk(self, fp: Fingerprint) -> bytes:
+        data = self._cache.pop(fp, None)
+        if data is not None:
+            return data
+        # Advance the plan to this fingerprint, then read ahead one batch.
+        while self._plan_pos < len(self._plan) and self._plan[self._plan_pos] != fp:
+            self._plan_pos += 1
+        if self._plan_pos < len(self._plan):
+            window: List[Fingerprint] = []
+            seen = set()
+            for planned in self._plan[self._plan_pos : self._plan_pos + self._batch]:
+                if planned not in seen:
+                    window.append(planned)
+                    seen.add(planned)
+            self._plan_pos += 1
+            self._fetch(window)
+            data = self._cache.pop(fp, None)
+            if data is not None:
+                return data
+        # Off-plan (or server-side miss): a single direct read.
+        self._fetch([fp])
+        try:
+            return self._cache.pop(fp)
+        except KeyError:
+            raise KeyError(f"fingerprint {fp.hex()[:12]} not stored") from None
+
+
+class RemoteBackupClient:
+    """The in-process vault API, spoken to a ``repro serve`` daemon."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        client_name: str = "remote",
+        chunker: Optional[ContentDefinedChunker] = None,
+        retry: Optional[RetryPolicy] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        registry = registry if registry is not None else get_registry()
+        self.net = NetClient(
+            host, port, client_name=client_name, retry=retry, registry=registry
+        )
+        self.engine = BackupEngine(client_name, chunker=chunker, registry=registry)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        self.net.close()
+
+    def __enter__(self) -> "RemoteBackupClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- backup -------------------------------------------------------------------
+    def backup(
+        self,
+        job: str,
+        dataset: Sequence[PathLike],
+        timestamp: Optional[float] = None,
+    ) -> RemoteRun:
+        """One remote backup run: metadata backup, anchoring and
+        fingerprinting locally; filtering and content backup server-side.
+
+        Per file: the full fingerprint sequence crosses the wire as a
+        batched ``FILTER_QUERY``; only chunks the server's preliminary
+        filter admits are transferred (``CHUNK_APPEND``); the file index
+        follows (``META_PUT``).  ``SESSION_COMMIT`` runs dedup-1 +
+        dedup-2 server-side and records the run.
+        """
+        begun = self.net.call_json(m.SESSION_BEGIN, {"job": job})
+        session = int(begun["session"])
+        for metadata, chunks in self.engine.iter_dataset([Path(p) for p in dataset]):
+            self._send_file(session, metadata, chunks)
+        doc = {"session": session}
+        if timestamp is not None:
+            doc["timestamp"] = timestamp
+        summary = self.net.call_json(m.SESSION_COMMIT, doc)
+        return RemoteRun(
+            run_id=int(summary["run_id"]),
+            job=summary["job"],
+            timestamp=float(summary["timestamp"]),
+            files=int(summary["files"]),
+            logical_bytes=int(summary["logical_bytes"]),
+            transferred_bytes=int(summary["transferred_bytes"]),
+        )
+
+    def _send_file(self, session: int, metadata: FileMetadata, chunks) -> None:
+        session_prefix = m._U32.pack(session)
+        chunks = list(chunks)
+        sized = [(c.fingerprint, c.size) for c in chunks]
+        wanted: List[bool] = []
+        for start in range(0, len(sized), QUERY_BATCH):
+            batch = sized[start : start + QUERY_BATCH]
+            result = self.net.call(
+                m.FILTER_QUERY, session_prefix + m.encode_sized_fps(batch)
+            )
+            decisions, _ = m.decode_bitmap(result)
+            if len(decisions) != len(batch):
+                raise ProtocolError(
+                    f"filter result covers {len(decisions)} of {len(batch)} queries"
+                )
+            wanted.extend(decisions)
+        pending: List[Tuple[Fingerprint, bytes]] = []
+        pending_bytes = 0
+        for chunk, admit in zip(chunks, wanted):
+            if not admit:
+                continue
+            pending.append((chunk.fingerprint, chunk.data))
+            pending_bytes += chunk.size
+            if pending_bytes >= APPEND_BATCH_BYTES:
+                self._append(session_prefix, pending)
+                pending, pending_bytes = [], 0
+        if pending:
+            self._append(session_prefix, pending)
+        meta_blob = m.encode_json({
+            "path": metadata.path,
+            "size": metadata.size,
+            "mode": metadata.mode,
+            "mtime": metadata.mtime,
+        })
+        self.net.call(
+            m.META_PUT,
+            session_prefix + m._U32.pack(len(meta_blob)) + meta_blob
+            + m.encode_sized_fps(sized),
+        )
+
+    def _append(self, session_prefix: bytes, chunks: List[Tuple[Fingerprint, bytes]]) -> None:
+        self.net.call(m.CHUNK_APPEND, session_prefix + m.encode_chunk_batch(chunks))
+
+    # -- restore ------------------------------------------------------------------
+    def run_entries(self, run_id: int) -> List[FileIndexEntry]:
+        """The run's file indices (``META_GET``)."""
+        payload = self.net.call(m.META_GET, m.encode_json({"run_id": run_id}))
+        entries, _ = m.decode_file_entries(payload)
+        return [
+            FileIndexEntry(
+                FileMetadata(
+                    path=str(meta.get("path", "<remote>")),
+                    size=int(meta.get("size", 0)),
+                    mode=int(meta.get("mode", 0o644)),
+                    mtime=float(meta.get("mtime", 0.0)),
+                ),
+                fps,
+            )
+            for meta, fps in entries
+        ]
+
+    def restore(
+        self, run_id: int, dest: PathLike, strip_prefix: PathLike = "/"
+    ) -> List[Path]:
+        """Restore one run into ``dest`` through batched chunk reads."""
+        entries = self.run_entries(run_id)
+        reader = RemoteChunkReader(self.net)
+        reader.plan([fp for e in entries for fp in e.fingerprints])
+        return self.engine.restore_run(entries, reader, dest, strip_prefix)
+
+    # -- maintenance and queries --------------------------------------------------
+    def runs(self, job: Optional[str] = None) -> List[RemoteRun]:
+        out = self.net.call_json(m.RUNS, {"job": job})
+        return [RemoteRun(**{**r, "run_id": int(r["run_id"])}) for r in out]
+
+    def stats(self) -> dict:
+        return self.net.call_json(m.STATS)
+
+    def dedup2(self, force_siu: Optional[bool] = None) -> dict:
+        return self.net.call_json(m.DEDUP2, {"force_siu": force_siu})
+
+    def gc(self, rewrite_threshold: float = 0.5) -> dict:
+        return self.net.call_json(m.GC, {"rewrite_threshold": rewrite_threshold})
+
+    def verify(self, deep: bool = False) -> dict:
+        return self.net.call_json(m.VERIFY, {"deep": deep})
+
+    def forget(self, run_id: int) -> dict:
+        return self.net.call_json(m.FORGET, {"run_id": run_id})

@@ -1,0 +1,220 @@
+"""Loopback all-to-all fingerprint exchange for cluster PSIL/PSIU.
+
+:class:`~repro.system.cluster.DebarCluster` normally exchanges PSIL
+inputs and PSIU routing records by Python list passing, with exchange
+volumes *computed* and charged to the simulated network model.  With
+``wire_exchange=True`` the cluster routes those same exchanges through a
+:class:`LoopbackExchange`: every cross-server transfer is serialized
+(:func:`repro.net.messages.encode_exchange` /
+``encode_cid_records``), framed, pushed through a real loopback TCP
+socket, acknowledged, decoded and delivered — so the exchange volumes of
+Figure 13 are *measured on a wire* (``net.bytes_sent{role="cluster"}``)
+rather than derived, and any serialization drift between the two paths
+shows up as a test failure.
+
+The exchange is deliberately synchronous and deterministic: sends are
+acknowledged in order, so a completed ``all_to_all`` call means every
+peer's inbox holds exactly what was addressed to it (the barrier
+semantics the cluster's phases assume).  Self-deliveries stay local, as
+in the simulated accounting, which only charges cross-server traffic.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.fingerprint import Fingerprint
+from repro.net import messages as m
+from repro.net.framing import Frame, FrameError, read_frame
+from repro.telemetry.registry import MetricsRegistry, get_registry
+
+#: Payload subtype markers (first payload byte): fingerprints vs records.
+_KIND_FPS = 0
+_KIND_RECORDS = 1
+
+
+class LoopbackExchange:
+    """A loopback acceptor plus per-sender connections for all-to-all
+    fingerprint exchange between the servers of one cluster."""
+
+    def __init__(
+        self,
+        n_servers: int,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.n_servers = n_servers
+        registry = registry if registry is not None else get_registry()
+        self._t_sent = registry.counter(
+            "net.bytes_sent", "protocol bytes sent, by role"
+        ).labels(role="cluster")
+        self._t_received = registry.counter(
+            "net.bytes_received", "protocol bytes received, by role"
+        ).labels(role="cluster")
+        self._t_frames = registry.counter(
+            "net.exchange_frames", "EXCHANGE frames carried over loopback"
+        ).labels()
+        self._lock = threading.Lock()
+        # inboxes[owner] = list of (sender, kind, decoded parts for owner)
+        self._inboxes: List[List[Tuple[int, int, list]]] = [[] for _ in range(n_servers)]
+        self._server = _ExchangeAcceptor(self)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-net-exchange", daemon=True
+        )
+        self._thread.start()
+        self._conn: Optional[socket.socket] = None
+        self._rid = 0
+
+    # -- lifecycle ----------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "LoopbackExchange":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the wire ----------------------------------------------------------------
+    def _connection(self) -> socket.socket:
+        if self._conn is None:
+            self._conn = socket.create_connection(
+                ("127.0.0.1", self.port), timeout=30
+            )
+        return self._conn
+
+    def _send(self, kind: int, sender: int, owner: int, payload: bytes) -> None:
+        self._rid += 1
+        blob = Frame(
+            m.EXCHANGE,
+            self._rid,
+            bytes([kind]) + m._U32.pack(owner) + payload,
+        ).encode()
+        conn = self._connection()
+        conn.sendall(blob)
+        self._t_sent.inc(len(blob))
+        self._t_frames.inc()
+        ack = read_frame(conn.recv)
+        if ack.msg_type != m.EXCHANGE_OK or ack.request_id != self._rid:
+            raise FrameError("exchange ack out of order")
+
+    def deliver(self, kind: int, owner: int, sender: int, decoded: list) -> None:
+        """Called by the acceptor thread when a frame lands."""
+        with self._lock:
+            self._inboxes[owner].append((sender, kind, decoded))
+
+    # -- all-to-all rounds --------------------------------------------------------
+    def exchange_fingerprints(
+        self, outgoing: Sequence[Dict[int, List[Fingerprint]]]
+    ) -> List[Dict[int, List[Fingerprint]]]:
+        """One all-to-all: ``outgoing[j][k]`` goes from server j to server k.
+
+        Returns ``inbound`` with ``inbound[k][j]`` = the fingerprints
+        server k received from server j (self-deliveries included,
+        carried locally).
+        """
+        inbound: List[Dict[int, List[Fingerprint]]] = [
+            {} for _ in range(self.n_servers)
+        ]
+        for j, parts in enumerate(outgoing):
+            for owner, fps in parts.items():
+                if not fps:
+                    continue
+                if owner == j:
+                    inbound[owner][j] = list(fps)
+                    continue
+                self._send(_KIND_FPS, j, owner, m.encode_exchange(j, {owner: fps}))
+        self._drain(_KIND_FPS, inbound)
+        return inbound
+
+    def exchange_records(
+        self, outgoing: Sequence[Dict[int, List[Tuple[Fingerprint, int]]]]
+    ) -> List[Dict[int, List[Tuple[Fingerprint, int]]]]:
+        """All-to-all for (fingerprint, container id) routing records."""
+        inbound: List[Dict[int, List[Tuple[Fingerprint, int]]]] = [
+            {} for _ in range(self.n_servers)
+        ]
+        for j, parts in enumerate(outgoing):
+            for owner, records in parts.items():
+                if not records:
+                    continue
+                if owner == j:
+                    inbound[owner][j] = list(records)
+                    continue
+                self._send(
+                    _KIND_RECORDS,
+                    j,
+                    owner,
+                    m._U32.pack(j) + m.encode_cid_records(records),
+                )
+        self._drain(_KIND_RECORDS, inbound)
+        return inbound
+
+    def _drain(self, kind: int, inbound: List[Dict[int, list]]) -> None:
+        """Move everything the acceptor delivered into ``inbound``.
+
+        Sends are individually acknowledged, so by the time the last
+        ``_send`` returned, every frame of this round has been delivered.
+        """
+        with self._lock:
+            for owner, box in enumerate(self._inboxes):
+                keep = []
+                for sender, got_kind, decoded in box:
+                    if got_kind != kind:
+                        keep.append((sender, got_kind, decoded))
+                        continue
+                    inbound[owner].setdefault(sender, []).extend(decoded)
+                box[:] = keep
+
+
+class _ExchangeAcceptor(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, exchange: LoopbackExchange) -> None:
+        self.exchange = exchange
+        super().__init__(("127.0.0.1", 0), _ExchangeHandler)
+
+
+class _ExchangeHandler(socketserver.BaseRequestHandler):
+    server: _ExchangeAcceptor
+
+    def handle(self) -> None:
+        sock: socket.socket = self.request
+        exchange = self.server.exchange
+
+        def counted_recv(n: int) -> bytes:
+            block = sock.recv(n)
+            exchange._t_received.inc(len(block))
+            return block
+
+        while True:
+            try:
+                frame = read_frame(counted_recv)
+            except (FrameError, OSError):
+                return
+            payload = frame.payload
+            kind = payload[0]
+            owner, offset = m._take_u32(payload, 1)
+            if kind == _KIND_FPS:
+                sender, parts, _ = m.decode_exchange(payload, offset)
+                decoded = parts.get(owner, [])
+            else:
+                sender, offset = m._take_u32(payload, offset)
+                decoded, _ = m.decode_cid_records(payload, offset)
+            exchange.deliver(kind, owner, sender, decoded)
+            try:
+                sock.sendall(Frame(m.EXCHANGE_OK, frame.request_id).encode())
+            except OSError:
+                return

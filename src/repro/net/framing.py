@@ -1,0 +1,145 @@
+"""The frame layer: length-prefixed, versioned binary frames (DESIGN.md §9.1).
+
+Every protocol exchange is a sequence of *frames*.  A frame is a fixed
+18-byte header followed by a payload::
+
+    offset  size  field
+    0       4     magic       b"DBAR"
+    4       1     version     protocol version (currently 1)
+    5       1     msg_type    message type code (repro.net.messages)
+    6       8     request_id  client-chosen id echoed by the response
+    14      4     length      payload byte count (big-endian, <= MAX_PAYLOAD)
+    18      len   payload     message-specific encoding
+
+The header is deliberately self-describing and hostile to desync: a reader
+that lands mid-stream fails on the magic immediately instead of
+interpreting chunk payload as a length.  ``request_id`` is the idempotency
+key — a retried request re-sends the same id, and the server answers a
+request it has already executed from its response cache instead of
+re-executing it (DESIGN.md §9.3).
+
+All multi-byte integers are big-endian (network order).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable
+
+PROTOCOL_MAGIC = b"DBAR"
+PROTOCOL_VERSION = 1
+
+#: Header: magic, version, msg_type, request_id, payload length.
+_HEADER = struct.Struct(">4sBBQI")
+FRAME_HEADER_SIZE = _HEADER.size
+
+#: Hard ceiling on one frame's payload.  Large transfers (container-sized
+#: chunk batches) stay well under this; anything bigger is a corrupt or
+#: hostile length field and must not drive an allocation.
+MAX_PAYLOAD = 64 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """Base class for every wire-protocol failure."""
+
+
+class FrameError(ProtocolError):
+    """The byte stream does not parse as a frame."""
+
+
+class BadFrame(FrameError):
+    """Structurally invalid header: wrong magic, version or length."""
+
+
+class TruncatedFrame(FrameError):
+    """The stream ended mid-frame (connection cut or truncating fault)."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: type code, request id, payload bytes."""
+
+    msg_type: int
+    request_id: int
+    payload: bytes = b""
+
+    def encode(self) -> bytes:
+        if not 0 <= self.msg_type <= 0xFF:
+            raise BadFrame(f"msg_type {self.msg_type} out of range")
+        if not 0 <= self.request_id <= 0xFFFFFFFFFFFFFFFF:
+            raise BadFrame(f"request_id {self.request_id} out of range")
+        if len(self.payload) > MAX_PAYLOAD:
+            raise BadFrame(
+                f"payload of {len(self.payload)} bytes exceeds MAX_PAYLOAD"
+            )
+        return _HEADER.pack(
+            PROTOCOL_MAGIC,
+            PROTOCOL_VERSION,
+            self.msg_type,
+            self.request_id,
+            len(self.payload),
+        ) + self.payload
+
+    @property
+    def wire_size(self) -> int:
+        return FRAME_HEADER_SIZE + len(self.payload)
+
+
+def decode_header(header: bytes) -> "tuple[int, int, int]":
+    """Parse one header blob; returns (msg_type, request_id, length)."""
+    if len(header) != FRAME_HEADER_SIZE:
+        raise TruncatedFrame(
+            f"header is {len(header)} bytes, need {FRAME_HEADER_SIZE}"
+        )
+    magic, version, msg_type, request_id, length = _HEADER.unpack(header)
+    if magic != PROTOCOL_MAGIC:
+        raise BadFrame(f"bad magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise BadFrame(f"unsupported protocol version {version}")
+    if length > MAX_PAYLOAD:
+        raise BadFrame(f"declared payload of {length} bytes exceeds MAX_PAYLOAD")
+    return msg_type, request_id, length
+
+
+def decode_frame(blob: bytes) -> Frame:
+    """Decode one complete frame from a byte string (tests, fuzzing)."""
+    msg_type, request_id, length = decode_header(blob[:FRAME_HEADER_SIZE])
+    payload = blob[FRAME_HEADER_SIZE:]
+    if len(payload) < length:
+        raise TruncatedFrame(
+            f"payload is {len(payload)} bytes, header declared {length}"
+        )
+    if len(payload) > length:
+        raise BadFrame(
+            f"{len(payload) - length} trailing bytes after declared payload"
+        )
+    return Frame(msg_type, request_id, payload)
+
+
+def read_exactly(recv: Callable[[int], bytes], n: int) -> bytes:
+    """Read exactly ``n`` bytes from a ``recv``-style callable.
+
+    ``recv`` follows socket semantics: returns at most the requested count,
+    empty bytes on a closed stream.  Raises :class:`TruncatedFrame` when
+    the stream ends early.
+    """
+    parts = []
+    remaining = n
+    while remaining:
+        block = recv(remaining)
+        if not block:
+            raise TruncatedFrame(
+                f"stream closed with {remaining} of {n} bytes outstanding"
+            )
+        parts.append(block)
+        remaining -= len(block)
+    return b"".join(parts)
+
+
+def read_frame(recv: Callable[[int], bytes]) -> Frame:
+    """Read one frame from a ``recv``-style callable (socket.recv, file.read)."""
+    header = read_exactly(recv, FRAME_HEADER_SIZE)
+    msg_type, request_id, length = decode_header(header)
+    payload = read_exactly(recv, length) if length else b""
+    return Frame(msg_type, request_id, payload)

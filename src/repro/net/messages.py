@@ -1,0 +1,338 @@
+"""The typed message catalogue riding on the frame layer (DESIGN.md §9.2).
+
+Two payload encodings, chosen per message by what dominates it:
+
+- *Control* messages (session begin/commit, dedup-2 trigger, stats, gc,
+  verify...) carry UTF-8 JSON — small, self-describing, easy to extend.
+- *Bulk* messages (fingerprint batches, chunk batches, file indices) carry
+  a compact binary layout built from the helpers below, because a backup
+  moves millions of 20-byte fingerprints and hex-in-JSON would double the
+  exchange volume the protocol exists to measure.
+
+Binary building blocks (all integers big-endian):
+
+``fingerprint list``
+    ``u32 count`` then ``count`` raw 20-byte fingerprints.
+``sized fingerprint list``
+    ``u32 count`` then ``count`` records of ``fp(20) + u32 chunk_size``.
+``chunk batch``
+    ``u32 count`` then ``count`` records of ``fp(20) + u32 len + payload``.
+``file entry``
+    ``u32 json_len + metadata JSON + fingerprint list`` — the metadata
+    (path/size/mode/mtime) is JSON, the fingerprint sequence binary.
+``decision bitmap``
+    ``u32 count`` then ``ceil(count/8)`` bytes, bit ``i`` (LSB-first within
+    each byte) set when chunk ``i`` passed the preliminary filter and its
+    payload must be transferred.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.fingerprint import FINGERPRINT_SIZE, Fingerprint
+from repro.net.framing import MAX_PAYLOAD, ProtocolError
+
+# -- message type codes ------------------------------------------------------------
+# Handshake and plumbing.
+HELLO = 0x01
+HELLO_OK = 0x02
+PING = 0x04
+PONG = 0x05
+ERROR = 0x7F
+
+# Backup session flow (dedup-1 over the wire).
+SESSION_BEGIN = 0x10
+SESSION_OK = 0x11
+FILTER_QUERY = 0x12
+FILTER_RESULT = 0x13
+CHUNK_APPEND = 0x14
+APPEND_OK = 0x15
+META_PUT = 0x16
+META_OK = 0x17
+SESSION_COMMIT = 0x18
+RUN_OK = 0x19
+
+# Maintenance and queries.
+DEDUP2 = 0x20
+DEDUP2_OK = 0x21
+CHUNK_READ = 0x22
+CHUNK_DATA = 0x23
+META_GET = 0x24
+META_ENTRIES = 0x25
+RUNS = 0x26
+RUNS_OK = 0x27
+STATS = 0x28
+STATS_OK = 0x29
+GC = 0x2A
+GC_OK = 0x2B
+VERIFY = 0x2C
+VERIFY_OK = 0x2D
+FORGET = 0x2E
+FORGET_OK = 0x2F
+
+# Cluster fingerprint exchange (PSIL/PSIU over loopback sockets).
+EXCHANGE = 0x30
+EXCHANGE_OK = 0x31
+
+#: Request type -> its success response type (the dispatch contract).
+RESPONSE_OF: Dict[int, int] = {
+    HELLO: HELLO_OK,
+    PING: PONG,
+    SESSION_BEGIN: SESSION_OK,
+    FILTER_QUERY: FILTER_RESULT,
+    CHUNK_APPEND: APPEND_OK,
+    META_PUT: META_OK,
+    SESSION_COMMIT: RUN_OK,
+    DEDUP2: DEDUP2_OK,
+    CHUNK_READ: CHUNK_DATA,
+    META_GET: META_ENTRIES,
+    RUNS: RUNS_OK,
+    STATS: STATS_OK,
+    GC: GC_OK,
+    VERIFY: VERIFY_OK,
+    FORGET: FORGET_OK,
+    EXCHANGE: EXCHANGE_OK,
+}
+
+#: Message code -> stable name (telemetry labels, error text).
+MSG_NAMES: Dict[int, str] = {
+    HELLO: "hello",
+    HELLO_OK: "hello_ok",
+    PING: "ping",
+    PONG: "pong",
+    ERROR: "error",
+    SESSION_BEGIN: "session_begin",
+    SESSION_OK: "session_ok",
+    FILTER_QUERY: "filter_query",
+    FILTER_RESULT: "filter_result",
+    CHUNK_APPEND: "chunk_append",
+    APPEND_OK: "append_ok",
+    META_PUT: "meta_put",
+    META_OK: "meta_ok",
+    SESSION_COMMIT: "session_commit",
+    RUN_OK: "run_ok",
+    DEDUP2: "dedup2",
+    DEDUP2_OK: "dedup2_ok",
+    CHUNK_READ: "chunk_read",
+    CHUNK_DATA: "chunk_data",
+    META_GET: "meta_get",
+    META_ENTRIES: "meta_entries",
+    RUNS: "runs",
+    RUNS_OK: "runs_ok",
+    STATS: "stats",
+    STATS_OK: "stats_ok",
+    GC: "gc",
+    GC_OK: "gc_ok",
+    VERIFY: "verify",
+    VERIFY_OK: "verify_ok",
+    FORGET: "forget",
+    FORGET_OK: "forget_ok",
+    EXCHANGE: "exchange",
+    EXCHANGE_OK: "exchange_ok",
+}
+
+
+def msg_name(code: int) -> str:
+    return MSG_NAMES.get(code, f"0x{code:02x}")
+
+
+class MessageError(ProtocolError):
+    """A frame payload does not decode as its message type demands."""
+
+
+_U32 = struct.Struct(">I")
+
+
+# -- JSON payloads ---------------------------------------------------------------
+def encode_json(obj: object) -> bytes:
+    return json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def decode_json(payload: bytes) -> dict:
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise MessageError(f"payload is not valid JSON: {exc}") from exc
+    if not isinstance(obj, (dict, list)):
+        raise MessageError(f"JSON payload must be an object or array, got {type(obj).__name__}")
+    return obj
+
+
+# -- binary primitives -------------------------------------------------------------
+def _take(payload: bytes, offset: int, n: int) -> Tuple[bytes, int]:
+    end = offset + n
+    if end > len(payload):
+        raise MessageError(
+            f"payload truncated: need {n} bytes at offset {offset}, "
+            f"have {len(payload) - offset}"
+        )
+    return payload[offset:end], end
+
+
+def _take_u32(payload: bytes, offset: int) -> Tuple[int, int]:
+    blob, offset = _take(payload, offset, 4)
+    return _U32.unpack(blob)[0], offset
+
+
+def encode_fps(fps: Sequence[Fingerprint]) -> bytes:
+    parts = [_U32.pack(len(fps))]
+    for fp in fps:
+        if len(fp) != FINGERPRINT_SIZE:
+            raise MessageError(f"fingerprint of {len(fp)} bytes, need {FINGERPRINT_SIZE}")
+        parts.append(bytes(fp))
+    return b"".join(parts)
+
+
+def decode_fps(payload: bytes, offset: int = 0) -> Tuple[List[Fingerprint], int]:
+    count, offset = _take_u32(payload, offset)
+    if count * FINGERPRINT_SIZE > len(payload) - offset:
+        raise MessageError(f"fingerprint list declares {count} entries beyond payload end")
+    fps: List[Fingerprint] = []
+    for _ in range(count):
+        fp, offset = _take(payload, offset, FINGERPRINT_SIZE)
+        fps.append(fp)
+    return fps, offset
+
+
+def encode_sized_fps(entries: Sequence[Tuple[Fingerprint, int]]) -> bytes:
+    parts = [_U32.pack(len(entries))]
+    for fp, size in entries:
+        if len(fp) != FINGERPRINT_SIZE:
+            raise MessageError(f"fingerprint of {len(fp)} bytes, need {FINGERPRINT_SIZE}")
+        parts.append(bytes(fp) + _U32.pack(size))
+    return b"".join(parts)
+
+
+def decode_sized_fps(payload: bytes, offset: int = 0) -> Tuple[List[Tuple[Fingerprint, int]], int]:
+    count, offset = _take_u32(payload, offset)
+    record = FINGERPRINT_SIZE + 4
+    if count * record > len(payload) - offset:
+        raise MessageError(f"sized fingerprint list declares {count} entries beyond payload end")
+    entries: List[Tuple[Fingerprint, int]] = []
+    for _ in range(count):
+        fp, offset = _take(payload, offset, FINGERPRINT_SIZE)
+        size, offset = _take_u32(payload, offset)
+        entries.append((fp, size))
+    return entries, offset
+
+
+def encode_chunk_batch(chunks: Sequence[Tuple[Fingerprint, bytes]]) -> bytes:
+    parts = [_U32.pack(len(chunks))]
+    total = 4
+    for fp, data in chunks:
+        if len(fp) != FINGERPRINT_SIZE:
+            raise MessageError(f"fingerprint of {len(fp)} bytes, need {FINGERPRINT_SIZE}")
+        parts.append(bytes(fp) + _U32.pack(len(data)))
+        parts.append(bytes(data))
+        total += FINGERPRINT_SIZE + 4 + len(data)
+        if total > MAX_PAYLOAD:
+            raise MessageError("chunk batch exceeds MAX_PAYLOAD; split it")
+    return b"".join(parts)
+
+
+def decode_chunk_batch(payload: bytes, offset: int = 0) -> Tuple[List[Tuple[Fingerprint, bytes]], int]:
+    count, offset = _take_u32(payload, offset)
+    chunks: List[Tuple[Fingerprint, bytes]] = []
+    for _ in range(count):
+        fp, offset = _take(payload, offset, FINGERPRINT_SIZE)
+        length, offset = _take_u32(payload, offset)
+        data, offset = _take(payload, offset, length)
+        chunks.append((fp, data))
+    return chunks, offset
+
+
+def encode_bitmap(decisions: Sequence[bool]) -> bytes:
+    out = bytearray(_U32.pack(len(decisions)))
+    out.extend(b"\x00" * ((len(decisions) + 7) // 8))
+    for i, wanted in enumerate(decisions):
+        if wanted:
+            out[4 + i // 8] |= 1 << (i % 8)
+    return bytes(out)
+
+
+def decode_bitmap(payload: bytes, offset: int = 0) -> Tuple[List[bool], int]:
+    count, offset = _take_u32(payload, offset)
+    blob, offset = _take(payload, offset, (count + 7) // 8)
+    return [bool(blob[i // 8] >> (i % 8) & 1) for i in range(count)], offset
+
+
+# -- composite payloads ----------------------------------------------------------
+def encode_file_entry(meta: dict, fps: Sequence[Fingerprint]) -> bytes:
+    meta_blob = encode_json(meta)
+    return _U32.pack(len(meta_blob)) + meta_blob + encode_fps(fps)
+
+
+def decode_file_entry(payload: bytes, offset: int = 0) -> Tuple[dict, List[Fingerprint], int]:
+    meta_len, offset = _take_u32(payload, offset)
+    meta_blob, offset = _take(payload, offset, meta_len)
+    meta = decode_json(meta_blob)
+    if not isinstance(meta, dict):
+        raise MessageError("file entry metadata must be a JSON object")
+    fps, offset = decode_fps(payload, offset)
+    return meta, fps, offset
+
+
+def encode_file_entries(entries: Sequence[Tuple[dict, Sequence[Fingerprint]]]) -> bytes:
+    parts = [_U32.pack(len(entries))]
+    for meta, fps in entries:
+        parts.append(encode_file_entry(meta, fps))
+    return b"".join(parts)
+
+
+def decode_file_entries(payload: bytes, offset: int = 0) -> Tuple[List[Tuple[dict, List[Fingerprint]]], int]:
+    count, offset = _take_u32(payload, offset)
+    out: List[Tuple[dict, List[Fingerprint]]] = []
+    for _ in range(count):
+        meta, fps, offset = decode_file_entry(payload, offset)
+        out.append((meta, fps))
+    return out, offset
+
+
+# -- exchange payloads (cluster PSIL/PSIU) ---------------------------------------
+_U64 = struct.Struct(">Q")
+
+
+def encode_cid_records(records: Sequence[Tuple[Fingerprint, int]]) -> bytes:
+    """(fingerprint, container id) result records (PSIU routing)."""
+    parts = [_U32.pack(len(records))]
+    for fp, cid in records:
+        if len(fp) != FINGERPRINT_SIZE:
+            raise MessageError(f"fingerprint of {len(fp)} bytes, need {FINGERPRINT_SIZE}")
+        parts.append(bytes(fp) + _U64.pack(cid))
+    return b"".join(parts)
+
+
+def decode_cid_records(payload: bytes, offset: int = 0) -> Tuple[List[Tuple[Fingerprint, int]], int]:
+    count, offset = _take_u32(payload, offset)
+    record = FINGERPRINT_SIZE + 8
+    if count * record > len(payload) - offset:
+        raise MessageError(f"cid record list declares {count} entries beyond payload end")
+    out: List[Tuple[Fingerprint, int]] = []
+    for _ in range(count):
+        fp, offset = _take(payload, offset, FINGERPRINT_SIZE)
+        blob, offset = _take(payload, offset, 8)
+        out.append((fp, _U64.unpack(blob)[0]))
+    return out, offset
+
+
+def encode_exchange(sender: int, parts: Dict[int, Sequence[Fingerprint]]) -> bytes:
+    """One server's outgoing routing table: owner -> fingerprints."""
+    out = [_U32.pack(sender), _U32.pack(len(parts))]
+    for owner in sorted(parts):
+        out.append(_U32.pack(owner))
+        out.append(encode_fps(parts[owner]))
+    return b"".join(out)
+
+
+def decode_exchange(payload: bytes, offset: int = 0) -> Tuple[int, Dict[int, List[Fingerprint]], int]:
+    sender, offset = _take_u32(payload, offset)
+    n_parts, offset = _take_u32(payload, offset)
+    parts: Dict[int, List[Fingerprint]] = {}
+    for _ in range(n_parts):
+        owner, offset = _take_u32(payload, offset)
+        fps, offset = decode_fps(payload, offset)
+        parts[owner] = fps
+    return sender, parts, offset

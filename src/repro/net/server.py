@@ -1,0 +1,454 @@
+"""``repro serve`` — a threaded daemon hosting a DebarVault on a socket.
+
+One :class:`VaultProtocolServer` (a stdlib ``ThreadingTCPServer``) owns a
+:class:`~repro.system.vault.DebarVault` and speaks the frame protocol of
+:mod:`repro.net.framing` / :mod:`repro.net.messages`.  Each connection is a
+thread; a single vault lock serializes store mutations, matching the
+single-server paper deployment (one File Store / Chunk Store pipeline).
+
+**Sessions.**  A backup session (``SESSION_BEGIN`` .. ``SESSION_COMMIT``)
+lives in the *server*, keyed by session id, not in the connection — a
+client that lost its connection mid-backup reconnects and continues the
+same session.  The session captures the job's filtering fingerprints at
+begin time and answers batched ``FILTER_QUERY`` messages from its own
+preliminary filter in stream order; commit replays the buffered stream
+through the vault's standard dedup-1 path with the *same* filtering set,
+so the admission decisions the client acted on are reproduced exactly.
+
+**Idempotency.**  Every mutating request type is answered through a
+response cache keyed by request id: a retried frame (duplicate on the
+wire, or a client resend after a drop/timeout) returns the cached
+response instead of executing twice.  This is what makes a retried
+``CHUNK_APPEND`` unable to double-log a chunk and a retried
+``SESSION_COMMIT`` unable to record a run twice (DESIGN.md §9.3).
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.preliminary_filter import FilterDecision, PreliminaryFilter
+from repro.director.metadata import FileMetadata
+from repro.net import messages as m
+from repro.net.framing import Frame, FrameError, ProtocolError, read_frame
+from repro.system.vault import DebarVault, VaultError
+from repro.telemetry.clock import wall_now
+from repro.telemetry.registry import MetricsRegistry, get_registry
+
+#: Request types whose responses are cached by request id (the mutators).
+IDEMPOTENT_CACHED = frozenset({
+    m.SESSION_BEGIN,
+    m.FILTER_QUERY,
+    m.CHUNK_APPEND,
+    m.META_PUT,
+    m.SESSION_COMMIT,
+    m.DEDUP2,
+    m.GC,
+    m.FORGET,
+})
+
+#: Response-cache capacity (entries); old responses fall off the end.
+RESPONSE_CACHE_SIZE = 4096
+
+
+class _RemoteSession:
+    """Server-side state of one remote backup session."""
+
+    def __init__(self, session_id: int, job: str, vault: DebarVault) -> None:
+        self.session_id = session_id
+        self.job = job
+        self.filtering = vault.filtering_for(job)
+        self.filter = PreliminaryFilter(vault.tpds.filter_capacity)
+        if self.filtering:
+            self.filter.preload(self.filtering)
+        #: Payloads received for admitted chunks (fp -> bytes).  Keyed by
+        #: fingerprint, so a replayed CHUNK_APPEND cannot duplicate data.
+        self.payloads: Dict[bytes, bytes] = {}
+        #: Completed files in arrival order: (metadata, [(fp, size)...]).
+        self.files: List[Tuple[FileMetadata, List[Tuple[bytes, int]]]] = []
+        self.committed_run: Optional[dict] = None
+
+    def query(self, entries: List[Tuple[bytes, int]]) -> List[bool]:
+        """Answer one batched preliminary-filter query in stream order."""
+        return [self.filter.check(fp) is FilterDecision.NEW for fp, _ in entries]
+
+    def stream_files(self):
+        """The buffered backup stream, payloads attached where transferred."""
+        for metadata, sized in self.files:
+            yield metadata, [
+                (fp, size, self.payloads.get(fp)) for fp, size in sized
+            ]
+
+
+class VaultProtocolServer(socketserver.ThreadingTCPServer):
+    """The daemon: a vault behind the wire protocol on a TCP socket."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        vault: DebarVault,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.vault = vault
+        self.vault_lock = threading.Lock()
+        self._sessions: Dict[int, _RemoteSession] = {}
+        self._next_session = 1
+        self._response_cache: "OrderedDict[int, Frame]" = OrderedDict()
+        self._cache_lock = threading.Lock()
+        registry = registry if registry is not None else get_registry()
+        self.registry = registry
+        self._t_bytes_in = registry.counter(
+            "net.bytes_received", "protocol bytes received, by role"
+        ).labels(role="server")
+        self._t_bytes_out = registry.counter(
+            "net.bytes_sent", "protocol bytes sent, by role"
+        ).labels(role="server")
+        self._t_requests = registry.counter(
+            "net.requests", "protocol requests handled, by message type"
+        )
+        self._t_replays = registry.counter(
+            "net.request_replays", "requests answered from the idempotency cache"
+        ).labels()
+        self._t_latency = registry.histogram(
+            "net.rpc_latency", "server-side request handling seconds, by type"
+        )
+        self._t_connections = registry.counter(
+            "net.connections", "connections accepted by the daemon"
+        ).labels()
+        super().__init__((host, port), _ConnectionHandler)
+
+    # -- addressing ---------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- idempotency cache --------------------------------------------------------
+    def cached_response(self, request_id: int) -> Optional[Frame]:
+        with self._cache_lock:
+            return self._response_cache.get(request_id)
+
+    def cache_response(self, request_id: int, frame: Frame) -> None:
+        with self._cache_lock:
+            self._response_cache[request_id] = frame
+            while len(self._response_cache) > RESPONSE_CACHE_SIZE:
+                self._response_cache.popitem(last=False)
+
+    # -- dispatch -----------------------------------------------------------------
+    def handle_request_frame(self, frame: Frame) -> Frame:
+        """Execute one request frame; returns the response frame."""
+        handler = _HANDLERS.get(frame.msg_type)
+        if handler is None:
+            raise ProtocolError(f"unknown message type {m.msg_name(frame.msg_type)}")
+        if frame.msg_type in IDEMPOTENT_CACHED:
+            cached = self.cached_response(frame.request_id)
+            if cached is not None:
+                self._t_replays.inc()
+                return cached
+        t0 = wall_now()
+        try:
+            msg_type, payload = handler(self, frame.payload)
+        except (VaultError, KeyError, ValueError, OSError) as exc:
+            # Application-level failure: report it, keep the connection.
+            return Frame(m.ERROR, frame.request_id, m.encode_json({
+                "error": type(exc).__name__,
+                "message": str(exc),
+            }))
+        finally:
+            self._t_latency.labels(type=m.msg_name(frame.msg_type)).observe(
+                wall_now() - t0
+            )
+        response = Frame(msg_type, frame.request_id, payload)
+        if frame.msg_type in IDEMPOTENT_CACHED:
+            self.cache_response(frame.request_id, response)
+        return response
+
+    # -- handlers -----------------------------------------------------------------
+    def _on_hello(self, payload: bytes) -> Tuple[int, bytes]:
+        doc = m.decode_json(payload)
+        return m.HELLO_OK, m.encode_json({
+            "server": "repro",
+            "vault": str(self.vault.root),
+            "client": doc.get("client", ""),
+        })
+
+    def _on_ping(self, payload: bytes) -> Tuple[int, bytes]:
+        return m.PONG, payload
+
+    def _on_session_begin(self, payload: bytes) -> Tuple[int, bytes]:
+        doc = m.decode_json(payload)
+        job = doc.get("job", "")
+        if not job:
+            raise VaultError("job name required")
+        with self.vault_lock:
+            session_id = self._next_session
+            self._next_session += 1
+            session = _RemoteSession(session_id, job, self.vault)
+            self._sessions[session_id] = session
+        return m.SESSION_OK, m.encode_json({
+            "session": session_id,
+            "filtering_fingerprints": len(session.filtering or ()),
+        })
+
+    def _session(self, session_id: int) -> _RemoteSession:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise VaultError(f"no open session {session_id}")
+        return session
+
+    def _on_filter_query(self, payload: bytes) -> Tuple[int, bytes]:
+        session_id, offset = m._take_u32(payload, 0)
+        entries, _ = m.decode_sized_fps(payload, offset)
+        with self.vault_lock:
+            session = self._session(session_id)
+            decisions = session.query(entries)
+        return m.FILTER_RESULT, m.encode_bitmap(decisions)
+
+    def _on_chunk_append(self, payload: bytes) -> Tuple[int, bytes]:
+        session_id, offset = m._take_u32(payload, 0)
+        chunks, _ = m.decode_chunk_batch(payload, offset)
+        with self.vault_lock:
+            session = self._session(session_id)
+            appended = 0
+            for fp, data in chunks:
+                if fp not in session.payloads:
+                    appended += 1
+                session.payloads[fp] = data
+        return m.APPEND_OK, m.encode_json({"appended": appended, "received": len(chunks)})
+
+    def _on_meta_put(self, payload: bytes) -> Tuple[int, bytes]:
+        session_id, offset = m._take_u32(payload, 0)
+        meta_len, offset = m._take_u32(payload, offset)
+        meta_blob, offset = m._take(payload, offset, meta_len)
+        meta = m.decode_json(meta_blob)
+        sized, _ = m.decode_sized_fps(payload, offset)
+        metadata = FileMetadata(
+            path=str(meta.get("path", "<remote>")),
+            size=int(meta.get("size", sum(s for _, s in sized))),
+            mode=int(meta.get("mode", 0o644)),
+            mtime=float(meta.get("mtime", 0.0)),
+        )
+        with self.vault_lock:
+            session = self._session(session_id)
+            session.files.append((metadata, sized))
+        return m.META_OK, m.encode_json({"files": len(session.files)})
+
+    def _on_session_commit(self, payload: bytes) -> Tuple[int, bytes]:
+        doc = m.decode_json(payload)
+        session_id = int(doc.get("session", 0))
+        with self.vault_lock:
+            session = self._session(session_id)
+            if session.committed_run is None:
+                run = self.vault.backup_stream(
+                    session.job,
+                    session.stream_files(),
+                    timestamp=doc.get("timestamp"),
+                    # Replay the decisions the client acted on, even if
+                    # another run of the job committed since session begin.
+                    filtering=session.filtering if session.filtering is not None else [],
+                )
+                session.committed_run = {
+                    "run_id": run.run_id,
+                    "job": run.job,
+                    "timestamp": run.timestamp,
+                    "files": len(run.files),
+                    "logical_bytes": run.logical_bytes,
+                    "transferred_bytes": run.transferred_bytes,
+                }
+            summary = session.committed_run
+            del self._sessions[session_id]
+        return m.RUN_OK, m.encode_json(summary)
+
+    def _on_dedup2(self, payload: bytes) -> Tuple[int, bytes]:
+        doc = m.decode_json(payload)
+        force = doc.get("force_siu")
+        with self.vault_lock:
+            stats = self.vault.chunk_store.run_dedup2(force_siu=force)
+        return m.DEDUP2_OK, m.encode_json({
+            "new_chunks_stored": stats.new_chunks_stored,
+            "new_bytes_stored": stats.new_bytes_stored,
+            "duplicate_chunks": stats.duplicate_chunks,
+            "containers_written": stats.containers_written,
+            "siu_performed": stats.siu_performed,
+        })
+
+    def _on_chunk_read(self, payload: bytes) -> Tuple[int, bytes]:
+        fps, _ = m.decode_fps(payload)
+        with self.vault_lock:
+            chunks = [(fp, self.vault.chunk_store.read_chunk(fp)) for fp in fps]
+        return m.CHUNK_DATA, m.encode_chunk_batch(chunks)
+
+    def _run_payload(self, run) -> List[Tuple[dict, List[bytes]]]:
+        return [
+            (
+                {
+                    "path": e.metadata.path,
+                    "size": e.metadata.size,
+                    "mode": e.metadata.mode,
+                    "mtime": e.metadata.mtime,
+                },
+                list(e.fingerprints),
+            )
+            for e in run.files
+        ]
+
+    def _on_meta_get(self, payload: bytes) -> Tuple[int, bytes]:
+        doc = m.decode_json(payload)
+        run_id = int(doc["run_id"])
+        with self.vault_lock:
+            for run in self.vault.runs():
+                if run.run_id == run_id:
+                    return m.META_ENTRIES, m.encode_file_entries(self._run_payload(run))
+        raise VaultError(f"no run {run_id} in this vault")
+
+    def _on_runs(self, payload: bytes) -> Tuple[int, bytes]:
+        doc = m.decode_json(payload)
+        with self.vault_lock:
+            runs = self.vault.runs(job=doc.get("job"))
+            out = [
+                {
+                    "run_id": r.run_id,
+                    "job": r.job,
+                    "timestamp": r.timestamp,
+                    "files": len(r.files),
+                    "logical_bytes": r.logical_bytes,
+                    "transferred_bytes": r.transferred_bytes,
+                }
+                for r in runs
+            ]
+        return m.RUNS_OK, m.encode_json(out)
+
+    def _on_stats(self, payload: bytes) -> Tuple[int, bytes]:
+        with self.vault_lock:
+            stats = self.vault.stats()
+        stats = {
+            k: (None if v == float("inf") else v) for k, v in stats.items()
+        }
+        return m.STATS_OK, m.encode_json(stats)
+
+    def _on_gc(self, payload: bytes) -> Tuple[int, bytes]:
+        doc = m.decode_json(payload)
+        threshold = float(doc.get("rewrite_threshold", 0.5))
+        with self.vault_lock:
+            report = self.vault.gc(rewrite_threshold=threshold)
+        return m.GC_OK, m.encode_json(vars(report))
+
+    def _on_verify(self, payload: bytes) -> Tuple[int, bytes]:
+        doc = m.decode_json(payload)
+        with self.vault_lock:
+            try:
+                report = self.vault.verify(deep=bool(doc.get("deep", False)))
+            except VaultError as exc:
+                # Corruption is a *finding*, not a transport failure: report
+                # it in-band so the client can exit EXIT_CORRUPTION.
+                return m.VERIFY_OK, m.encode_json({"ok": False, "finding": str(exc)})
+        return m.VERIFY_OK, m.encode_json({"ok": True, **report})
+
+    def _on_forget(self, payload: bytes) -> Tuple[int, bytes]:
+        doc = m.decode_json(payload)
+        with self.vault_lock:
+            self.vault.forget(int(doc["run_id"]))
+        return m.FORGET_OK, m.encode_json({"forgotten": int(doc["run_id"])})
+
+    def _on_exchange(self, payload: bytes) -> Tuple[int, bytes]:
+        # The daemon is single-vault; EXCHANGE belongs to the cluster
+        # loopback transport (repro.net.exchange), which runs its own
+        # acceptor.  Answer with an empty ack so probes don't hang.
+        sender, parts, _ = m.decode_exchange(payload)
+        return m.EXCHANGE_OK, m.encode_json({"sender": sender, "parts": len(parts)})
+
+
+_HANDLERS: Dict[int, Callable[[VaultProtocolServer, bytes], Tuple[int, bytes]]] = {
+    m.HELLO: VaultProtocolServer._on_hello,
+    m.PING: VaultProtocolServer._on_ping,
+    m.SESSION_BEGIN: VaultProtocolServer._on_session_begin,
+    m.FILTER_QUERY: VaultProtocolServer._on_filter_query,
+    m.CHUNK_APPEND: VaultProtocolServer._on_chunk_append,
+    m.META_PUT: VaultProtocolServer._on_meta_put,
+    m.SESSION_COMMIT: VaultProtocolServer._on_session_commit,
+    m.DEDUP2: VaultProtocolServer._on_dedup2,
+    m.CHUNK_READ: VaultProtocolServer._on_chunk_read,
+    m.META_GET: VaultProtocolServer._on_meta_get,
+    m.RUNS: VaultProtocolServer._on_runs,
+    m.STATS: VaultProtocolServer._on_stats,
+    m.GC: VaultProtocolServer._on_gc,
+    m.VERIFY: VaultProtocolServer._on_verify,
+    m.FORGET: VaultProtocolServer._on_forget,
+    m.EXCHANGE: VaultProtocolServer._on_exchange,
+}
+
+
+class _ConnectionHandler(socketserver.BaseRequestHandler):
+    """One connection: read frames, dispatch, write responses."""
+
+    server: VaultProtocolServer
+
+    def handle(self) -> None:
+        sock: socket.socket = self.request
+        srv = self.server
+        srv._t_connections.inc()
+
+        def counted_recv(n: int) -> bytes:
+            block = sock.recv(n)
+            srv._t_bytes_in.inc(len(block))
+            return block
+
+        while True:
+            try:
+                frame = read_frame(counted_recv)
+            except FrameError:
+                # Closed, truncated or desynchronized stream: drop the
+                # connection; the client's retry layer reconnects.
+                return
+            except OSError:
+                return
+            try:
+                response = srv.handle_request_frame(frame)
+            except ProtocolError as exc:
+                response = Frame(m.ERROR, frame.request_id, m.encode_json({
+                    "error": "ProtocolError",
+                    "message": str(exc),
+                }))
+                self._send(sock, frame, response)
+                return
+            srv._t_requests.labels(type=m.msg_name(frame.msg_type)).inc()
+            if not self._send(sock, frame, response):
+                return
+
+    def _send(self, sock: socket.socket, request: Frame, response: Frame) -> bool:
+        blob = response.encode()
+        try:
+            sock.sendall(blob)
+        except OSError:
+            return False
+        self.server._t_bytes_out.inc(len(blob))
+        return True
+
+
+def serve_vault(
+    vault: DebarVault,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    registry: Optional[MetricsRegistry] = None,
+) -> VaultProtocolServer:
+    """Build a protocol server on ``host:port`` (port 0 = ephemeral).
+
+    The caller runs ``serve_forever()`` (or a background thread does, in
+    tests) and ``shutdown()`` + ``server_close()`` when done.
+    """
+    return VaultProtocolServer(vault, host=host, port=port, registry=registry)

@@ -46,14 +46,27 @@ class BackupSession:
         self._buffer.append((metadata, stream))
         return entry
 
-    def add_fingerprint_stream(self, stream: Iterable[StreamChunk], path: str = "<stream>") -> FileIndexEntry:
-        """Receive a raw fingerprint stream (workload-model backups)."""
+    def add_fingerprint_stream(
+        self,
+        stream: Iterable[StreamChunk],
+        path: str = "<stream>",
+        metadata: Optional[FileMetadata] = None,
+    ) -> FileIndexEntry:
+        """Receive a raw fingerprint stream (workload-model and remote backups).
+
+        Stream elements are ``(fp, size)`` or ``(fp, size, data)``; remote
+        sessions pass ``data=None`` for chunks the preliminary filter will
+        reject, which is how dedup-1 avoids moving duplicate payloads over
+        the wire.  ``metadata`` overrides the synthesized file metadata
+        (remote clients send the real attributes ahead of content).
+        """
         if self._closed:
             raise RuntimeError("session already closed")
         elements = list(stream)
         fps = [e[0] for e in elements]
-        size = sum(e[1] for e in elements)
-        entry = FileIndexEntry(FileMetadata(path, size), fps)
+        if metadata is None:
+            metadata = FileMetadata(path, sum(e[1] for e in elements))
+        entry = FileIndexEntry(metadata, fps)
         self._entries.append(entry)
         self._buffer.append((entry.metadata, elements))
         return entry

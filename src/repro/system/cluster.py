@@ -133,6 +133,7 @@ class DebarCluster:
         repository_nodes: Optional[int] = None,
         n_directors: int = 1,
         telemetry: Optional[MetricsRegistry] = None,
+        wire_exchange: bool = False,
     ) -> None:
         if w_bits < 0:
             raise ValueError("w_bits must be non-negative")
@@ -162,7 +163,25 @@ class DebarCluster:
             for k in range(self.n_servers)
         ]
         self._rounds_since_psiu = 0
+        #: Route PSIL/PSIU exchanges through loopback sockets (repro.net):
+        #: volumes are then *measured* on a real wire, not just computed.
+        self.wire_exchange = wire_exchange
+        self._wire = None
         self._bind_instruments(telemetry)
+
+    def _wire_transport(self):
+        """The loopback exchange transport (created on first use)."""
+        if self._wire is None:
+            from repro.net.exchange import LoopbackExchange
+
+            self._wire = LoopbackExchange(self.n_servers, registry=self.telemetry)
+        return self._wire
+
+    def close(self) -> None:
+        """Release the loopback exchange transport, if one was opened."""
+        if self._wire is not None:
+            self._wire.close()
+            self._wire = None
 
     def _bind_instruments(self, registry: Optional[MetricsRegistry]) -> None:
         """Bind per-server exchange/phase counters (no-ops when disabled)."""
@@ -350,6 +369,20 @@ class DebarCluster:
                     for k in range(self.n_servers)
                 ],
             )
+            # delivered[k][j] = fingerprints server k received from server j.
+            # Either carried over real loopback sockets (wire mode) or by
+            # list passing; the simulated charge above applies to both.
+            if self.wire_exchange:
+                delivered = self._wire_transport().exchange_fingerprints(outgoing)
+            else:
+                delivered = [
+                    {
+                        j: parts[k]
+                        for j, parts in enumerate(outgoing)
+                        if parts.get(k)
+                    }
+                    for k in range(self.n_servers)
+                ]
             barrier(lanes)
 
         # -- Phase 2: PSIL on every index part concurrently.
@@ -357,10 +390,10 @@ class DebarCluster:
         with trace_span("cluster.psil", sim_clock=lane_clock) as psil_span:
             # owner -> fp -> sorted list of requesting servers
             requests: List[Dict[Fingerprint, List[int]]] = [dict() for _ in self.servers]
-            for j, parts in enumerate(outgoing):
-                for owner, fps in parts.items():
-                    table = requests[owner]
-                    for fp in fps:
+            for owner in range(self.n_servers):
+                table = requests[owner]
+                for j in sorted(delivered[owner]):
+                    for fp in delivered[owner][j]:
                         reqs = table.setdefault(fp, [])
                         if j not in reqs:
                             reqs.append(j)
@@ -445,8 +478,21 @@ class DebarCluster:
                 stats.new_bytes_stored += s_stats.new_bytes_stored
                 stats.log_bytes_processed += s_stats.log_bytes_processed
                 stats.containers_written += s_stats.containers_written
-                for fp, cid in stored.items():
-                    stored_by_owner[self.owner_of(fp)][fp] = cid
+            if self.wire_exchange:
+                route: List[Dict[int, List[Tuple[Fingerprint, int]]]] = [
+                    defaultdict(list) for _ in self.servers
+                ]
+                for j in range(self.n_servers):
+                    for fp, cid in stored_by_origin[j].items():
+                        route[j][self.owner_of(fp)].append((fp, cid))
+                inbound = self._wire_transport().exchange_records(route)
+                for k in range(self.n_servers):
+                    for j in sorted(inbound[k]):
+                        stored_by_owner[k].update(inbound[k][j])
+            else:
+                for j in range(self.n_servers):
+                    for fp, cid in stored_by_origin[j].items():
+                        stored_by_owner[self.owner_of(fp)][fp] = cid
             barrier(lanes)
             store_span.set_io(bytes_in=stats.log_bytes_processed,
                               bytes_out=stats.new_bytes_stored)
@@ -572,6 +618,11 @@ class DebarCluster:
         new.director._chains = self.director._chains
         new.director.dedup2_runs = self.director.dedup2_runs
         new._rounds_since_psiu = 0
+        # The wire transport is sized to the server count; the doubled
+        # cluster opens a fresh one on first use.
+        new.wire_exchange = self.wire_exchange
+        new._wire = None
+        self.close()
         new._bind_instruments(self.telemetry)
         new.servers = []
         for server in self.servers:

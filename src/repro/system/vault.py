@@ -200,6 +200,15 @@ class DebarVault:
         chain = self.runs(job)
         return chain[-1] if chain else None
 
+    def filtering_for(self, job: str) -> Optional[List[bytes]]:
+        """The filtering fingerprints for a job's next run: the previous
+        run's full fingerprint sequence (the paper's job-chain semantics),
+        or ``None`` on a first run."""
+        previous = self.latest_run(job)
+        if previous is None:
+            return None
+        return [fp for e in previous.files for fp in e.fingerprints]
+
     def backup(
         self, job: str, dataset: List[PathLike], timestamp: Optional[float] = None
     ) -> VaultRun:
@@ -210,24 +219,45 @@ class DebarVault:
         telemetry wall clock (:func:`repro.telemetry.clock.wall_now`), the
         single time source the CLI and tests can redirect.
         """
+
+        def stream():
+            for metadata, chunks in self.engine.iter_dataset([Path(p) for p in dataset]):
+                yield metadata, [(c.fingerprint, c.size, c.data) for c in chunks]
+
+        return self.backup_stream(job, stream(), timestamp=timestamp)
+
+    def backup_stream(
+        self,
+        job: str,
+        files,
+        timestamp: Optional[float] = None,
+        filtering: Optional[List[bytes]] = None,
+    ) -> VaultRun:
+        """Back up pre-chunked file streams (the local and remote paths share
+        this).
+
+        ``files`` yields ``(FileMetadata, [stream chunks])`` pairs where a
+        stream chunk is ``(fp, size, data)`` — ``data`` may be ``None`` for
+        chunks the preliminary filter is about to reject, which is what a
+        remote session sends for payloads it never transferred.
+        ``filtering`` overrides the job-chain filtering fingerprints; a
+        remote session passes the set it captured at session begin so its
+        per-chunk admission decisions replay identically at commit.
+        """
         if not job:
             raise VaultError("job name required")
         if timestamp is None:
             timestamp = wall_now()
-        previous = self.latest_run(job)
-        filtering = None
-        if previous is not None:
-            filtering = [fp for e in previous.files for fp in e.fingerprints]
+        if filtering is None:
+            filtering = self.filtering_for(job)
         with trace_span("backup", sim_clock=self.tpds.clock, job=job) as span:
             with trace_span("client.ingest", sim_clock=self.tpds.clock) as ingest:
                 session = self.file_store.begin_session(filtering)
-                files = 0
-                for metadata, chunks in self.engine.iter_dataset(
-                    [Path(p) for p in dataset]
-                ):
-                    session.add_file(metadata, chunks)
-                    files += 1
-                ingest.annotate(files=files)
+                files_seen = 0
+                for metadata, elements in files:
+                    session.add_fingerprint_stream(elements, metadata=metadata)
+                    files_seen += 1
+                ingest.annotate(files=files_seen)
             stats, entries = session.close()  # runs dedup-1 (its own child span)
             self.tpds.dedup2(force_siu=True)  # child span "dedup2"
             with trace_span("catalog", sim_clock=self.tpds.clock):

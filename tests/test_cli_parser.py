@@ -13,7 +13,7 @@ class TestParser:
         )
         assert set(sub.choices) == {
             "backup", "list", "restore", "verify", "audit", "stats",
-            "forget", "gc", "recover-index", "trace",
+            "forget", "gc", "recover-index", "serve", "trace",
         }
 
     def test_backup_requires_job_and_paths(self):
@@ -44,11 +44,40 @@ class TestParser:
         args = parser.parse_args(["gc", "--vault", "/v"])
         assert args.rewrite_threshold == 0.5
 
-    def test_vault_required_everywhere(self):
+    def test_vault_required_for_local_only_commands(self):
         parser = build_parser()
-        for cmd in ("list", "verify", "audit", "stats", "recover-index"):
+        for cmd in ("audit", "recover-index", "serve"):
             with pytest.raises(SystemExit):
                 parser.parse_args([cmd])
+
+    def test_target_required_for_remote_capable_commands(self):
+        # Remote-capable commands defer the --vault/--connect choice to
+        # main(), which must reject neither/both with a usage error (2).
+        for argv in (
+            ["list"],
+            ["verify"],
+            ["stats"],
+            ["list", "--vault", "/v", "--connect", "h:1"],
+        ):
+            with pytest.raises(SystemExit) as exc:
+                main(argv)
+            assert exc.value.code == 2
+
+    def test_connect_accepted_in_place_of_vault(self):
+        parser = build_parser()
+        args = parser.parse_args(["list", "--connect", "backuphost:7070"])
+        assert args.connect == "backuphost:7070"
+        assert args.vault is None
+
+    def test_serve_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--vault", "/v"])
+        assert args.host == "127.0.0.1" and args.port == 0
+        assert args.port_file is None
+        args = parser.parse_args(
+            ["serve", "--vault", "/v", "--port", "7070", "--port-file", "/tmp/p"]
+        )
+        assert args.port == 7070 and args.port_file == "/tmp/p"
 
     def test_command_required(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,106 @@
+"""Lint: a ``None`` default demands an ``Optional``/``None``-admitting hint.
+
+``def f(chunker: ContentDefinedChunker = None)`` lies to every reader and
+type checker: the annotation promises a chunker, the default hands them
+``None``.  PEP 484 dropped the implicit-Optional convention years ago.
+This walks every module under ``src/`` with :mod:`ast` and fails on any
+function parameter whose default is ``None`` but whose annotation does not
+admit it — so a fixed hint stays fixed.
+
+Accepted annotations for a ``None`` default: ``Optional[...]``,
+``Union[..., None]``, PEP 604 ``X | None``, bare ``None``, ``Any``, and
+``object``.  String (forward-reference) annotations are parsed and held to
+the same rule.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _admits_none(node: ast.expr) -> bool:
+    """Does this annotation expression admit ``None``?"""
+    if isinstance(node, ast.Constant):
+        if node.value is None:
+            return True
+        if isinstance(node.value, str):
+            try:
+                return _admits_none(ast.parse(node.value, mode="eval").body)
+            except SyntaxError:
+                return False
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in {"Any", "object"}
+    if isinstance(node, ast.Attribute):
+        return node.attr in {"Any", "object"}
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _admits_none(node.left) or _admits_none(node.right)
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        name = (
+            base.id
+            if isinstance(base, ast.Name)
+            else base.attr
+            if isinstance(base, ast.Attribute)
+            else None
+        )
+        if name == "Optional":
+            return True
+        if name == "Union":
+            args = node.slice
+            elts = args.elts if isinstance(args, ast.Tuple) else [args]
+            return any(_admits_none(e) for e in elts)
+    return False
+
+
+def _offending_params(tree: ast.AST):
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        # Pair positional/kw-only parameters with their defaults
+        # (defaults align to the *tail* of the positional list).
+        positional = args.posonlyargs + args.args
+        pos_pairs = zip(positional[len(positional) - len(args.defaults):],
+                        args.defaults)
+        kw_pairs = (
+            (a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults)
+            if d is not None
+        )
+        for arg, default in list(pos_pairs) + list(kw_pairs):
+            if not (isinstance(default, ast.Constant) and default.value is None):
+                continue
+            if arg.annotation is None or _admits_none(arg.annotation):
+                continue
+            yield node.name, arg.arg, arg.annotation.lineno
+
+
+def test_none_defaults_are_annotated_optional():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for func, param, lineno in _offending_params(tree):
+            offenders.append(
+                f"{path.relative_to(SRC)}:{lineno} {func}({param}: ... = None)"
+            )
+    assert not offenders, (
+        "parameters defaulting to None must be annotated Optional[...] "
+        "(or otherwise admit None):\n  " + "\n  ".join(offenders)
+    )
+
+
+def test_linter_catches_the_original_offence():
+    # The pattern this lint exists for (the pre-fix BackupEngine
+    # signature) must actually trip it.
+    tree = ast.parse("def f(chunker: ContentDefinedChunker = None): pass")
+    assert list(_offending_params(tree)) == [("f", "chunker", 1)]
+    # ...and the fixed spellings must pass.
+    for fixed in (
+        "def f(c: Optional[Chunker] = None): pass",
+        "def f(c: 'Optional[Chunker]' = None): pass",
+        "def f(c: Chunker | None = None): pass",
+        "def f(c: Union[Chunker, None] = None): pass",
+        "def f(c=None): pass",
+    ):
+        assert not list(_offending_params(ast.parse(fixed))), fixed

@@ -1,0 +1,156 @@
+"""Tests for the loopback PSIL/PSIU exchange (cluster ``wire_exchange``).
+
+The cluster's all-to-all exchanges normally move fingerprints by list
+passing with *computed* volume accounting; ``wire_exchange=True`` pushes
+the same exchanges through real loopback sockets.  The two modes must be
+bit-for-bit equivalent in every dedup decision, and the wire mode must
+additionally *measure* its traffic (``net.bytes_sent{role="cluster"}``).
+"""
+
+import pytest
+
+from repro.core.fingerprint import SyntheticFingerprints
+from repro.net.exchange import LoopbackExchange
+from repro.server import BackupServerConfig
+from repro.system import DebarCluster
+from repro.telemetry.registry import MetricsRegistry
+from tests.conftest import make_fps
+
+
+def make_cluster(wire, w_bits=2, registry=None):
+    cfg = BackupServerConfig(
+        index_n_bits=8,
+        index_bucket_bytes=512,
+        container_bytes=64 * 1024,
+        filter_capacity=4096,
+        cache_capacity=64,
+        siu_every=1,
+    )
+    return DebarCluster(
+        w_bits=w_bits, config=cfg, telemetry=registry, wire_exchange=wire
+    )
+
+
+def drive(cluster, rounds=3, jobs=4, per_round=120):
+    """A few rounds of backups + dedup-2; returns the decision trail."""
+    gens = [SyntheticFingerprints(i) for i in range(jobs)]
+    handles = [
+        cluster.director.define_job(f"j{i}", f"c{i}", []) for i in range(jobs)
+    ]
+    trail = []
+    history = [[] for _ in range(jobs)]
+    for _ in range(rounds):
+        streams = []
+        for i in range(jobs):
+            fresh = gens[i].fresh(per_round)
+            # Re-send some earlier fingerprints so PSIL sees duplicates.
+            stream = fresh + history[i][: per_round // 3]
+            history[i].extend(fresh)
+            streams.append([(fp, 8192) for fp in stream])
+        cluster.backup_streams(list(zip(handles, streams)))
+        stats = cluster.run_dedup2(force_psiu=True)
+        trail.append(
+            (
+                stats.fingerprints_looked_up,
+                stats.fingerprints_updated,
+                stats.new_chunks_stored,
+                stats.duplicate_chunks,
+            )
+        )
+    return trail
+
+
+class TestLoopbackExchangeUnit:
+    def test_all_to_all_fingerprints(self):
+        fps = make_fps(12)
+        with LoopbackExchange(3) as wire:
+            outgoing = [
+                {0: fps[0:2], 1: fps[2:4], 2: fps[4:6]},
+                {0: fps[6:8], 2: fps[8:9]},
+                {1: fps[9:12]},
+            ]
+            inbound = wire.exchange_fingerprints(outgoing)
+        assert inbound[0] == {0: fps[0:2], 1: fps[6:8]}
+        assert inbound[1] == {0: fps[2:4], 2: fps[9:12]}
+        assert inbound[2] == {0: fps[4:6], 1: fps[8:9]}
+
+    def test_all_to_all_records(self):
+        fps = make_fps(4)
+        with LoopbackExchange(2) as wire:
+            outgoing = [
+                {1: [(fps[0], 7), (fps[1], 8)]},
+                {0: [(fps[2], 9)], 1: [(fps[3], 10)]},
+            ]
+            inbound = wire.exchange_records(outgoing)
+        assert inbound[0] == {1: [(fps[2], 9)]}
+        assert inbound[1] == {0: [(fps[0], 7), (fps[1], 8)], 1: [(fps[3], 10)]}
+
+    def test_empty_parts_skip_the_wire(self):
+        registry = MetricsRegistry()
+        with LoopbackExchange(2, registry=registry) as wire:
+            inbound = wire.exchange_fingerprints([{}, {1: []}])
+        assert inbound == [{}, {}]
+        metrics = {row["name"]: row for row in registry.snapshot_metrics()}
+        assert metrics["net.exchange_frames"]["samples"][0]["value"] == 0
+
+    def test_traffic_is_measured(self):
+        registry = MetricsRegistry()
+        fps = make_fps(6)
+        with LoopbackExchange(2, registry=registry) as wire:
+            wire.exchange_fingerprints([{1: fps[:3]}, {0: fps[3:]}])
+        metrics = {row["name"]: row for row in registry.snapshot_metrics()}
+        sent = metrics["net.bytes_sent"]["samples"][0]
+        received = metrics["net.bytes_received"]["samples"][0]
+        assert sent["labels"] == {"role": "cluster"}
+        # Two frames, each carrying 3 fingerprints plus framing overhead.
+        assert sent["value"] > 6 * 20
+        assert received["value"] == sent["value"]
+        assert metrics["net.exchange_frames"]["samples"][0]["value"] == 2
+
+
+class TestClusterWireMode:
+    def test_wire_mode_matches_in_process(self):
+        in_process = make_cluster(wire=False)
+        on_wire = make_cluster(wire=True)
+        try:
+            assert drive(in_process) == drive(on_wire)
+        finally:
+            on_wire.close()
+
+    def test_index_state_identical(self):
+        in_process = make_cluster(wire=False)
+        on_wire = make_cluster(wire=True)
+        try:
+            drive(in_process, rounds=2)
+            drive(on_wire, rounds=2)
+            for a, b in zip(in_process.servers, on_wire.servers):
+                assert a.index.entry_count == b.index.entry_count
+        finally:
+            on_wire.close()
+
+    def test_wire_traffic_measured_during_dedup2(self):
+        registry = MetricsRegistry()
+        cluster = make_cluster(wire=True, registry=registry)
+        try:
+            drive(cluster, rounds=1)
+        finally:
+            cluster.close()
+        metrics = {row["name"]: row for row in registry.snapshot_metrics()}
+        samples = {
+            s["labels"].get("role"): s["value"]
+            for s in metrics["net.bytes_sent"]["samples"]
+        }
+        assert samples.get("cluster", 0) > 0
+        assert metrics["net.exchange_frames"]["samples"][0]["value"] > 0
+
+    def test_close_is_idempotent_and_lazy(self):
+        cluster = make_cluster(wire=True)
+        # No dedup-2 yet: no transport was opened.
+        assert cluster._wire is None
+        cluster.close()
+        cluster.close()
+
+    def test_in_process_mode_opens_no_socket(self):
+        cluster = make_cluster(wire=False)
+        drive(cluster, rounds=1)
+        assert cluster._wire is None
