@@ -1,0 +1,186 @@
+"""Scrub-cost and CRC-framing-overhead benchmarks (real wall time).
+
+The media scrubber (DESIGN.md section 10) is a background maintenance
+sweep: it must scale linearly with the number of containers and stay
+cheap enough to run continuously at a modest rate cap.  These benches
+track its real Python cost against vault size.
+
+The second half measures what the checksummed framing costs the *write*
+path.  Figure 8's throughput axis comes from the device cost models,
+which charge time proportional to bytes written — so the framing impact
+on ``bench_fig08`` is the byte inflation of the framed container image
+over the legacy layout (superblock + 4 CRC bytes per record), which must
+stay under 5%.  The real CPU cost of computing the CRCs (pure-python
+slicing-by-8 unless a native crc32c module is present) is reported
+alongside so a checksum-speed regression is visible, but it is not what
+moves the modeled figure.
+"""
+
+import random
+import shutil
+import time
+
+from conftest import print_table, save_series
+
+from repro.core.fingerprint import fingerprint
+from repro.durability.crc import crc32c
+from repro.durability.scrubber import Scrubber
+from repro.storage.container import Container, ContainerWriter
+from repro.system import DebarVault
+from repro.workloads import FileTreeGenerator
+
+_CONTAINER_BYTES = 64 * 1024
+
+
+def _built_vault(root, n_files, seed=7):
+    """A real on-disk vault holding one backup of ``n_files`` files."""
+    src = root / "src"
+    FileTreeGenerator(seed=seed).generate(
+        src, n_files=n_files, min_size=24 * 1024, max_size=64 * 1024
+    )
+    vault = DebarVault(root / "vault", container_bytes=_CONTAINER_BYTES)
+    vault.backup("bench", [src])
+    return vault
+
+
+def bench_scrub_full_pass(benchmark, tmp_path):
+    """One unbudgeted read-only scrub of a ~1 MB vault."""
+    vault = _built_vault(tmp_path, n_files=16)
+
+    def sweep():
+        return Scrubber(vault).run()
+
+    report = benchmark(sweep)
+    assert report.clean and not report.partial
+
+
+def test_scrub_throughput_scaling(results_dir, tmp_path):
+    """Scrub wall time vs container count: the sweep must stay ~linear.
+
+    One timed pass per size — enough to expose super-linear behaviour
+    (e.g. the reinsert sweep accidentally running per bucket) while
+    keeping the tier-2 run short.
+    """
+    rows = []
+    series = []
+    for n_files in (8, 24, 72):
+        root = tmp_path / f"n{n_files}"
+        root.mkdir()
+        vault = _built_vault(root, n_files=n_files)
+        n_containers = sum(1 for _ in vault.repository.container_ids())
+        t0 = time.perf_counter()
+        report = Scrubber(vault).run()
+        t = time.perf_counter() - t0
+        assert report.clean and not report.partial
+        vault.close()
+        shutil.rmtree(root)
+        mb = report.bytes_read / 1e6
+        rows.append(
+            (n_files, n_containers, report.records_checked,
+             f"{t * 1e3:.1f}", f"{mb / t:.1f}")
+        )
+        series.append(
+            {
+                "files": n_files,
+                "containers": n_containers,
+                "records": report.records_checked,
+                "bytes_read": report.bytes_read,
+                "scrub_ms": t * 1e3,
+                "mb_per_s": mb / t,
+            }
+        )
+    print_table(
+        "Scrub cost vs vault size",
+        ("files", "containers", "records", "scrub ms", "MB/s"),
+        rows,
+    )
+    save_series(results_dir, "scrub_cost", {"points": series})
+    # 9x the input volume must not cost more than ~40x the smallest pass
+    # (generous bound: catches accidental quadratic behaviour only).
+    assert series[-1]["scrub_ms"] < 40 * max(series[0]["scrub_ms"], 1.0)
+
+
+def _filled_container(cid, n_chunks=7, chunk_size=8192, seed=1):
+    rng = random.Random(seed)
+    writer = ContainerWriter(_CONTAINER_BYTES)
+    for _ in range(n_chunks):
+        data = rng.randbytes(chunk_size)
+        writer.add(fingerprint(data), data=data)
+    return writer.seal(cid)
+
+
+def test_crc_framing_write_overhead(results_dir):
+    """Framed-image byte inflation vs the legacy layout stays under 5%.
+
+    The legacy container image spent 4 header bytes plus 28 bytes per
+    record on metadata; the framed format spends a fixed superblock plus
+    32 bytes per record (the extra 4 is the payload CRC).  Containers
+    are fixed-size either way, so framing costs payload capacity (more
+    containers per backed-up byte), and the device models behind
+    ``bench_fig08`` charge write time per container byte — this ratio
+    bounds the framing cost on the modeled throughput figures.
+    """
+    containers = [_filled_container(cid, seed=cid) for cid in range(8)]
+    framed_bytes = 0
+    legacy_bytes = 0
+    data_bytes = 0
+    for c in containers:
+        # Both layouts zero-pad to the fixed container capacity, so the
+        # comparison is on the unpadded image: the bytes the format
+        # actually claims from that capacity (metadata growth shrinks
+        # the payload space left per container).
+        framed_bytes += c.metadata_bytes + len(c.data)
+        # Legacy layout: 4-byte count header + 28 bytes/record + payload.
+        legacy_bytes += 4 + 28 * len(c.records) + len(c.data)
+        data_bytes += len(c.data)
+
+    inflation = framed_bytes / legacy_bytes - 1.0
+
+    # Real CPU cost of the checksums: serialize with CRCs to compute
+    # (fresh records, crc=None) vs already-stamped records (a reopened
+    # container re-serializing after repair).
+    fresh = [_filled_container(cid, seed=cid) for cid in range(8)]
+    t0 = time.perf_counter()
+    for c in fresh:
+        c.serialize()  # computes one CRC per payload + metadata CRC
+    t_compute = time.perf_counter() - t0
+    stamped = [
+        Container.deserialize(c.container_id, c.serialize(), _CONTAINER_BYTES)
+        for c in containers
+    ]
+    t0 = time.perf_counter()
+    for c in stamped:
+        c.serialize()  # CRCs carried over, no payload checksum work
+    t_stamped = time.perf_counter() - t0
+    crc_s_per_mb = max(t_compute - t_stamped, 0.0) / (data_bytes / 1e6)
+
+    # Reference point: raw crc32c throughput on this host.
+    blob = b"\xa5" * (1 << 20)
+    t0 = time.perf_counter()
+    crc32c(blob)
+    crc_mb_per_s = 1.0 / (time.perf_counter() - t0)
+
+    print_table(
+        "CRC framing write overhead",
+        ("metric", "value"),
+        [
+            ("framed bytes", framed_bytes),
+            ("legacy bytes", legacy_bytes),
+            ("byte inflation", f"{inflation * 100:.3f}%"),
+            ("crc compute s/MB", f"{crc_s_per_mb:.4f}"),
+            ("crc32c MB/s", f"{crc_mb_per_s:.1f}"),
+        ],
+    )
+    save_series(
+        results_dir,
+        "crc_framing_overhead",
+        {
+            "framed_bytes": framed_bytes,
+            "legacy_bytes": legacy_bytes,
+            "data_bytes": data_bytes,
+            "byte_inflation": inflation,
+            "crc_seconds_per_mb": crc_s_per_mb,
+            "crc32c_mb_per_s": crc_mb_per_s,
+        },
+    )
+    assert inflation < 0.05, f"framed image {inflation * 100:.2f}% over legacy"

@@ -32,6 +32,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.core.checking import CheckingFile
 from repro.core.disk_index import DiskIndex
 from repro.core.fingerprint import Fingerprint, fp_hex
+from repro.durability.errors import CorruptionError
 
 #: Finding severities.
 ERROR = "error"
@@ -259,22 +260,48 @@ def audit_store(
 
 
 # ------------------------------------------------------------- restorability
+def _repair_hint(fp: Fingerprint, chunk_log) -> str:
+    """Whether the scrubber could heal a corrupt payload, and how."""
+    from repro.core.fingerprint import fingerprint as sha1
+
+    if chunk_log is not None:
+        for record in getattr(chunk_log, "_records", ()):
+            if (
+                record.fingerprint == fp
+                and record.data is not None
+                and sha1(record.data) == fp
+            ):
+                return (
+                    "the chunk log holds an intact copy — "
+                    "`repro scrub --repair` can heal it"
+                )
+    return (
+        "no local intact copy — `repro scrub --repair --peer <replica>` "
+        "may heal it from a peer"
+    )
+
+
 def audit_restorability(
     run_fingerprints: Iterable[Tuple[object, Iterable[Fingerprint]]],
     resolve,
     repository,
     deep: bool = False,
     report: Optional[AuditReport] = None,
+    chunk_log=None,
 ) -> AuditReport:
     """Verify every recorded backup still restores.
 
     ``run_fingerprints`` yields (run label, fingerprint sequence) pairs;
     ``resolve(fp)`` maps a fingerprint to its container ID (or ``None``) —
     index plus checking file, or the cluster's owner routing.  With
-    ``deep`` every referenced chunk's payload is re-hashed (materialized
-    repositories only).
+    ``deep`` every referenced chunk's payload is verified (materialized
+    repositories only): framed records against their stored CRC32C,
+    legacy records by re-hashing against the fingerprint.  ``chunk_log``
+    (when given) lets a corrupt-payload finding say whether the scrubber
+    could repair it locally.
     """
     from repro.core.fingerprint import fingerprint as sha1
+    from repro.durability.crc import crc32c
 
     report = report if report is not None else AuditReport()
     verified: Dict[Fingerprint, int] = {}
@@ -302,6 +329,13 @@ def audit_restorability(
                     f"missing container {cid}",
                 )
                 continue
+            except CorruptionError as exc:
+                report.add(
+                    "chunk-unrestorable",
+                    f"run {run_label}: container {cid} is unreadable "
+                    f"({exc}) — `repro scrub --repair` can attempt a rebuild",
+                )
+                continue
             if fp not in container:
                 report.add(
                     "index-mismatch",
@@ -310,14 +344,21 @@ def audit_restorability(
                 )
                 continue
             if deep and container.data is not None:
-                # Only materialized payloads can be re-hashed; virtual
+                # Only materialized payloads can be checked; virtual
                 # containers regenerate synthetic payloads on read.
+                rec = container.record_for(fp)
                 data = container.get(fp)
-                if sha1(data) != fp:
+                if rec.crc is not None:
+                    damaged = crc32c(data) != rec.crc
+                else:  # legacy image: no stored CRC, re-hash instead
+                    damaged = sha1(data) != fp
+                if damaged:
                     report.add(
                         "payload-corrupt",
                         f"run {run_label}: payload of {fp_hex(fp)} in "
-                        f"container {cid} does not match its fingerprint",
+                        f"container {cid} fails its checksum at byte "
+                        f"{container.data_start + rec.offset} of the image; "
+                        + _repair_hint(fp, chunk_log),
                     )
                     continue
                 report.count("payloads_verified", 1)
@@ -391,7 +432,8 @@ def audit_vault(vault, deep: bool = False) -> AuditReport:
             yield payload["run_id"], fps
 
     audit_restorability(
-        runs(), _resolver(index, vault.tpds.checking), vault.repository, deep, report
+        runs(), _resolver(index, vault.tpds.checking), vault.repository, deep,
+        report, chunk_log=vault.tpds.chunk_log,
     )
     return report
 
@@ -406,6 +448,7 @@ def audit_system(system, deep: bool = False) -> AuditReport:
         system.repository,
         deep,
         report,
+        chunk_log=tpds.chunk_log,
     )
     return report
 

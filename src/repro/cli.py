@@ -7,6 +7,7 @@
     python -m repro restore --vault ~/.debar --run 3 --dest /restore
     python -m repro verify  --vault ~/.debar
     python -m repro audit   --vault ~/.debar --deep
+    python -m repro scrub   --vault ~/.debar --repair --peer replica:7070
     python -m repro stats   --vault ~/.debar [--telemetry]
     python -m repro trace   backup --vault ~/.debar --job homedirs /data/home
     python -m repro recover-index --vault ~/.debar
@@ -32,8 +33,14 @@ Exit codes are part of the interface::
     2   usage error (argparse: unknown flags, missing arguments, or
         neither/both of --vault and --connect)
     3   corruption: ``verify`` failed to resolve a fingerprint or found a
-        payload digest mismatch; ``audit`` reported findings
+        payload digest mismatch; ``audit`` reported findings; ``scrub``
+        found damage it could not repair
     4   ``serve`` could not bind its listening socket
+
+Corruption is mapped to exit code 3 in exactly one place —
+:func:`main` catches the typed
+:class:`~repro.durability.errors.CorruptionError` — so every command
+that trips over rotted media reports it the same way.
 """
 
 from __future__ import annotations
@@ -48,6 +55,7 @@ from pathlib import Path
 from types import SimpleNamespace
 from typing import List, Optional
 
+from repro.durability.errors import CorruptionError, DiskFullError
 from repro.net.client import RemoteBackupClient
 from repro.net.framing import ProtocolError
 from repro.net.server import serve_vault
@@ -179,14 +187,11 @@ def cmd_restore(args) -> int:
 
 def cmd_verify(args) -> int:
     with _open(args) as target:
-        try:
-            report = target.verify(deep=args.deep)
-        except VaultError as exc:
-            print(f"corruption: {exc}", file=sys.stderr)
-            return EXIT_CORRUPTION
-        # The daemon reports corruption in-band so a remote verify can
-        # still exit 3 (the server's exception does not cross the wire
-        # as a VaultError).
+        report = target.verify(deep=args.deep)
+        # Local corruption raises CorruptionError, mapped to exit 3 by
+        # main().  The daemon reports corruption in-band so a remote
+        # verify can still exit 3 (the server's exception does not cross
+        # the wire typed).
         if not report.get("ok", True):
             print(f"corruption: {report.get('finding')}", file=sys.stderr)
             return EXIT_CORRUPTION
@@ -259,6 +264,45 @@ def cmd_gc(args) -> int:
     return EXIT_OK
 
 
+def cmd_scrub(args) -> int:
+    # Same guard as audit: never scrub a vault conjured from a typo.
+    if not Path(args.vault).is_dir():
+        print(f"error: no vault at {args.vault}", file=sys.stderr)
+        return EXIT_ERROR
+    from repro.durability.scrubber import Scrubber
+    from repro.net.client import NetClient, RemoteChunkReader
+
+    registry, tracer = _telemetry_begin(args)
+    nets: list = []
+    peers: list = []
+    try:
+        for spec in args.peer or []:
+            host, port = _parse_connect(spec)
+            net = NetClient(host, port, client_name="scrub")
+            nets.append(net)
+            peers.append(RemoteChunkReader(net))
+        with DebarVault(args.vault) as vault:
+            scrubber = Scrubber(
+                vault,
+                peers=peers,
+                rate_bps=args.rate * 1024 * 1024 if args.rate else None,
+                max_records=args.limit,
+                reset_cursor=args.reset_cursor,
+            )
+            report = scrubber.run(repair=args.repair)
+            print(report.summary())
+            if args.report_json:
+                Path(args.report_json).write_text(
+                    json.dumps(report.to_json(), indent=1)
+                )
+                print(f"scrub report written to {args.report_json}")
+            _telemetry_finish(args, registry, tracer)
+    finally:
+        for net in nets:
+            net.close()
+    return EXIT_CORRUPTION if report.unrepaired else EXIT_OK
+
+
 def cmd_recover_index(args) -> int:
     with _open(args) as vault:
         entries = vault.recover_index()
@@ -317,7 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="DEBAR de-duplicating backup vault (paper reproduction)",
         epilog=(
             "exit codes: 0 success, 1 operational error, 2 usage error, "
-            "3 corruption found (verify/audit), 4 serve could not bind"
+            "3 corruption found (verify/audit/scrub), 4 serve could not bind"
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -410,6 +454,53 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry_opts(p)
     p.set_defaults(func=cmd_gc)
 
+    p = sub.add_parser(
+        "scrub", help="sweep stored media for bit rot; optionally repair"
+    )
+    common(p)
+    p.add_argument(
+        "--repair",
+        action="store_true",
+        help="heal what an intact source covers (chunk log or --peer "
+        "replicas); without it the pass is read-only",
+    )
+    p.add_argument(
+        "--peer",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="replica vault daemon to fetch replacement chunks from "
+        "(repeatable)",
+    )
+    p.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="check at most N records this pass; the cursor resumes the "
+        "next pass where this one stopped",
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="MB_PER_S",
+        help="cap the scrub read rate (MB/s)",
+    )
+    p.add_argument(
+        "--report-json",
+        default=None,
+        metavar="PATH",
+        help="also write the scrub report JSON to PATH",
+    )
+    p.add_argument(
+        "--reset-cursor",
+        action="store_true",
+        help="discard the saved cursor and sweep from the beginning",
+    )
+    telemetry_opts(p)
+    p.set_defaults(func=cmd_scrub, trace=False)
+
     p = sub.add_parser("recover-index", help="rebuild the index from containers")
     common(p)
     p.set_defaults(func=cmd_recover_index)
@@ -444,6 +535,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("exactly one of --vault or --connect is required")
     try:
         return args.func(args)
+    except CorruptionError as exc:
+        # THE corruption -> exit-code mapping: every command that trips
+        # over rotted media funnels through this one typed handler.
+        print(f"corruption: {exc}", file=sys.stderr)
+        return EXIT_CORRUPTION
+    except DiskFullError as exc:
+        print(f"error: disk full: {exc} (free space and re-run; the "
+              "interrupted work resumes)", file=sys.stderr)
+        return EXIT_ERROR
     except (VaultError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR

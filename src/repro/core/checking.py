@@ -19,16 +19,45 @@ check; this class implements both roles.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.fingerprint import Fingerprint
+from repro.durability.fsshim import LocalFs
 
 
 class CheckingFile:
-    """Fingerprints stored in containers but not yet registered by SIU."""
+    """Fingerprints stored in containers but not yet registered by SIU.
 
-    def __init__(self) -> None:
+    With a ``path`` the pending set persists as a small JSON file rewritten
+    on every mutation, which is what lets a vault that died between chunk
+    storing and SIU resume without double-storing: the stored-but-
+    unregistered fingerprints are right there on disk.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        fs: Optional[LocalFs] = None,
+    ) -> None:
         self._pending: Dict[Fingerprint, int] = {}
+        self._path = Path(path) if path is not None else None
+        self._fs = fs if fs is not None else LocalFs()
+        if self._path is not None and self._fs.exists(self._path):
+            try:
+                raw = json.loads(self._fs.read_file(self._path))
+                self._pending = {bytes.fromhex(k): int(v) for k, v in raw.items()}
+            except (ValueError, json.JSONDecodeError):
+                # A torn half-written checking file is recoverable state, not
+                # fatal: dedup-2 replay rebuilds it from the chunk log.
+                self._pending = {}
+
+    def _save(self) -> None:
+        if self._path is None:
+            return
+        raw = {fp.hex(): cid for fp, cid in self._pending.items()}
+        self._fs.write_file(self._path, json.dumps(raw).encode())
 
     def screen(self, new_fps: Iterable[Fingerprint]) -> Tuple[List[Fingerprint], Dict[Fingerprint, int]]:
         """Split a SIL "new" result into (genuinely new, already pending).
@@ -59,6 +88,8 @@ class CheckingFile:
                     f"({existing} and {cid}) — duplicate store"
                 )
             self._pending[fp] = cid
+        if stored:
+            self._save()
 
     def registered(self, fps: Iterable[Fingerprint]) -> int:
         """Drop fingerprints that an SIU just wrote to the disk index."""
@@ -66,6 +97,8 @@ class CheckingFile:
         for fp in fps:
             if self._pending.pop(fp, None) is not None:
                 removed += 1
+        if removed:
+            self._save()
         return removed
 
     def pending(self) -> Dict[Fingerprint, int]:

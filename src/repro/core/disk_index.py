@@ -35,6 +35,8 @@ from repro.core.fingerprint import (
     validate_container_id,
     validate_fingerprint,
 )
+from repro.durability.crc import crc32c
+from repro.durability.errors import CorruptionError
 from repro.storage.blockstore import (
     BlockStore,
     FileBlockStore,
@@ -54,6 +56,10 @@ ENTRIES_PER_BLOCK = DISK_BLOCK_SIZE // ENTRY_SIZE
 
 #: Bucket header: a little-endian uint32 entry count.
 _HEADER = struct.Struct("<I")
+
+#: Checksummed buckets end in this trailer: magic + CRC32C of the rest.
+BUCKET_MAGIC = 0x44424B54  # "DBKT"
+_TRAILER = struct.Struct("<II")
 
 
 class IndexFullError(Exception):
@@ -92,20 +98,41 @@ class Bucket:
         return None
 
 
-def pack_bucket(entries: List[Tuple[Fingerprint, int]], slot_size: int) -> bytes:
-    """Serialise a bucket into its fixed-size on-disk slot."""
-    if _HEADER.size + len(entries) * ENTRY_SIZE > slot_size:
+def pack_bucket(
+    entries: List[Tuple[Fingerprint, int]], slot_size: int, checksum: bool = False
+) -> bytes:
+    """Serialise a bucket into its fixed-size on-disk slot.
+
+    With ``checksum`` the slot's last 8 bytes become a ``BUCKET_MAGIC`` +
+    CRC32C trailer over the rest.  For block-multiple slot sizes the entry
+    capacity is unaffected: ``b`` 512-byte blocks hold ``20b`` entries in
+    ``4 + 500b`` bytes, leaving at least 12 bytes of padding.
+    """
+    body = slot_size - _TRAILER.size if checksum else slot_size
+    if _HEADER.size + len(entries) * ENTRY_SIZE > body:
         raise ValueError(f"{len(entries)} entries do not fit a {slot_size}-byte slot")
     parts = [_HEADER.pack(len(entries))]
     for fp, cid in entries:
         parts.append(fp)
         parts.append(cid.to_bytes(5, "little"))
     blob = b"".join(parts)
-    return blob + b"\x00" * (slot_size - len(blob))
+    blob += b"\x00" * (body - len(blob))
+    if checksum:
+        blob += _TRAILER.pack(BUCKET_MAGIC, crc32c(blob))
+    return blob
 
 
 def unpack_bucket(blob: bytes) -> List[Tuple[Fingerprint, int]]:
-    """Parse a fixed-size bucket slot back into its entry list."""
+    """Parse a fixed-size bucket slot back into its entry list.
+
+    A slot carrying the checksum trailer is verified first (legacy slots
+    pad with zeros there, which never matches the trailer magic); damage
+    raises :class:`CorruptionError`.
+    """
+    if len(blob) >= _TRAILER.size:
+        magic, crc = _TRAILER.unpack_from(blob, len(blob) - _TRAILER.size)
+        if magic == BUCKET_MAGIC and crc != crc32c(blob[: -_TRAILER.size]):
+            raise CorruptionError("index bucket CRC mismatch", artifact="index")
     (count,) = _HEADER.unpack_from(blob, 0)
     entries: List[Tuple[Fingerprint, int]] = []
     off = _HEADER.size
@@ -138,6 +165,9 @@ class DiskIndex:
         (Section 4.1, "simple performance scaling").
     seed:
         Seed for the random adjacent-bucket choice on overflow.
+    checksummed:
+        Write buckets with CRC32C trailers and verify them on read.
+        Defaults to on for file-backed stores and off for memory stores.
     """
 
     def __init__(
@@ -148,6 +178,7 @@ class DiskIndex:
         prefix_bits: int = 0,
         prefix_value: int = 0,
         seed: int = 0,
+        checksummed: Optional[bool] = None,
     ) -> None:
         if n_bits < 1:
             raise ValueError("n_bits must be >= 1")
@@ -175,6 +206,11 @@ class DiskIndex:
         elif store.size < size:
             raise ValueError(f"block store too small: {store.size} < {size}")
         self._store = store
+        # Buckets carry CRC trailers on real disks by default; memory-backed
+        # indexes (simulation, tests) keep the cheap unchecksummed layout.
+        self.checksummed = (
+            checksummed if checksummed is not None else isinstance(store, FileBlockStore)
+        )
         # Cache of per-bucket entry counts so fullness checks do not hit the
         # store; rebuilt from disk when attached to a possibly non-empty
         # store (a freshly created store is all zeros by construction).
@@ -191,8 +227,10 @@ class DiskIndex:
         for k in range(self.n_buckets):
             blob = self._store.read(k * self.bucket_bytes, _HEADER.size)
             (count,) = _HEADER.unpack(blob)
-            self._counts[k] = count
-            total += count
+            # A rotted header cannot claim more entries than a bucket holds;
+            # clamping keeps the cache sane until scrub repairs the bucket.
+            self._counts[k] = min(count, self.bucket_capacity)
+            total += self._counts[k]
         self._entry_count = total
 
     # -- geometry --------------------------------------------------------------
@@ -244,7 +282,16 @@ class DiskIndex:
         """Read and parse one bucket."""
         self._check_bucket_number(k)
         blob = self._store.read(k * self.bucket_bytes, self.bucket_bytes)
-        return Bucket(k, unpack_bucket(blob), self.bucket_capacity)
+        return Bucket(k, self._unpack(k, blob), self.bucket_capacity)
+
+    def _unpack(self, k: int, blob: bytes) -> List[Tuple[Fingerprint, int]]:
+        try:
+            return unpack_bucket(blob)
+        except CorruptionError:
+            raise CorruptionError(
+                f"index bucket {k} CRC mismatch",
+                artifact="index", offset=k * self.bucket_bytes,
+            ) from None
 
     def on_disk_count(self, k: int) -> int:
         """Bucket ``k``'s entry count as recorded in its on-disk header.
@@ -262,7 +309,7 @@ class DiskIndex:
             raise ValueError("bucket over capacity")
         self._store.write(
             bucket.number * self.bucket_bytes,
-            pack_bucket(bucket.entries, self.bucket_bytes),
+            pack_bucket(bucket.entries, self.bucket_bytes, checksum=self.checksummed),
         )
         self._entry_count += len(bucket.entries) - self._counts[bucket.number]
         self._counts[bucket.number] = len(bucket.entries)
@@ -280,7 +327,7 @@ class DiskIndex:
         out = []
         for i in range(count):
             slot = blob[i * self.bucket_bytes : (i + 1) * self.bucket_bytes]
-            out.append(Bucket(start + i, unpack_bucket(slot), self.bucket_capacity))
+            out.append(Bucket(start + i, self._unpack(start + i, slot), self.bucket_capacity))
         return out
 
     def write_bucket_range(self, buckets: List[Bucket]) -> None:
@@ -293,7 +340,10 @@ class DiskIndex:
                 raise ValueError("buckets must be consecutive")
             if len(b.entries) > self.bucket_capacity:
                 raise ValueError("bucket over capacity")
-        blob = b"".join(pack_bucket(b.entries, self.bucket_bytes) for b in buckets)
+        blob = b"".join(
+            pack_bucket(b.entries, self.bucket_bytes, checksum=self.checksummed)
+            for b in buckets
+        )
         self._store.write(start * self.bucket_bytes, blob)
         for b in buckets:
             self._entry_count += len(b.entries) - self._counts[b.number]
@@ -520,6 +570,7 @@ class DiskIndex:
                 prefix_bits=self.prefix_bits,
                 prefix_value=self.prefix_value,
                 seed=self._seed,
+                checksummed=self.checksummed if store is None else None,
             )
             for k in range(self.n_buckets):
                 for fp, cid in self.read_bucket(k).entries:

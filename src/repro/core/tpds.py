@@ -27,6 +27,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 from repro.core.checking import CheckingFile
 from repro.core.disk_index import DiskIndex, IndexFullError
 from repro.core.fingerprint import Fingerprint
+from repro.durability.errors import DiskFullError
 from repro.core.index_cache import PENDING_CONTAINER, IndexCache
 from repro.core.preliminary_filter import FilterDecision, PreliminaryFilter
 from repro.core.sil import SequentialIndexLookup
@@ -142,6 +143,8 @@ class TwoPhaseDeduplicator:
         clock: Optional[SimClock] = None,
         affinity: Optional[int] = None,
         telemetry: Optional[MetricsRegistry] = None,
+        chunk_log: Optional[ChunkLog] = None,
+        checking: Optional[CheckingFile] = None,
     ) -> None:
         if siu_every < 1:
             raise ValueError("siu_every must be >= 1")
@@ -158,10 +161,13 @@ class TwoPhaseDeduplicator:
         self.telemetry = telemetry if telemetry is not None else get_registry()
         self.meter = Meter(self.clock, registry=self.telemetry)
         self.container_manager = ContainerManager(repository, registry=self.telemetry)
-        self.chunk_log = ChunkLog(registry=self.telemetry)
-        self.checking = CheckingFile()
+        # Injectable persistence: the vault passes a PersistentChunkLog and a
+        # file-backed CheckingFile so dedup-2 state survives crashes.
+        self.chunk_log = chunk_log if chunk_log is not None else ChunkLog(registry=self.telemetry)
+        self.checking = checking if checking is not None else CheckingFile()
         self._bind_instruments(self.telemetry)
         self._undetermined: List[Fingerprint] = []
+        self._inflight: List[Fingerprint] = []
         self._unregistered: Dict[Fingerprint, int] = {}
         self._dedup2_since_siu = 0
         self.capacity_scalings = 0
@@ -288,8 +294,14 @@ class TwoPhaseDeduplicator:
             new_cache = self._run_sil_rounds(stats)
             self._checkpoint("post_sil")
             self._screen_against_checking(new_cache, stats)
-            stored = self._chunk_storing(new_cache, stats)
-            self.checking.append(stored)
+            try:
+                stored = self._chunk_storing(new_cache, stats)
+            except DiskFullError as exc:
+                self._abort_on_full(exc)
+                raise
+            self._inflight = []
+            # The checking file already saw each container's batch at seal
+            # time; here the stored set only joins the SIU backlog.
             self._unregistered.update(stored)
             self._checkpoint("pre_siu")
 
@@ -320,11 +332,28 @@ class TwoPhaseDeduplicator:
         return stats
 
     # -- dedup-2 internals --------------------------------------------------------
+    def _abort_on_full(self, exc: DiskFullError) -> None:
+        """Make an ENOSPC abort clean and resumable (Section 5.4 spirit).
+
+        The chunk log was not cleared, so every record is still replayable.
+        Chunks that *did* land in sealed containers join the checking file
+        (they are stored, just unregistered); the undetermined backlog goes
+        back so the next ``dedup2`` re-runs SIL, screens the partial set as
+        pending duplicates, and stores only what is missing — no chunk is
+        ever stored twice.
+        """
+        if exc.stored:
+            self.checking.append(exc.stored)
+            self._unregistered.update(exc.stored)
+        self._undetermined = self._inflight + self._undetermined
+        self._inflight = []
+
     def _run_sil_rounds(self, stats: Dedup2Stats) -> IndexCache:
         """SIL over the undetermined set, split into cache-sized batches."""
         merged = IndexCache(m_bits=min(20, self.index.n_bits))
         pending = self._undetermined
         self._undetermined = []
+        self._inflight = pending
         sil = SequentialIndexLookup(
             self.index, cache_capacity=self.cache_capacity, registry=self.telemetry
         )
@@ -372,10 +401,22 @@ class TwoPhaseDeduplicator:
             nonlocal writer
             if not len(writer):
                 return
-            container = self.container_manager.store(writer, affinity=self.affinity)
+            try:
+                container = self.container_manager.store(writer, affinity=self.affinity)
+            except DiskFullError as exc:
+                # Report what landed before the disk filled so the abort
+                # handler can mark it stored-but-unregistered.
+                exc.stored = dict(stored)
+                raise
+            sealed = {fp: container.container_id for fp in pending_fps}
             for fp in pending_fps:
                 cache.set_container(fp, container.container_id)
                 stored[fp] = container.container_id
+            # Close the Section 5.4 window at the earliest possible moment:
+            # the checking file learns about these chunks as soon as their
+            # container is durable, so a crash between this seal and SIU
+            # cannot lead the recovery replay to store them a second time.
+            self.checking.append(sealed)
             pending_fps.clear()
             stats.containers_written += 1
             writer = ContainerWriter(self.container_bytes, materialize=self.materialize)

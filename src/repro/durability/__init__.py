@@ -1,0 +1,46 @@
+"""Media-fault durability: checksummed framing, scrub/repair, fault shims.
+
+This package makes every persistent DEBAR artifact self-verifying
+(CRC32C record frames + generation-stamped superblocks), sweeps them for
+rot (:class:`Scrubber`), and lets tests inject the faults real disks
+produce (:class:`FaultyFs`).
+"""
+
+from repro.durability.crc import crc32c
+from repro.durability.errors import (
+    CorruptionError,
+    DiskFullError,
+    MediaError,
+    TornWriteError,
+)
+from repro.durability.fsshim import FaultRule, FaultyFs, LocalFs, flip_byte_on_disk, io_retry
+
+__all__ = [
+    "crc32c",
+    "CorruptionError",
+    "DiskFullError",
+    "MediaError",
+    "TornWriteError",
+    "FaultRule",
+    "FaultyFs",
+    "LocalFs",
+    "flip_byte_on_disk",
+    "io_retry",
+    "Scrubber",
+    "ScrubFinding",
+    "ScrubReport",
+    "RecoveryManager",
+    "RecoveryReport",
+]
+
+
+def __getattr__(name):  # lazy: scrubber/recovery pull in storage + net layers
+    if name in ("Scrubber", "ScrubFinding", "ScrubReport"):
+        from repro.durability import scrubber
+
+        return getattr(scrubber, name)
+    if name in ("RecoveryManager", "RecoveryReport"):
+        from repro.durability import recovery
+
+        return getattr(recovery, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,57 @@
+"""Typed media-fault errors shared across the storage stack.
+
+These deliberately do **not** subclass :class:`~repro.system.vault.VaultError`
+(an operational/layout problem): corruption and disk-full are distinct
+conditions with their own CLI exit semantics, and keeping the hierarchy
+separate lets ``repro.cli.main`` map each in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class MediaError(Exception):
+    """Base class for faults originating in the storage media."""
+
+
+class CorruptionError(MediaError):
+    """Bytes on disk do not match what was written.
+
+    Carries enough context to pinpoint the damage: which artifact, which
+    container, which fingerprint, and the byte offset of the bad record.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        artifact: Optional[str] = None,
+        container_id: Optional[int] = None,
+        fingerprint: Optional[bytes] = None,
+        offset: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.artifact = artifact
+        self.container_id = container_id
+        self.fingerprint = fingerprint
+        self.offset = offset
+
+
+class TornWriteError(CorruptionError):
+    """A record was cut short mid-write (crash or short write)."""
+
+
+class DiskFullError(MediaError):
+    """An append hit ENOSPC; the operation aborted cleanly and can resume.
+
+    ``stored`` (when set by dedup-2) maps fingerprints that *did* land in
+    sealed containers before the error to their container IDs, so the
+    caller can record them in the checking file and avoid double-storing
+    on resume.
+    """
+
+    def __init__(self, message: str, *, artifact: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.artifact = artifact
+        self.stored: dict = {}

@@ -1,0 +1,110 @@
+"""Startup recovery for a vault: torn tails and interrupted dedup-2.
+
+Opening a :class:`~repro.system.vault.DebarVault` runs a
+:class:`RecoveryManager` pass before the vault accepts work:
+
+1. **Torn-tail recovery** happened already as a side effect of opening the
+   persistent chunk log (incomplete trailing frames truncated, corrupt
+   interior records excluded from replay); the manager collects those
+   numbers into the report.
+2. **Interrupted dedup-2 replay**: a crash or ENOSPC abort between dedup-1
+   and SIU leaves replayable state on disk — chunk-log records not yet
+   consumed, and checking-file fingerprints stored in containers but never
+   registered in the index (the Section 5.4 window).  The manager seeds
+   the TPDS engine with both and runs ``dedup2(force_siu=True)``; the
+   checking-file screen guarantees nothing is stored twice.
+
+If the disk is *still* full, the replay is deferred (``deferred`` in the
+report) rather than failing the open: the vault works read-only-ish until
+space frees and the next open (or backup) completes the replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.durability.errors import DiskFullError
+
+
+@dataclass
+class RecoveryReport:
+    """What a startup recovery pass found and did."""
+
+    torn_bytes_truncated: int = 0
+    corrupt_log_records: int = 0
+    quarantined_bytes: int = 0
+    log_records_replayed: int = 0
+    unregistered_replayed: int = 0
+    containers_written: int = 0
+    replayed: bool = False
+    deferred: Optional[str] = None  #: why a needed replay did not run
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when the vault needed no recovery at all."""
+        return not (
+            self.torn_bytes_truncated
+            or self.corrupt_log_records
+            or self.quarantined_bytes
+            or self.replayed
+            or self.deferred
+        )
+
+
+class RecoveryManager:
+    """Runs the open-time recovery sequence for one vault."""
+
+    def __init__(self, vault) -> None:
+        self.vault = vault
+
+    def run(self) -> RecoveryReport:
+        report = RecoveryReport()
+        tpds = self.vault.tpds
+        log = tpds.chunk_log
+
+        report.torn_bytes_truncated = getattr(log, "recovered_torn_bytes", 0)
+        report.corrupt_log_records = len(getattr(log, "corrupt_records", ()))
+        report.quarantined_bytes = getattr(log, "quarantined_bytes", 0)
+        if report.torn_bytes_truncated:
+            report.notes.append(
+                f"truncated {report.torn_bytes_truncated} torn trailing bytes from the chunk log"
+            )
+        if report.corrupt_log_records:
+            report.notes.append(
+                f"{report.corrupt_log_records} corrupt chunk-log records excluded from replay"
+            )
+        if report.quarantined_bytes:
+            report.notes.append(
+                f"quarantined {report.quarantined_bytes} unscannable chunk-log bytes"
+            )
+
+        pending = tpds.checking.pending()
+        if not log and not pending:
+            return report
+
+        # Interrupted dedup-2: seed the engine with what the crash stranded.
+        seen = set()
+        undetermined = []
+        for record in log._records:  # raw, no replay-telemetry tick
+            if record.fingerprint not in seen:
+                seen.add(record.fingerprint)
+                undetermined.append(record.fingerprint)
+        report.log_records_replayed = len(log)
+        report.unregistered_replayed = len(pending)
+        tpds._undetermined = undetermined + tpds._undetermined
+        tpds._unregistered.update(pending)
+        try:
+            stats = tpds.dedup2(force_siu=True)
+        except DiskFullError as exc:
+            report.deferred = f"disk still full: {exc}"
+            report.notes.append("dedup-2 replay deferred until space frees")
+            return report
+        report.containers_written = stats.containers_written
+        report.replayed = True
+        report.notes.append(
+            f"replayed interrupted dedup-2: {report.log_records_replayed} log records, "
+            f"{report.unregistered_replayed} unregistered fingerprints"
+        )
+        return report

@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.preliminary_filter import FilterDecision, PreliminaryFilter
 from repro.director.metadata import FileMetadata
 from repro.net import messages as m
+from repro.durability.errors import MediaError
 from repro.net.framing import Frame, FrameError, ProtocolError, read_frame
 from repro.system.vault import DebarVault, VaultError
 from repro.telemetry.clock import wall_now
@@ -163,7 +164,7 @@ class VaultProtocolServer(socketserver.ThreadingTCPServer):
         t0 = wall_now()
         try:
             msg_type, payload = handler(self, frame.payload)
-        except (VaultError, KeyError, ValueError, OSError) as exc:
+        except (VaultError, MediaError, KeyError, ValueError, OSError) as exc:
             # Application-level failure: report it, keep the connection.
             return Frame(m.ERROR, frame.request_id, m.encode_json({
                 "error": type(exc).__name__,

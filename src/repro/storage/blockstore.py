@@ -11,7 +11,9 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 from pathlib import Path
-from typing import Union
+from typing import Callable, Optional, Union
+
+from repro.durability.fsshim import LocalFs, io_retry
 
 
 class BlockStore(ABC):
@@ -118,13 +120,25 @@ class FileBlockStore(BlockStore):
 
     Created (and truncated to ``size``) if missing; reopened in place if
     present, so an on-disk index survives process restarts.
+
+    I/O goes through an :class:`~repro.durability.fsshim.LocalFs` shim
+    (injectable for fault testing); writes retry transient errors with
+    backoff, reporting each retry via ``on_retry``.
     """
 
-    def __init__(self, path: Union[str, Path], size: int) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        size: int,
+        fs: Optional[LocalFs] = None,
+        on_retry: Optional[Callable[[], None]] = None,
+    ) -> None:
         if size <= 0:
             raise ValueError("size must be positive")
         self._path = Path(path)
         self._size = size
+        self._fs = fs if fs is not None else LocalFs()
+        self.on_retry = on_retry
         exists = self._path.exists()
         self._fh = open(self._path, "r+b" if exists else "w+b")
         current = os.fstat(self._fh.fileno()).st_size
@@ -145,16 +159,17 @@ class FileBlockStore(BlockStore):
 
     def read(self, offset: int, length: int) -> bytes:
         self._check_range(offset, length)
-        self._fh.seek(offset)
-        data = self._fh.read(length)
+        data = self._fs.pread(self._fh, offset, length)
         if len(data) < length:  # sparse tail reads return short on some OSes
             data += b"\x00" * (length - len(data))
         return data
 
     def write(self, offset: int, data: bytes) -> None:
         self._check_range(offset, len(data))
-        self._fh.seek(offset)
-        self._fh.write(data)
+        io_retry(
+            lambda: self._fs.pwrite(self._fh, offset, data),
+            on_retry=self.on_retry,
+        )
 
     def flush(self) -> None:
         """Flush buffered writes to the OS."""

@@ -12,10 +12,22 @@ regenerable) for fingerprint-stream workloads.
 
 from __future__ import annotations
 
+import errno
+import struct
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.core.fingerprint import FINGERPRINT_SIZE, Fingerprint
+from repro.durability.errors import DiskFullError
+from repro.durability.framing import (
+    KIND_CHUNK_LOG,
+    Superblock,
+    frame_record,
+    scan_frames,
+    unpack_superblock,
+)
+from repro.durability.fsshim import LocalFs, io_retry
 from repro.telemetry.registry import MetricsRegistry, get_registry
 
 
@@ -84,3 +96,150 @@ class ChunkLog:
 
     def __bool__(self) -> bool:
         return bool(self._records)
+
+
+#: Framed log-record payload header: fingerprint, size, flags.
+_LOG_RECORD = struct.Struct(f"<{FINGERPRINT_SIZE}sIB")
+_FLAG_HAS_DATA = 0x01
+
+
+class PersistentChunkLog(ChunkLog):
+    """A :class:`ChunkLog` persisted to a framed, checksummed file.
+
+    The file opens with a ``CLOG`` superblock whose generation bumps on
+    every :meth:`clear`, followed by one CRC frame per ``<F, D(F)>``
+    group.  Opening an existing log recovers it:
+
+    * a torn tail (crash mid-append) is truncated back to the last intact
+      frame (``recovered_torn_bytes``);
+    * interior frames with CRC damage stay on disk for the scrubber but
+      are excluded from replay (``corrupt_records``);
+    * an unscannable region (frame boundaries lost) or a damaged
+      superblock is moved aside to ``<path>.quarantine`` so nothing is
+      silently destroyed (``quarantined_bytes``).
+
+    Appends hit the file *before* memory, so an acknowledged group always
+    survives a crash; ENOSPC surfaces as :class:`DiskFullError`.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        registry: Optional[MetricsRegistry] = None,
+        fs: Optional[LocalFs] = None,
+    ) -> None:
+        super().__init__(registry)
+        self.path = Path(path)
+        self.fs = fs if fs is not None else LocalFs()
+        self.generation = 1
+        self.recovered_torn_bytes = 0
+        self.corrupt_records: List[Tuple[int, bytes]] = []  # (offset, raw payload)
+        self.quarantined_bytes = 0
+        reg = registry if registry is not None else get_registry()
+        self._t_retries = reg.counter(
+            "io.retries", "transient I/O errors retried by the storage layer"
+        ).labels()
+        self._open()
+
+    # -- recovery-aware open --------------------------------------------------
+    def _superblock(self) -> bytes:
+        return Superblock(KIND_CHUNK_LOG, self.generation).pack()
+
+    def _quarantine(self, blob: bytes) -> None:
+        qpath = self.path.with_suffix(self.path.suffix + ".quarantine")
+        self.fs.append_file(qpath, blob)
+        self.quarantined_bytes += len(blob)
+
+    def _open(self) -> None:
+        if not self.fs.exists(self.path):
+            self.fs.write_file(self.path, self._superblock())
+            return
+        blob = self.fs.read_file(self.path)
+        try:
+            sb, off = unpack_superblock(blob, artifact=f"chunk log {self.path.name}")
+            if sb.kind != KIND_CHUNK_LOG:
+                raise ValueError(f"superblock kind {sb.kind!r} is not a chunk log")
+        except Exception:
+            # The whole file is unreadable without its superblock: move it
+            # aside for forensics and start a fresh generation.
+            self._quarantine(blob)
+            self.fs.write_file(self.path, self._superblock())
+            return
+        self.generation = sb.generation
+        scan = scan_frames(blob, off, artifact=f"chunk log {self.path.name}")
+        for rec in scan.records:
+            if rec.ok:
+                self._load_payload(rec.payload)
+            else:
+                self.corrupt_records.append((rec.offset, rec.payload))
+        if scan.stopped_reason is not None:
+            # Frame boundaries are lost from here on; save the tail, then cut.
+            self._quarantine(blob[scan.valid_end :])
+            self.fs.truncate(self.path, scan.valid_end)
+        elif scan.torn_bytes:
+            self.recovered_torn_bytes = scan.torn_bytes
+            self.fs.truncate(self.path, scan.valid_end)
+
+    def _load_payload(self, payload: bytes) -> None:
+        fp, size, flags = _LOG_RECORD.unpack_from(payload, 0)
+        data = payload[_LOG_RECORD.size :] if flags & _FLAG_HAS_DATA else None
+        # Reload bypasses the telemetry counters: these are not new appends.
+        record = LogRecord(fp, size, data)
+        self._records.append(record)
+        self._bytes += record.log_bytes
+
+    # -- the ChunkLog interface, file-first -----------------------------------
+    def append(self, fp: Fingerprint, data: Optional[bytes] = None, size: Optional[int] = None) -> None:
+        if data is not None:
+            size = len(data)
+        elif size is None:
+            raise ValueError("either data or size is required")
+        flags = _FLAG_HAS_DATA if data is not None else 0
+        payload = _LOG_RECORD.pack(fp, size, flags) + (data or b"")
+        frame = frame_record(payload)
+        try:
+            io_retry(
+                lambda: self.fs.append_file(self.path, frame),
+                on_retry=self._t_retries.inc,
+            )
+        except OSError as exc:
+            if exc.errno == errno.ENOSPC:
+                raise DiskFullError(
+                    f"chunk log {self.path.name}: {exc}", artifact="chunk log"
+                ) from exc
+            raise
+        super().append(fp, data=data, size=None if data is not None else size)
+
+    def clear(self) -> None:
+        # Rewriting the file would silently destroy any corrupt frames
+        # still awaiting inspection; quarantine them first.
+        for _offset, payload in self.corrupt_records:
+            self._quarantine(payload)
+        self.corrupt_records = []
+        self.recovered_torn_bytes = 0
+        self.generation += 1
+        self.fs.write_file(self.path, self._superblock())
+        super().clear()
+
+    def rewrite_intact(self) -> int:
+        """Rewrite the file from the intact in-memory records only.
+
+        The scrubber's chunk-log repair: corrupt frames found at open are
+        quarantined (their raw payloads appended to ``<path>.quarantine``)
+        and dropped from the file, which is rebuilt as superblock + one
+        fresh frame per surviving group.  Returns the number of frames
+        dropped.  The generation is kept — the log's content (the groups
+        awaiting dedup-2) is unchanged.
+        """
+        dropped = len(self.corrupt_records)
+        for _offset, payload in self.corrupt_records:
+            self._quarantine(payload)
+        parts = [self._superblock()]
+        for record in self._records:
+            flags = _FLAG_HAS_DATA if record.data is not None else 0
+            payload = _LOG_RECORD.pack(record.fingerprint, record.size, flags)
+            parts.append(frame_record(payload + (record.data or b"")))
+        self.fs.write_file(self.path, b"".join(parts))
+        self.corrupt_records = []
+        self.recovered_torn_bytes = 0
+        return dropped

@@ -19,6 +19,7 @@ bytes deterministically from the fingerprint on read.  All bookkeeping
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
@@ -27,16 +28,34 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.storage.repository import ChunkRepository
 
 from repro.core.fingerprint import FINGERPRINT_SIZE, Fingerprint
+from repro.durability.crc import crc32c
+from repro.durability.errors import CorruptionError, TornWriteError
+from repro.durability.framing import (
+    KIND_CONTAINER,
+    Superblock,
+    has_superblock,
+    superblock_size,
+    unpack_superblock,
+)
 from repro.telemetry.registry import MetricsRegistry, get_registry
 
 #: Default container size (the paper's 8 MB).
 CONTAINER_SIZE = 8 * 1024 * 1024
 
-#: Per-chunk metadata record: fingerprint, size, offset (Section 3.4).
+#: Legacy (pre-durability) per-chunk record: fingerprint, size, offset.
 _META_RECORD = struct.Struct(f"<{FINGERPRINT_SIZE}sII")
 
-#: Metadata section header: chunk count.
+#: Legacy metadata section header: chunk count.
 _META_HEADER = struct.Struct("<I")
+
+#: Framed per-chunk record: fingerprint, size, offset, payload CRC32C.
+_FRAMED_RECORD = struct.Struct(f"<{FINGERPRINT_SIZE}sIII")
+
+#: Framed superblock payload: container ID, record count, metadata-section CRC.
+_SB_PAYLOAD = struct.Struct("<QII")
+
+#: Fixed on-disk bytes before the record array in a framed image.
+FRAMED_META_FIXED = superblock_size(_SB_PAYLOAD.size)
 
 
 def default_payload(fp: Fingerprint, size: int) -> bytes:
@@ -52,11 +71,27 @@ def default_payload(fp: Fingerprint, size: int) -> bytes:
 
 @dataclass(frozen=True)
 class ChunkRecord:
-    """One chunk's metadata inside a container."""
+    """One chunk's metadata inside a container.
+
+    ``crc`` is the CRC32C of the chunk payload, present once the container
+    has been through the framed on-disk format (``None`` for records that
+    were never serialized or came from a legacy image); it never takes
+    part in equality so sealed and reloaded containers still compare.
+    """
 
     fingerprint: Fingerprint
     size: int
     offset: int
+    crc: Optional[int] = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class PayloadFault:
+    """One damaged chunk payload found by :meth:`Container.verify_payloads`."""
+
+    fingerprint: Fingerprint
+    file_offset: int  #: byte offset of the payload inside the container image
+    reason: str
 
 
 @dataclass
@@ -70,6 +105,7 @@ class Container:
     records: List[ChunkRecord]
     data: Optional[bytes] = None
     capacity: int = CONTAINER_SIZE
+    legacy: bool = field(default=False, compare=False)
     _by_fp: Dict[Fingerprint, ChunkRecord] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -88,8 +124,15 @@ class Container:
 
     @property
     def metadata_bytes(self) -> int:
-        """On-disk size of the metadata section."""
-        return _META_HEADER.size + len(self.records) * _META_RECORD.size
+        """On-disk size of the metadata section (superblock + record array)."""
+        if self.legacy:
+            return _META_HEADER.size + len(self.records) * _META_RECORD.size
+        return FRAMED_META_FIXED + len(self.records) * _FRAMED_RECORD.size
+
+    @property
+    def data_start(self) -> int:
+        """Byte offset of the data section inside the on-disk image."""
+        return self.metadata_bytes
 
     def __contains__(self, fp: Fingerprint) -> bool:
         return fp in self._by_fp
@@ -113,32 +156,108 @@ class Container:
 
     # -- serialisation -------------------------------------------------------
     def serialize(self) -> bytes:
-        """Full self-described on-disk image: metadata section then data."""
+        """Full self-described on-disk image in the framed format.
+
+        Layout: superblock (kind ``CTR``, generation = container ID,
+        payload = ID + record count + metadata CRC), then one framed
+        record per chunk carrying its payload CRC32C, then the data
+        section, zero-padded to the fixed capacity.
+        """
         if self.data is None:
             raise ValueError("cannot serialise a metadata-only container")
-        parts = [_META_HEADER.pack(len(self.records))]
+        recs = []
         for r in self.records:
-            parts.append(_META_RECORD.pack(r.fingerprint, r.size, r.offset))
-        parts.append(self.data)
-        blob = b"".join(parts)
+            crc = r.crc
+            if crc is None:
+                crc = crc32c(self.data[r.offset : r.offset + r.size])
+            recs.append(_FRAMED_RECORD.pack(r.fingerprint, r.size, r.offset, crc))
+        meta = b"".join(recs)
+        sb = Superblock(
+            KIND_CONTAINER,
+            self.container_id,
+            _SB_PAYLOAD.pack(self.container_id, len(recs), crc32c(meta)),
+        )
+        blob = sb.pack() + meta + self.data
         if len(blob) > self.capacity:
             raise ValueError("container image exceeds its fixed size")
         return blob + b"\x00" * (self.capacity - len(blob))
 
     @classmethod
     def deserialize(cls, container_id: int, blob: bytes, capacity: int = CONTAINER_SIZE) -> "Container":
-        """Parse a serialized container image."""
-        (count,) = _META_HEADER.unpack_from(blob, 0)
-        records = []
-        off = _META_HEADER.size
-        for _ in range(count):
-            fp, size, offset = _META_RECORD.unpack_from(blob, off)
-            records.append(ChunkRecord(fp, size, offset))
-            off += _META_RECORD.size
-        data_start = off
+        """Parse a serialized container image (framed or legacy).
+
+        Framed images get their superblock and metadata section verified
+        here (cheap — a few bytes per record); payload CRCs are checked
+        lazily by scrub/audit via :meth:`verify_payloads`.
+        """
+        artifact = f"container {container_id}"
+        if has_superblock(blob):
+            sb, off = unpack_superblock(blob, artifact=artifact)
+            if sb.kind != KIND_CONTAINER:
+                raise CorruptionError(
+                    f"{artifact}: superblock kind {sb.kind!r} is not a container",
+                    artifact=artifact, container_id=container_id,
+                )
+            stored_id, count, meta_crc = _SB_PAYLOAD.unpack(sb.payload)
+            if stored_id != container_id:
+                raise CorruptionError(
+                    f"{artifact}: image claims to be container {stored_id}",
+                    artifact=artifact, container_id=container_id,
+                )
+            meta = blob[off : off + count * _FRAMED_RECORD.size]
+            if len(meta) < count * _FRAMED_RECORD.size:
+                raise TornWriteError(
+                    f"{artifact}: metadata section cut short",
+                    artifact=artifact, container_id=container_id, offset=off,
+                )
+            if crc32c(meta) != meta_crc:
+                raise CorruptionError(
+                    f"{artifact}: metadata section CRC mismatch",
+                    artifact=artifact, container_id=container_id, offset=off,
+                )
+            records = [
+                ChunkRecord(*_FRAMED_RECORD.unpack_from(meta, i * _FRAMED_RECORD.size))
+                for i in range(count)
+            ]
+            data_start = off + len(meta)
+            legacy = False
+        else:
+            (count,) = _META_HEADER.unpack_from(blob, 0)
+            records = []
+            data_start = _META_HEADER.size
+            for _ in range(count):
+                fp, size, offset = _META_RECORD.unpack_from(blob, data_start)
+                records.append(ChunkRecord(fp, size, offset))
+                data_start += _META_RECORD.size
+            legacy = True
         data_len = max((r.offset + r.size for r in records), default=0)
         data = blob[data_start : data_start + data_len]
-        return cls(container_id, records, data, capacity)
+        return cls(container_id, records, data, capacity, legacy=legacy)
+
+    def verify_payloads(self) -> List[PayloadFault]:
+        """Check every chunk payload against its stored checksum.
+
+        Framed records verify via their CRC32C; legacy records (no CRC)
+        fall back to re-hashing the payload against its fingerprint.
+        Virtual (metadata-only) containers have nothing to verify.
+        """
+        faults: List[PayloadFault] = []
+        if self.data is None:
+            return faults
+        base = self.data_start
+        for rec in self.records:
+            chunk = self.data[rec.offset : rec.offset + rec.size]
+            where = base + rec.offset
+            if len(chunk) < rec.size:
+                faults.append(PayloadFault(rec.fingerprint, where, "payload cut short"))
+            elif rec.crc is not None:
+                if crc32c(chunk) != rec.crc:
+                    faults.append(PayloadFault(rec.fingerprint, where, "payload CRC mismatch"))
+            elif hashlib.sha1(chunk).digest() != rec.fingerprint:
+                faults.append(
+                    PayloadFault(rec.fingerprint, where, "payload digest mismatch (legacy)")
+                )
+        return faults
 
 
 class ContainerWriter:
@@ -150,7 +269,7 @@ class ContainerWriter:
     """
 
     def __init__(self, capacity: int = CONTAINER_SIZE, materialize: bool = True) -> None:
-        if capacity <= _META_HEADER.size + _META_RECORD.size:
+        if capacity <= FRAMED_META_FIXED + _FRAMED_RECORD.size:
             raise ValueError("container capacity too small for a single chunk record")
         self.capacity = capacity
         self.materialize = materialize
@@ -163,13 +282,13 @@ class ContainerWriter:
 
     @property
     def used_bytes(self) -> int:
-        """Bytes of the fixed container already committed."""
-        meta = _META_HEADER.size + len(self._records) * _META_RECORD.size
+        """Bytes of the fixed container already committed (framed format)."""
+        meta = FRAMED_META_FIXED + len(self._records) * _FRAMED_RECORD.size
         return meta + self._data_size
 
     def fits(self, chunk_size: int) -> bool:
         """Would a chunk of ``chunk_size`` bytes fit?"""
-        return self.used_bytes + _META_RECORD.size + chunk_size <= self.capacity
+        return self.used_bytes + _FRAMED_RECORD.size + chunk_size <= self.capacity
 
     def add(self, fp: Fingerprint, data: Optional[bytes] = None, size: Optional[int] = None) -> bool:
         """Append one chunk; return False (and change nothing) if it won't fit.

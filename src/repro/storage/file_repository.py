@@ -13,10 +13,13 @@ read, so repeated restore fetches do not re-hit the filesystem.
 
 from __future__ import annotations
 
+import errno
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Tuple, Union
+from typing import Callable, Dict, Iterator, Optional, Tuple, Union
 
 from repro.core.fingerprint import MAX_CONTAINER_ID
+from repro.durability.errors import DiskFullError
+from repro.durability.fsshim import LocalFs, io_retry
 from repro.storage.container import CONTAINER_SIZE, Container
 
 _SUFFIX = ".ctr"
@@ -30,9 +33,13 @@ class FileChunkRepository:
         root: Union[str, Path],
         container_bytes: int = CONTAINER_SIZE,
         create: bool = True,
+        fs: Optional[LocalFs] = None,
+        on_retry: Optional[Callable[[], None]] = None,
     ) -> None:
         self.root = Path(root)
         self.container_bytes = container_bytes
+        self.fs = fs if fs is not None else LocalFs()
+        self.on_retry = on_retry
         if create:
             self.root.mkdir(parents=True, exist_ok=True)
         elif not self.root.is_dir():
@@ -46,6 +53,14 @@ class FileChunkRepository:
     def _path(self, container_id: int) -> Path:
         return self.root / f"{container_id:012x}{_SUFFIX}"
 
+    def path_for(self, container_id: int) -> Path:
+        """On-disk path of a container image (scrub reads these raw)."""
+        return self._path(container_id)
+
+    def invalidate(self, container_id: int) -> None:
+        """Drop a container from the read cache (after an on-disk repair)."""
+        self._cache.pop(container_id, None)
+
     # -- the ChunkRepository interface ----------------------------------------
     def allocate_id(self) -> int:
         cid = self._next_id
@@ -57,7 +72,23 @@ class FileChunkRepository:
     def store(self, container: Container, affinity: Optional[int] = None) -> int:
         if container.container_id in self:
             raise ValueError(f"container {container.container_id} already stored")
-        self._path(container.container_id).write_bytes(container.serialize())
+        path = self._path(container.container_id)
+        blob = container.serialize()
+        try:
+            io_retry(lambda: self.fs.write_file(path, blob), on_retry=self.on_retry)
+        except OSError as exc:
+            if exc.errno == errno.ENOSPC:
+                # Leave no torn container behind; the ID was consumed but the
+                # file never landed, so callers can abort cleanly and resume.
+                try:
+                    if self.fs.exists(path):
+                        self.fs.unlink(path)
+                except OSError:
+                    pass
+                raise DiskFullError(
+                    f"container {container.container_id}: {exc}", artifact="container"
+                ) from exc
+            raise
         self._ids.append(container.container_id)
         self._cache[container.container_id] = container
         return 0  # single node
@@ -67,10 +98,10 @@ class FileChunkRepository:
         if cached is not None:
             return cached
         path = self._path(container_id)
-        if not path.exists():
+        if not self.fs.exists(path):
             raise KeyError(f"container {container_id} not in repository")
         container = Container.deserialize(
-            container_id, path.read_bytes(), capacity=self.container_bytes
+            container_id, self.fs.read_file(path), capacity=self.container_bytes
         )
         self._cache[container_id] = container
         return container
@@ -78,9 +109,9 @@ class FileChunkRepository:
     def remove(self, container_id: int) -> None:
         """Delete a container (garbage collection of dead containers)."""
         path = self._path(container_id)
-        if not path.exists():
+        if not self.fs.exists(path):
             raise KeyError(f"container {container_id} not in repository")
-        path.unlink()
+        self.fs.unlink(path)
         self._cache.pop(container_id, None)
         self._ids.remove(container_id)
 

@@ -146,21 +146,33 @@ class DebarSystem:
         Confirms every chunk a run references is resolvable; with ``deep``
         (and materialized payloads) each chunk is re-read and its SHA-1
         recomputed against the file index's fingerprint, so any container
-        corruption surfaces.  Raises ``KeyError``/``ValueError`` on the
-        first inconsistency; returns counters otherwise.
+        corruption surfaces.  Raises
+        :class:`~repro.durability.errors.CorruptionError` on the first
+        inconsistency; returns counters otherwise.
         """
         from repro.core.fingerprint import fingerprint as sha1
+        from repro.durability.errors import CorruptionError
 
         checked = deep_checked = 0
         for entry in self.director.metadata.files_for_run(run.run_id):
             for fp in entry.fingerprints:
-                payload = self.server.chunk_store.read_chunk(fp)
+                try:
+                    payload = self.server.chunk_store.read_chunk(fp)
+                except KeyError as exc:
+                    # A recorded run referencing an unresolvable chunk is
+                    # corruption, not a mere lookup miss.
+                    raise CorruptionError(
+                        f"chunk {fp.hex()[:12]} of {entry.metadata.path} "
+                        "is unresolvable",
+                        fingerprint=fp,
+                    ) from exc
                 checked += 1
                 if deep and self.config.materialize:
                     if sha1(payload) != fp:
-                        raise ValueError(
+                        raise CorruptionError(
                             f"chunk {fp.hex()[:12]} of {entry.metadata.path} "
-                            "does not match its fingerprint"
+                            "does not match its fingerprint",
+                            fingerprint=fp,
                         )
                     deep_checked += 1
         return {"chunks": checked, "payloads_verified": deep_checked}

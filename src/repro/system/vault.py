@@ -27,22 +27,36 @@ from typing import Dict, List, Optional, Union
 
 from repro.chunking.cdc import ContentDefinedChunker
 from repro.client.backup_client import BackupEngine
+from repro.core.checking import CheckingFile
 from repro.core.disk_index import DiskIndex
 from repro.core.tpds import TwoPhaseDeduplicator
 from repro.director.metadata import FileIndexEntry, FileMetadata
+from repro.durability.errors import CorruptionError
+from repro.durability.framing import KIND_INDEX, Superblock, unpack_superblock
+from repro.durability.fsshim import LocalFs
+from repro.durability.recovery import RecoveryManager, RecoveryReport
 from repro.server.chunk_store import ChunkStore
 from repro.server.file_store import FileStore
 from repro.storage.blockstore import FileBlockStore
+from repro.storage.chunk_log import PersistentChunkLog
 from repro.storage.file_repository import FileChunkRepository
 from repro.telemetry.clock import wall_now
 from repro.telemetry.registry import MetricsRegistry, get_registry
 from repro.telemetry.tracing import trace_span
 
+import struct
+
 PathLike = Union[str, Path]
 
 _CATALOG = "catalog.json"
 _INDEX = "index.bin"
+_INDEX_SB = "index.sb"
+_CHUNK_LOG = "chunk.log"
+_CHECKING = "checking.json"
 _CONTAINERS = "containers"
+
+#: Index-superblock payload: n_bits, bucket_bytes, entry count.
+_INDEX_SB_PAYLOAD = struct.Struct("<III")
 
 #: Catalog schema version (bumped on incompatible layout changes).
 CATALOG_VERSION = 1
@@ -90,8 +104,11 @@ class DebarVault:
         filter_capacity: int = 1 << 16,
         cache_capacity: int = 1 << 20,
         telemetry: Optional[MetricsRegistry] = None,
+        fs: Optional[LocalFs] = None,
+        auto_recover: bool = True,
     ) -> None:
         self.telemetry = telemetry if telemetry is not None else get_registry()
+        self.fs = fs if fs is not None else LocalFs()
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         catalog_path = self.root / _CATALOG
@@ -113,14 +130,23 @@ class DebarVault:
                 "runs": [],
             }
         self.container_bytes = container_bytes
+        self._t_retries = self.telemetry.counter(
+            "io.retries", "transient I/O errors retried by the storage layer"
+        ).labels()
         self.repository = FileChunkRepository(
-            self.root / _CONTAINERS, container_bytes=container_bytes
+            self.root / _CONTAINERS,
+            container_bytes=container_bytes,
+            fs=self.fs,
+            on_retry=self._t_retries.inc,
         )
         index_size = (1 << index_n_bits) * index_bucket_bytes
-        self._index_store = FileBlockStore(self.root / _INDEX, index_size)
+        self._index_store = FileBlockStore(
+            self.root / _INDEX, index_size, fs=self.fs, on_retry=self._t_retries.inc
+        )
         index = DiskIndex(
             index_n_bits, bucket_bytes=index_bucket_bytes, store=self._index_store
         )
+        self._index_generation = self._read_index_generation()
         self.tpds = TwoPhaseDeduplicator(
             index,
             self.repository,
@@ -130,6 +156,10 @@ class DebarVault:
             materialize=True,
             siu_every=1,
             telemetry=self.telemetry,
+            chunk_log=PersistentChunkLog(
+                self.root / _CHUNK_LOG, registry=self.telemetry, fs=self.fs
+            ),
+            checking=CheckingFile(self.root / _CHECKING, fs=self.fs),
         )
         self.file_store = FileStore(self.tpds)
         self.chunk_store = ChunkStore(self.tpds)
@@ -143,6 +173,40 @@ class DebarVault:
             "vault.restores", "restore operations completed by this vault"
         ).labels()
         self._save_catalog()
+        #: What the open-time recovery pass found (``None`` when disabled).
+        self.recovery_report: Optional[RecoveryReport] = None
+        if auto_recover:
+            self.recovery_report = RecoveryManager(self).run()
+            if self.recovery_report.replayed:
+                self._sync_index_geometry()
+                self._flush_index()
+
+    # -- index superblock ---------------------------------------------------------
+    def _read_index_generation(self) -> int:
+        sb_path = self.root / _INDEX_SB
+        if not self.fs.exists(sb_path):
+            return 0
+        try:
+            sb, _ = unpack_superblock(self.fs.read_file(sb_path), artifact="index superblock")
+            return sb.generation if sb.kind == KIND_INDEX else 0
+        except CorruptionError:
+            return 0  # rewritten at the next flush; scrub reports the damage
+
+    def _write_index_superblock(self) -> None:
+        """Stamp the index sidecar: geometry + entry count, fresh generation."""
+        index = self.tpds.index
+        self._index_generation += 1
+        payload = _INDEX_SB_PAYLOAD.pack(
+            index.n_bits, index.bucket_bytes, index.entry_count
+        )
+        self.fs.write_file(
+            self.root / _INDEX_SB,
+            Superblock(KIND_INDEX, self._index_generation, payload).pack(),
+        )
+
+    def _flush_index(self) -> None:
+        self._index_store.flush()
+        self._write_index_superblock()
 
     # -- catalog ------------------------------------------------------------------
     def _save_catalog(self) -> None:
@@ -262,7 +326,7 @@ class DebarVault:
             self.tpds.dedup2(force_siu=True)  # child span "dedup2"
             with trace_span("catalog", sim_clock=self.tpds.clock):
                 self._sync_index_geometry()
-                self._index_store.flush()
+                self._flush_index()
                 run = VaultRun(
                     run_id=len(self._catalog["runs"]) + 1,
                     job=job,
@@ -320,7 +384,8 @@ class DebarVault:
         recomputes its SHA-1 — content addressing makes silent corruption
         detectable end to end (a flipped bit in any container payload
         changes the digest).  Returns counters; raises
-        :class:`VaultError` on the first inconsistency.
+        :class:`~repro.durability.errors.CorruptionError` (carrying the
+        container ID and fingerprint) on the first inconsistency.
         """
         from repro.core.fingerprint import fingerprint as sha1
 
@@ -333,20 +398,25 @@ class DebarVault:
                     fp = bytes.fromhex(h)
                     cid = self.tpds.index.lookup(fp)
                     if cid is None:
-                        raise VaultError(f"fingerprint {h[:12]} missing from index")
+                        raise CorruptionError(
+                            f"fingerprint {h[:12]} missing from index",
+                            artifact="index", fingerprint=fp,
+                        )
                     checked += 1
                     if deep and fp not in verified_payload:
                         container = self.repository.fetch(cid)
                         if fp not in container:
-                            raise VaultError(
+                            raise CorruptionError(
                                 f"index points fingerprint {h[:12]} at container "
-                                f"{cid}, which does not hold it"
+                                f"{cid}, which does not hold it",
+                                artifact="index", container_id=cid, fingerprint=fp,
                             )
                         data = container.get(fp)
                         if sha1(data) != fp:
-                            raise VaultError(
+                            raise CorruptionError(
                                 f"payload of {h[:12]} does not match its "
-                                f"fingerprint — container {cid} is corrupt"
+                                f"fingerprint — container {cid} is corrupt",
+                                artifact="container", container_id=cid, fingerprint=fp,
                             )
                         verified_payload.add(fp)
                         deep_checked += 1
@@ -408,7 +478,7 @@ class DebarVault:
         # Persist the rebuilt index over the file store.
         for k in range(fresh.n_buckets):
             index.write_bucket(fresh.read_bucket(k))
-        self._index_store.flush()
+        self._flush_index()
         return len(fresh)
 
     # -- retention and garbage collection ---------------------------------------
@@ -518,7 +588,7 @@ class DebarVault:
             self.repository.remove(cid)
             report.containers_rewritten += 1
         seal_writer()
-        self._index_store.flush()
+        self._flush_index()
         return report
 
     def stats(self) -> Dict[str, float]:
@@ -543,7 +613,7 @@ class DebarVault:
 
     def close(self) -> None:
         """Flush and release the on-disk index."""
-        self._index_store.flush()
+        self._flush_index()
         self._index_store.close()
 
     def __enter__(self) -> "DebarVault":

@@ -13,7 +13,7 @@ class TestParser:
         )
         assert set(sub.choices) == {
             "backup", "list", "restore", "verify", "audit", "stats",
-            "forget", "gc", "recover-index", "serve", "trace",
+            "forget", "gc", "scrub", "recover-index", "serve", "trace",
         }
 
     def test_backup_requires_job_and_paths(self):
@@ -46,7 +46,7 @@ class TestParser:
 
     def test_vault_required_for_local_only_commands(self):
         parser = build_parser()
-        for cmd in ("audit", "recover-index", "serve"):
+        for cmd in ("audit", "scrub", "recover-index", "serve"):
             with pytest.raises(SystemExit):
                 parser.parse_args([cmd])
 
@@ -117,6 +117,25 @@ class TestParser:
         # The trace wrapper requires a sub-command.
         with pytest.raises(SystemExit):
             parser.parse_args(["trace"])
+
+    def test_scrub_flags_default_readonly(self):
+        parser = build_parser()
+        args = parser.parse_args(["scrub", "--vault", "/v"])
+        assert args.repair is False
+        assert args.peer is None
+        assert args.limit is None and args.rate is None
+        assert args.reset_cursor is False
+        args = parser.parse_args([
+            "scrub", "--vault", "/v", "--repair",
+            "--peer", "a:1", "--peer", "b:2",
+            "--limit", "500", "--rate", "8",
+            "--report-json", "/tmp/r.json", "--reset-cursor",
+        ])
+        assert args.repair is True
+        assert args.peer == ["a:1", "b:2"]
+        assert args.limit == 500 and args.rate == 8.0
+        assert args.report_json == "/tmp/r.json"
+        assert args.reset_cursor is True
 
     def test_audit_refuses_missing_vault(self, tmp_path, capsys):
         # Opening a vault creates one; the auditor must not conjure an

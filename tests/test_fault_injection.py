@@ -52,6 +52,20 @@ def rebuild_index(tpds, repo):
     )
 
 
+def replay_from_log(tpds):
+    """Seed the engine from its surviving chunk log, the way the vault's
+    startup RecoveryManager does after a crash."""
+    seen = set()
+    undetermined = []
+    for record in tpds.chunk_log._records:
+        if record.fingerprint not in seen:
+            seen.add(record.fingerprint)
+            undetermined.append(record.fingerprint)
+    tpds._undetermined = undetermined + tpds._undetermined
+    tpds._inflight = []
+    tpds._unregistered.update(tpds.checking.pending())
+
+
 class TestFaultPlan:
     def test_unknown_point_rejected(self):
         with pytest.raises(ValueError):
@@ -104,22 +118,28 @@ class TestCrashPoints:
         assert audit_tpds(tpds).ok
         assert len(tpds.chunk_log) == 50
 
-    def test_crash_mid_chunk_storing_orphans_then_recovers(self):
+    def test_crash_mid_chunk_storing_is_covered_by_checking(self):
         tpds, repo = make_tpds()
         fps = make_fps(50)
         tpds.dedup1_backup(stream(fps))
         with inject(tpds, CONTAINER_SEALED, occurrence=2):
             with pytest.raises(InjectedCrash):
                 tpds.dedup2(force_siu=True)
-        # Sealed containers landed; neither index nor checking knows them.
+        # Sealed containers landed, and the checking file learned their
+        # fingerprints at seal time — no orphan window opens.
         report = audit_tpds(tpds)
-        assert not report.ok
-        assert report.codes() == ["chunk-orphaned"]
-        rebuild_index(tpds, repo)
-        assert audit_tpds(tpds).ok
-        for container in repo.iter_containers():
-            for record in container.records:
-                assert tpds.index.lookup(record.fingerprint) is not None
+        assert report.ok, report.summary()
+        assert not report.has("chunk-orphaned")
+        # Replay the surviving chunk log the way startup recovery does:
+        # the checking screen skips what is already stored, the rest lands,
+        # and SIU registers everything exactly once.
+        replay_from_log(tpds)
+        tpds.dedup2(force_siu=True)
+        report = audit_tpds(tpds)
+        assert report.ok, report.summary()
+        assert not report.has("duplicate-store")
+        for fp in fps:
+            assert tpds.index.lookup(fp) is not None
 
     def test_crash_pre_siu_is_a_legal_window(self):
         tpds, repo = make_tpds()
@@ -242,15 +262,20 @@ class TestSilSiuWindow:
         with inject(tpds, CONTAINER_SEALED):
             with pytest.raises(InjectedCrash):
                 tpds.dedup2()
-        # First round's chunks are covered by the checking file; the
-        # crashed round's sealed container is orphaned — and nothing else.
+        # Both rounds' stored chunks are covered by the checking file —
+        # the crashed round's sealed container included, because each seal
+        # appends its batch to the checking file before moving on.
         report = audit_tpds(tpds)
-        assert not report.ok
-        assert report.codes() == ["chunk-orphaned"]
+        assert report.ok, report.summary()
         assert not report.has("duplicate-store")
-        rebuild_index(tpds, repo)
-        assert audit_tpds(tpds).ok
-        for fp in first:
+        # Restart-style recovery: replay the surviving chunk log and force
+        # SIU; every fingerprint registers exactly once.
+        replay_from_log(tpds)
+        tpds.dedup2(force_siu=True)
+        report = audit_tpds(tpds)
+        assert report.ok, report.summary()
+        assert not report.has("duplicate-store")
+        for fp in first + second:
             assert tpds.index.lookup(fp) is not None
 
 
@@ -276,26 +301,24 @@ class TestVaultCrashRoundTrip:
         assert vault.audit(deep=True).ok
 
         # New generation of data, then a crash mid chunk-storing: sealed
-        # containers are on disk, but the run never made the catalog and
-        # the index/checking state died with the process.
+        # containers are on disk, the chunk log still holds the records,
+        # and the checking file knows which chunks made it into containers.
         self._write_tree(data, "gen2")
         with inject(vault.tpds, CONTAINER_SEALED):
             with pytest.raises(InjectedCrash):
                 vault.backup("job", [data], timestamp=2.0)
         vault.close()
 
-        # "Restart": reopen from disk alone.
+        # "Restart": reopen from disk alone.  Startup recovery replays the
+        # interrupted dedup-2 from the persistent chunk log + checking file
+        # — the checking-file screen guarantees nothing is stored twice.
         vault = DebarVault(tmp_path / "vault")
-        report = vault.audit()
-        assert not report.ok
-        assert report.has("chunk-orphaned")
-        assert not report.has("chunk-unrestorable")  # run 1 is intact
-
-        # Rebuild the index from container metadata; the audit goes clean.
-        recovered = vault.recover_index()
-        assert recovered > 0
+        assert vault.recovery_report is not None
+        assert vault.recovery_report.replayed
+        assert vault.recovery_report.log_records_replayed > 0
         report = vault.audit(deep=True)
         assert report.ok, report.summary()
+        assert not report.has("duplicate-store")
 
         # The recorded run restores byte-identically.
         restored = vault.restore(run1.run_id, tmp_path / "out")
@@ -320,12 +343,15 @@ class TestVaultCrashRoundTrip:
             with pytest.raises(InjectedCrash):
                 vault.backup("job", [data], timestamp=1.0)
         vault.close()
-        # The aborted scaling left no temp file and the original geometry.
+        # The aborted scaling left no temp file behind.
         vault_dir = tmp_path / "vault"
         assert not (vault_dir / "index.bin.scale").exists()
+        # Reopen: startup recovery finds the stored-but-unregistered
+        # fingerprints in the checking file, re-runs SIU (scaling the index
+        # as needed this time) and leaves a consistent vault.
         vault = DebarVault(vault_dir)
-        assert vault.tpds.index.n_bits == 1
+        assert vault.recovery_report is not None
+        assert vault.recovery_report.replayed
         report = vault.audit()
-        # Orphans are expected (the run died before SIU); nothing else is.
-        assert set(report.codes()) <= {"chunk-orphaned"}
+        assert report.ok, report.summary()
         vault.close()

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.durability.errors import CorruptionError
 from repro.system import DebarVault, VaultError
 from repro.workloads import FileTreeGenerator, mutate_tree
 
@@ -34,16 +35,21 @@ class TestDeepVerify:
         victim.write_bytes(bytes(blob))
         with DebarVault(tmp_path / "vault") as reopened:
             reopened.verify(deep=False)  # shallow check cannot see it
-            with pytest.raises(VaultError, match="corrupt|does not hold"):
+            with pytest.raises(CorruptionError, match="corrupt|does not hold") as exc:
                 reopened.verify(deep=True)
+            # The typed error pinpoints the damage for scrub/repair tooling.
+            assert exc.value.container_id is not None
+            assert exc.value.fingerprint is not None
 
     def test_shallow_detects_missing_index_entry(self, tmp_path):
         vault, src = fresh_vault(tmp_path)
         run = vault.backup("docs", [src])
         fp = run.files[0].fingerprints[0]
         vault.tpds.index.delete(fp)
-        with pytest.raises(VaultError, match="missing from index"):
+        with pytest.raises(CorruptionError, match="missing from index") as exc:
             vault.verify()
+        assert exc.value.artifact == "index"
+        assert exc.value.fingerprint == fp
 
 
 class TestDiff:
