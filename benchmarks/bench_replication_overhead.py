@@ -1,0 +1,175 @@
+"""Replication overhead: inline backup cost at RF=1/2/3 (real wall time).
+
+The replication queue ships sealed containers *after* dedup-2 commits, so
+the inline backup path should cost the same whether a run is replicated
+to zero, one or two peers — the shipping happens on worker threads the
+client never waits for.  This bench backs up the same synthetic dataset
+at RF=1 (no replication), RF=2 and RF=3 against live loopback peers and
+reports inline throughput, drain time and bytes on the wire per factor.
+
+The asynchrony claim gets a direct adversarial probe: one more RF=2 run
+with the queue deliberately stalled (``Replicator.pause``).  The backup
+must complete at baseline speed while ``repl.lag`` exposes the growing
+backlog; the stall regression is recorded as ``stall_regression_pct``
+(budget: < 5% — the hard assert is set looser so a noisy CI box cannot
+flake, a synchronous-replication bug shows up as ~2x, not 1.1x).
+
+No paper counterpart; replication is our extension (DESIGN.md §11).
+"""
+
+import random
+import threading
+import time
+from pathlib import Path
+
+from harness import save_result, telemetry_session
+from conftest import print_table, volume_scale
+
+from repro.net.server import serve_vault
+from repro.replication.replicator import Replicator
+from repro.system.vault import DebarVault
+
+#: Dataset volume at scale 1.0 (files x bytes each, ~12 MB).
+N_FILES = 12
+FILE_BYTES = 1 << 20
+REPEATS = 3  # best-of to damp scheduler noise
+
+
+def _write_dataset(root: Path, scale: float) -> Path:
+    rng = random.Random(1511)
+    data = root / "data"
+    data.mkdir()
+    for i in range(max(2, int(N_FILES * scale))):
+        head = rng.randbytes(FILE_BYTES // 2)
+        (data / f"f{i:03d}.bin").write_bytes(head + head[: FILE_BYTES // 2])
+    return data
+
+
+def _start_peer(tmp: Path, name: str):
+    vault = DebarVault(tmp / f"peer-{name}")
+    server = serve_vault(vault, node_name=name)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return vault, server
+
+
+def _stop_peer(vault, server) -> None:
+    server.shutdown()
+    server.server_close()
+    vault.close()
+
+
+def _measure(tmp: Path, tag: str, data: Path, n_peers: int, registry,
+             stalled: bool = False):
+    """One replicated backup; returns (inline_s, drain_s, run, lag_peak)."""
+    peers = {}
+    handles = []
+    for k in range(n_peers):
+        name = f"peer{k}"
+        pv, ps = _start_peer(tmp / tag, name)
+        handles.append((pv, ps))
+        peers[name] = ("127.0.0.1", ps.port)
+    vault = DebarVault(tmp / tag / "vault")
+    replicator = None
+    lag_peak = 0
+    try:
+        if peers:
+            replicator = Replicator(
+                vault, "origin", peers,
+                replication_factor=n_peers + 1, registry=registry,
+            )
+            vault.replicator = replicator
+            if stalled:
+                replicator.pause()
+        t0 = time.perf_counter()
+        run = vault.backup("bench", [str(data)])
+        inline_s = time.perf_counter() - t0
+        drain_s = 0.0
+        if replicator is not None:
+            lag_peak = replicator.lag()
+            if stalled:
+                replicator.resume()
+            t0 = time.perf_counter()
+            assert replicator.drain(timeout=120.0), "replication never drained"
+            drain_s = time.perf_counter() - t0
+            for pv, ps in handles:
+                shipped = ps.replica_store.container_ids("origin")
+                assert shipped == vault.repository.container_ids(), (
+                    f"{tag}: peer holds {len(shipped)} containers"
+                )
+        return inline_s, drain_s, run, lag_peak
+    finally:
+        if replicator is not None:
+            vault.replicator = None
+            replicator.close(drain=False)
+        vault.close()
+        for pv, ps in handles:
+            _stop_peer(pv, ps)
+
+
+def bench_replication_overhead(results_dir, tmp_path):
+    scale = volume_scale()
+    data = _write_dataset(tmp_path, scale)
+    logical = sum(p.stat().st_size for p in data.iterdir())
+
+    configs = [("rf1", 0, False), ("rf2", 1, False), ("rf3", 2, False),
+               ("rf2-stalled", 1, True)]
+    best = {}
+    with telemetry_session() as (registry, tracer):
+        for tag, n_peers, stalled in configs:
+            runs = []
+            for rep in range(REPEATS):
+                runs.append(_measure(
+                    tmp_path, f"{tag}-{rep}", data, n_peers, registry,
+                    stalled=stalled,
+                ))
+            inline_s = min(r[0] for r in runs)
+            drain_s = min(r[1] for r in runs)
+            best[tag] = {
+                "inline_seconds": inline_s,
+                "drain_seconds": drain_s,
+                "inline_mb_per_s": logical / inline_s / 1e6,
+                "lag_peak": max(r[3] for r in runs),
+            }
+
+    # The stalled queue really was stalled (lag visible), yet the backup
+    # finished — the inline path never waits on a peer.
+    assert best["rf2-stalled"]["lag_peak"] > 0
+    assert best["rf2"]["drain_seconds"] > 0.0
+    stall_ratio = (best["rf2-stalled"]["inline_seconds"]
+                   / best["rf1"]["inline_seconds"])
+    rf2_ratio = best["rf2"]["inline_seconds"] / best["rf1"]["inline_seconds"]
+    # Sanity floor, not the 5% budget: synchronous shipping would be >2x.
+    assert stall_ratio < 1.5, f"stalled-queue backup regressed {stall_ratio:.2f}x"
+    assert rf2_ratio < 1.5, f"RF=2 inline backup regressed {rf2_ratio:.2f}x"
+
+    metrics = {row["name"]: row for row in registry.snapshot_metrics()}
+    shipped_bytes = sum(
+        s["value"] for s in metrics["repl.bytes_shipped"]["samples"]
+    )
+    assert shipped_bytes > 0
+
+    print_table(
+        "replication overhead (inline backup path)",
+        ["config", "inline MB/s", "inline s", "drain s", "lag peak"],
+        [
+            (tag, f"{best[tag]['inline_mb_per_s']:,.1f}",
+             f"{best[tag]['inline_seconds']:.3f}",
+             f"{best[tag]['drain_seconds']:.3f}",
+             best[tag]["lag_peak"])
+            for tag, _, _ in configs
+        ],
+    )
+    save_result(
+        results_dir,
+        "replication_overhead",
+        params={"scale": scale, "files": len(list(data.iterdir())),
+                "logical_bytes": logical, "repeats": REPEATS},
+        metrics={
+            **{f"{tag}_{k}": v for tag in best for k, v in best[tag].items()},
+            "stall_regression_pct": (stall_ratio - 1.0) * 100.0,
+            "rf2_regression_pct": (rf2_ratio - 1.0) * 100.0,
+            "total_shipped_bytes": shipped_bytes,
+        },
+        registry=registry,
+        tracer=tracer,
+    )

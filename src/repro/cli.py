@@ -12,7 +12,13 @@
     python -m repro trace   backup --vault ~/.debar --job homedirs /data/home
     python -m repro recover-index --vault ~/.debar
     python -m repro serve   --vault ~/.debar --port 7070
+    python -m repro serve   --vault ~/.debar --port 7070 --node-name a \\
+                            --replicate-to b=host:7071
     python -m repro backup  --connect host:7070 --job homedirs /data/home
+    python -m repro restore --connect host:7070 --run 3 --dest /restore \\
+                            --replica b=host:7071
+    python -m repro repl-status --connect host:7070 --json status.json
+    python -m repro rebuild --vault /new/a --node a --peer b=host:7071
 
 ``--telemetry`` (on ``backup``, ``restore``, ``gc`` and ``stats``) turns on
 the metrics registry for the invocation; ``backup``/``restore``/``gc``
@@ -78,8 +84,18 @@ EXIT_SERVE = 4
 def _parse_connect(spec: str):
     host, sep, port = spec.rpartition(":")
     if not sep or not port.isdigit():
-        raise VaultError(f"--connect expects host:port, got {spec!r}")
+        raise VaultError(f"expected host:port, got {spec!r}")
     return host or "127.0.0.1", int(port)
+
+
+def _parse_peer(spec: str):
+    """``[NAME=]HOST:PORT`` -> (name, host, port); name defaults to the
+    address, which keeps reports readable without forcing a cluster map."""
+    name, sep, address = spec.partition("=")
+    if not sep:
+        name, address = spec, spec
+    host, port = _parse_connect(address)
+    return name, host, port
 
 
 @contextmanager
@@ -178,11 +194,48 @@ def cmd_list(args) -> int:
 
 def cmd_restore(args) -> int:
     registry, tracer = _telemetry_begin(args)
+    replicas = getattr(args, "replica", None) or []
     with _open(args) as target:
-        paths = target.restore(args.run, args.dest, strip_prefix=args.strip_prefix)
+        if replicas:
+            paths = _restore_with_failover(args, target, replicas)
+        else:
+            paths = target.restore(args.run, args.dest, strip_prefix=args.strip_prefix)
         print(f"restored {len(paths)} files to {args.dest}")
         _telemetry_finish(args, registry, tracer)
     return EXIT_OK
+
+
+def _restore_with_failover(args, target, replicas: List[str]) -> List[Path]:
+    """Restore through a FailoverChunkReader: the primary source first,
+    each ``--replica`` daemon next, so a chunk lost (or timing out) at the
+    primary is transparently served by a surviving replica."""
+    from repro.net.client import RemoteChunkReader
+    from repro.replication.failover import FailoverChunkReader, ReplicaReader
+
+    if isinstance(target, RemoteBackupClient):
+        entries = target.run_entries(args.run)
+        primary = (args.connect, RemoteChunkReader(target.net))
+        engine = target.engine
+    else:
+        for run in target.runs():
+            if run.run_id == args.run:
+                break
+        else:
+            raise VaultError(f"no run {args.run} in this vault")
+        entries = run.files
+        primary = ("local vault", target.chunk_store)
+        engine = target.engine
+    sources = [primary]
+    for spec in replicas:
+        name, host, port = _parse_peer(spec)
+        sources.append((name, ReplicaReader(host, port, name=name)))
+    reader = FailoverChunkReader(sources)
+    try:
+        reader.plan([fp for e in entries for fp in e.fingerprints])
+        return engine.restore_run(entries, reader, args.dest, args.strip_prefix)
+    finally:
+        for _, source in sources[1:]:
+            source.close()
 
 
 def cmd_verify(args) -> int:
@@ -280,7 +333,20 @@ def cmd_scrub(args) -> int:
             host, port = _parse_connect(spec)
             net = NetClient(host, port, client_name="scrub")
             nets.append(net)
-            peers.append(RemoteChunkReader(net))
+            peers.append(RemoteChunkReader(net, name=spec))
+        if args.repair and not peers:
+            # No peers named: heal from the replicas this vault already
+            # replicates to (replication.json), automatically.
+            from repro.replication.failover import ReplicaReader
+            from repro.replication.replicator import peers_from_state
+
+            for name, (host, port) in sorted(peers_from_state(args.vault).items()):
+                peers.append(ReplicaReader(host, port, name=name))
+            if peers:
+                print(
+                    "repair sources from replication state: "
+                    + ", ".join(p.name for p in peers)
+                )
         with DebarVault(args.vault) as vault:
             scrubber = Scrubber(
                 vault,
@@ -300,6 +366,10 @@ def cmd_scrub(args) -> int:
     finally:
         for net in nets:
             net.close()
+        for peer in peers:
+            close = getattr(peer, "close", None)
+            if close is not None:
+                close()
     return EXIT_CORRUPTION if report.unrepaired else EXIT_OK
 
 
@@ -315,12 +385,41 @@ def cmd_serve(args) -> int:
     with DebarVault(args.vault) as vault:
         try:
             server = serve_vault(
-                vault, host=args.host, port=args.port, registry=registry
+                vault,
+                host=args.host,
+                port=args.port,
+                registry=registry,
+                node_name=args.node_name,
             )
         except OSError as exc:
             print(f"error: cannot bind {args.host}:{args.port}: {exc}",
                   file=sys.stderr)
             return EXIT_SERVE
+        if args.replicate_to:
+            from repro.replication.replicator import Replicator
+
+            peers = {}
+            for spec in args.replicate_to:
+                name, peer_host, peer_port = _parse_peer(spec)
+                peers[name] = (peer_host, peer_port)
+            replicator = Replicator(
+                vault,
+                node_name=args.node_name,
+                peers=peers,
+                replication_factor=args.replication_factor,
+                registry=registry,
+            )
+            vault.replicator = replicator
+            server.replicator = replicator
+            # Containers sealed before these peers were configured (or
+            # while the daemon was down) are owed too.
+            replicator.sync()
+            print(
+                f"replicating as {args.node_name!r} "
+                f"(rf={replicator.ring.replication_factor}) to: "
+                + ", ".join(sorted(peers)),
+                flush=True,
+            )
         host, port = server.server_address
         if args.port_file:
             # Written after bind so a supervisor polling the file never
@@ -347,11 +446,83 @@ def cmd_serve(args) -> int:
         finally:
             for sig, handler in previous.items():
                 signal.signal(sig, handler)
-            server.shutdown()
-            server.server_close()
+            # Graceful drain: stop accepting, finish in-flight requests,
+            # flush the replication queue, then close the sockets.
+            drained = server.shutdown_gracefully(timeout=args.drain_timeout)
+            vault.replicator = None
+            if not drained:
+                print("drain timed out; forced close", flush=True)
             thread.join(timeout=5)
             _telemetry_finish(args, registry, tracer)
     print("shutdown complete", flush=True)
+    return EXIT_OK
+
+
+def cmd_rebuild(args) -> int:
+    """Reconstruct a lost node's vault from its surviving replicas."""
+    from repro.replication.rebuild import RebuildError, rebuild_node
+
+    peers = {}
+    for spec in args.peer:
+        name, host, port = _parse_peer(spec)
+        peers[name] = (host, port)
+    try:
+        report = rebuild_node(args.node, args.vault, peers)
+    except RebuildError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    print(
+        f"rebuilt node {args.node!r} at {args.vault}: "
+        f"{report.containers_recovered} containers "
+        f"({fmt_bytes(report.bytes_recovered)}), "
+        f"{report.chunks_verified} chunks verified, "
+        f"{report.index_entries} index entries, "
+        f"{report.catalog_runs} catalogued runs "
+        f"(catalog from {report.catalog_source})"
+    )
+    for cid, peer in sorted(report.sources.items()):
+        print(f"  container {cid}: pulled from {peer}")
+    for note in report.notes:
+        print(f"  note: {note}")
+    print(f"audit: {'PASS' if report.audit_ok else 'FAIL'}")
+    if args.report_json:
+        Path(args.report_json).write_text(json.dumps(report.to_json(), indent=1))
+        print(f"rebuild report written to {args.report_json}")
+    return EXIT_OK if report.audit_ok else EXIT_CORRUPTION
+
+
+def cmd_repl_status(args) -> int:
+    """Replication state: inbound replica inventory + outbound queue."""
+    if getattr(args, "connect", None):
+        from repro.net import messages as m
+        from repro.net.client import NetClient
+
+        host, port = _parse_connect(args.connect)
+        with NetClient(host, port, client_name="repl-status") as net:
+            status = net.call_json(m.REPL_STATUS, {})
+    else:
+        if not Path(args.vault).is_dir():
+            print(f"error: no vault at {args.vault}", file=sys.stderr)
+            return EXIT_ERROR
+        from repro.replication.replicator import STATE_FILE
+        from repro.replication.store import ReplicaStore
+
+        state_path = Path(args.vault) / STATE_FILE
+        outbound = None
+        if state_path.exists():
+            try:
+                outbound = json.loads(state_path.read_text())
+            except ValueError:
+                outbound = {"error": "replication state unreadable"}
+        status = {
+            "node": (outbound or {}).get("node"),
+            "replicas": ReplicaStore(Path(args.vault) / "replicas").status(),
+            "outbound": outbound,
+        }
+    print(json.dumps(status, indent=1, sort_keys=True))
+    if args.json:
+        Path(args.json).write_text(json.dumps(status, indent=1, sort_keys=True))
+        print(f"replication status written to {args.json}")
     return EXIT_OK
 
 
@@ -409,6 +580,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--run", type=int, required=True)
         p.add_argument("--dest", required=True)
         p.add_argument("--strip-prefix", default="/")
+        p.add_argument(
+            "--replica",
+            action="append",
+            default=None,
+            metavar="[NAME=]HOST:PORT",
+            help="replica daemon to fall through to when the primary "
+            "misses or times out (repeatable; failover restore)",
+        )
         telemetry_opts(p)
         p.set_defaults(func=cmd_restore, trace=trace)
         return p
@@ -514,8 +693,52 @@ def build_parser() -> argparse.ArgumentParser:
                    help="listening port (0 = ephemeral)")
     p.add_argument("--port-file", default=None, metavar="PATH",
                    help="write the bound port here once listening")
+    p.add_argument("--node-name", default="node",
+                   help="this node's name on the placement ring")
+    p.add_argument(
+        "--replicate-to",
+        action="append",
+        default=None,
+        metavar="[NAME=]HOST:PORT",
+        help="peer daemon to replicate sealed containers to (repeatable); "
+        "enables the async replication queue",
+    )
+    p.add_argument("--replication-factor", type=int, default=2,
+                   help="copies per container, this node included")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="graceful-shutdown budget for draining in-flight "
+                   "requests and the replication queue")
     telemetry_opts(p)
     p.set_defaults(func=cmd_serve, trace=False)
+
+    p = sub.add_parser(
+        "rebuild",
+        help="reconstruct a lost node's vault from surviving replicas",
+    )
+    p.add_argument("--vault", required=True,
+                   help="empty directory to rebuild the vault into")
+    p.add_argument("--node", required=True,
+                   help="name of the lost node (as peers knew it)")
+    p.add_argument(
+        "--peer",
+        action="append",
+        required=True,
+        metavar="[NAME=]HOST:PORT",
+        help="surviving peer daemon to pull replicas from (repeatable)",
+    )
+    p.add_argument("--report-json", default=None, metavar="PATH",
+                   help="also write the rebuild report JSON to PATH")
+    p.set_defaults(func=cmd_rebuild)
+
+    p = sub.add_parser(
+        "repl-status",
+        help="replication state: replica inventory + outbound queue",
+    )
+    common(p, remote_ok=True)
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the status JSON to PATH")
+    p.set_defaults(func=cmd_repl_status)
 
     p = sub.add_parser(
         "trace", help="run a backup/restore with tracing and print the span tree"

@@ -338,8 +338,16 @@ class Scrubber:
                     ))
         return None
 
-    def _fetch_good_payload(self, fp: Fingerprint, size: Optional[int]) -> Optional[bytes]:
-        """A fingerprint-verified replacement payload, or ``None``.
+    def _peer_name(self, position: int, peer: object) -> str:
+        name = getattr(peer, "name", None)
+        return str(name) if name else f"peer#{position + 1}"
+
+    def _fetch_good_payload(
+        self, fp: Fingerprint, size: Optional[int]
+    ) -> Optional[tuple]:
+        """A fingerprint-verified replacement as ``(payload, source)``, or
+        ``None``.  ``source`` names who healed the record — the repair
+        report carries it so operators know which copy saved the data.
 
         Sources, in order: the local chunk log (the record may still be
         sitting there from the crashed run that stored it), then each
@@ -348,14 +356,14 @@ class Scrubber:
         for record in self.vault.tpds.chunk_log._records:
             if record.fingerprint == fp and record.data is not None:
                 if _sha1(record.data) == fp:
-                    return record.data
-        for peer in self.peers:
+                    return record.data, "local chunk log"
+        for position, peer in enumerate(self.peers):
             try:
                 data = peer.read_chunk(fp)
             except Exception:
                 continue  # miss, peer down, protocol error: try the next one
             if _sha1(data) == fp and (size is None or len(data) == size):
-                return data
+                return data, self._peer_name(position, peer)
         return None
 
     def _repair_payloads(
@@ -366,8 +374,8 @@ class Scrubber:
         fixed = 0
         for fault in faults:
             rec = container.record_for(fault.fingerprint)
-            replacement = self._fetch_good_payload(rec.fingerprint, rec.size)
-            if replacement is None:
+            found = self._fetch_good_payload(rec.fingerprint, rec.size)
+            if found is None:
                 report.add(ScrubFinding(
                     "container",
                     f"container {cid}: {fault.reason} for "
@@ -377,6 +385,7 @@ class Scrubber:
                 ))
                 self._mark_degraded(report, rec.fingerprint)
                 continue
+            replacement, source = found
             data[rec.offset : rec.offset + rec.size] = replacement
             # Recompute the stored CRC from the verified payload (the rot
             # may have been in the CRC itself); unrepaired records keep
@@ -389,7 +398,7 @@ class Scrubber:
                 f"container {cid}: {fault.reason} for {rec.fingerprint.hex()[:12]}",
                 container_id=cid, fingerprint=rec.fingerprint,
                 offset=fault.file_offset, repaired=True,
-                action="payload rewritten from intact source",
+                action=f"payload rewritten from {source}",
             ))
         if fixed:
             healed = Container(cid, records, bytes(data), container.capacity)
@@ -430,13 +439,16 @@ class Scrubber:
         members += [fp for fp, c in checking.pending().items()
                     if c == cid and fp not in members]
         recovered: Dict[Fingerprint, bytes] = {}
+        sources: List[str] = []
         lost: List[Fingerprint] = []
         for fp in members:
-            replacement = self._fetch_good_payload(fp, None)
-            if replacement is None:
+            found = self._fetch_good_payload(fp, None)
+            if found is None:
                 lost.append(fp)
             else:
-                recovered[fp] = replacement
+                recovered[fp], source = found
+                if source not in sources:
+                    sources.append(source)
         qpath = path.with_suffix(path.suffix + ".quarantine")
         self.fs.replace(path, qpath)
         if recovered:
@@ -456,7 +468,8 @@ class Scrubber:
             report.add(ScrubFinding(
                 "container", f"container {cid}: {exc}", container_id=cid,
                 offset=exc.offset, repaired=True,
-                action=f"rebuilt from {len(recovered)} recovered chunks, "
+                action=f"rebuilt from {len(recovered)} recovered chunks "
+                f"(sources: {', '.join(sources) or 'none'}), "
                 "damaged image quarantined",
             ))
         else:

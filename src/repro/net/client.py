@@ -286,9 +286,14 @@ class RemoteChunkReader:
     (the wire analogue of the LPC's locality argument).
     """
 
-    def __init__(self, net: NetClient, batch: int = READ_BATCH) -> None:
+    def __init__(
+        self, net: NetClient, batch: int = READ_BATCH, name: Optional[str] = None
+    ) -> None:
         self._net = net
         self._batch = batch
+        #: Display name for repair attribution (scrub reports name the
+        #: peer that healed each record).
+        self.name = name if name is not None else f"{net.host}:{net.port}"
         self._plan: List[Fingerprint] = []
         self._plan_pos = 0
         self._cache: Dict[Fingerprint, bytes] = {}

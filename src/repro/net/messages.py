@@ -77,6 +77,19 @@ FORGET_OK = 0x2F
 EXCHANGE = 0x30
 EXCHANGE_OK = 0x31
 
+# Replication (DESIGN.md §11): container shipping, replica inventory,
+# rebuild pulls, and catalog mirroring.
+CONTAINER_PUSH = 0x40
+CONTAINER_PUSH_OK = 0x41
+REPL_STATUS = 0x42
+REPL_STATUS_OK = 0x43
+CONTAINER_FETCH = 0x44
+CONTAINER_IMAGE = 0x45
+CATALOG_PUSH = 0x46
+CATALOG_OK = 0x47
+CATALOG_FETCH = 0x48
+CATALOG_DATA = 0x49
+
 #: Request type -> its success response type (the dispatch contract).
 RESPONSE_OF: Dict[int, int] = {
     HELLO: HELLO_OK,
@@ -95,6 +108,11 @@ RESPONSE_OF: Dict[int, int] = {
     VERIFY: VERIFY_OK,
     FORGET: FORGET_OK,
     EXCHANGE: EXCHANGE_OK,
+    CONTAINER_PUSH: CONTAINER_PUSH_OK,
+    REPL_STATUS: REPL_STATUS_OK,
+    CONTAINER_FETCH: CONTAINER_IMAGE,
+    CATALOG_PUSH: CATALOG_OK,
+    CATALOG_FETCH: CATALOG_DATA,
 }
 
 #: Message code -> stable name (telemetry labels, error text).
@@ -132,6 +150,16 @@ MSG_NAMES: Dict[int, str] = {
     FORGET_OK: "forget_ok",
     EXCHANGE: "exchange",
     EXCHANGE_OK: "exchange_ok",
+    CONTAINER_PUSH: "container_push",
+    CONTAINER_PUSH_OK: "container_push_ok",
+    REPL_STATUS: "repl_status",
+    REPL_STATUS_OK: "repl_status_ok",
+    CONTAINER_FETCH: "container_fetch",
+    CONTAINER_IMAGE: "container_image",
+    CATALOG_PUSH: "catalog_push",
+    CATALOG_OK: "catalog_ok",
+    CATALOG_FETCH: "catalog_fetch",
+    CATALOG_DATA: "catalog_data",
 }
 
 
@@ -336,3 +364,28 @@ def decode_exchange(payload: bytes, offset: int = 0) -> Tuple[int, Dict[int, Lis
         fps, offset = decode_fps(payload, offset)
         parts[owner] = fps
     return sender, parts, offset
+
+
+# -- replication payloads (DESIGN.md §11) ----------------------------------------
+def encode_container_image(doc: dict, image: bytes) -> bytes:
+    """A container image with its JSON envelope (origin, container ID...).
+
+    Used by ``CONTAINER_PUSH`` requests and ``CONTAINER_IMAGE`` responses:
+    ``u32 json_len + envelope JSON + raw container image``.  The envelope
+    stays JSON (small, extensible); the image rides as opaque bytes — it
+    is already framed and checksummed by the durability layer, so the
+    receiver re-verifies it independently of the transport.
+    """
+    doc_blob = encode_json(doc)
+    if _U32.size + len(doc_blob) + len(image) > MAX_PAYLOAD:
+        raise MessageError("container image exceeds MAX_PAYLOAD")
+    return _U32.pack(len(doc_blob)) + doc_blob + image
+
+
+def decode_container_image(payload: bytes, offset: int = 0) -> Tuple[dict, bytes]:
+    doc_len, offset = _take_u32(payload, offset)
+    doc_blob, offset = _take(payload, offset, doc_len)
+    doc = decode_json(doc_blob)
+    if not isinstance(doc, dict):
+        raise MessageError("container envelope must be a JSON object")
+    return doc, payload[offset:]

@@ -28,7 +28,9 @@ from __future__ import annotations
 import socket
 import socketserver
 import threading
+import time
 from collections import OrderedDict
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.preliminary_filter import FilterDecision, PreliminaryFilter
@@ -36,6 +38,7 @@ from repro.director.metadata import FileMetadata
 from repro.net import messages as m
 from repro.durability.errors import MediaError
 from repro.net.framing import Frame, FrameError, ProtocolError, read_frame
+from repro.replication.store import ReplicaStore
 from repro.system.vault import DebarVault, VaultError
 from repro.telemetry.clock import wall_now
 from repro.telemetry.registry import MetricsRegistry, get_registry
@@ -50,6 +53,8 @@ IDEMPOTENT_CACHED = frozenset({
     m.DEDUP2,
     m.GC,
     m.FORGET,
+    m.CONTAINER_PUSH,
+    m.CATALOG_PUSH,
 })
 
 #: Response-cache capacity (entries); old responses fall off the end.
@@ -97,13 +102,28 @@ class VaultProtocolServer(socketserver.ThreadingTCPServer):
         host: str = "127.0.0.1",
         port: int = 0,
         registry: Optional[MetricsRegistry] = None,
+        node_name: str = "node",
     ) -> None:
         self.vault = vault
         self.vault_lock = threading.Lock()
+        self.node_name = node_name
+        #: Containers pushed by peer nodes (vault/replicas/<origin>/...).
+        self.replica_store = ReplicaStore(
+            Path(vault.root) / "replicas",
+            container_bytes=vault.container_bytes,
+            fs=vault.fs,
+        )
+        #: Outbound replicator, attached by the CLI when --replicate-to is
+        #: given; None on a standalone daemon.
+        self.replicator = None
         self._sessions: Dict[int, _RemoteSession] = {}
         self._next_session = 1
         self._response_cache: "OrderedDict[int, Frame]" = OrderedDict()
         self._cache_lock = threading.Lock()
+        # Graceful-drain state: in-flight request count + drain flag.
+        self._active_cond = threading.Condition()
+        self._active_requests = 0
+        self._draining = False
         registry = registry if registry is not None else get_registry()
         self.registry = registry
         self._t_bytes_in = registry.counter(
@@ -124,6 +144,13 @@ class VaultProtocolServer(socketserver.ThreadingTCPServer):
         self._t_connections = registry.counter(
             "net.connections", "connections accepted by the daemon"
         ).labels()
+        self._t_replica_served = registry.counter(
+            "repl.chunks_served_from_replicas",
+            "chunk reads answered from the replica store (failover serving)",
+        ).labels()
+        self._t_pushes = registry.counter(
+            "repl.containers_received", "container images accepted by push"
+        )
         super().__init__((host, port), _ConnectionHandler)
 
     # -- addressing ---------------------------------------------------------------
@@ -138,6 +165,51 @@ class VaultProtocolServer(socketserver.ThreadingTCPServer):
     @property
     def address(self) -> str:
         return f"{self.host}:{self.port}"
+
+    # -- graceful shutdown --------------------------------------------------------
+    def begin_request(self) -> bool:
+        """Register one in-flight request; False once draining started."""
+        with self._active_cond:
+            if self._draining:
+                return False
+            self._active_requests += 1
+            return True
+
+    def end_request(self) -> None:
+        with self._active_cond:
+            self._active_requests -= 1
+            self._active_cond.notify_all()
+
+    def shutdown_gracefully(self, timeout: Optional[float] = 30.0) -> bool:
+        """Stop accepting, drain in-flight requests and the replication
+        queue, then close the listening socket.  Returns True on a clean
+        drain, False when the timeout forced the exit (sockets still close).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        self.shutdown()  # stop the accept loop; live connections continue
+        drained = True
+        if self.replicator is not None:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            drained = self.replicator.close(drain=True, timeout=remaining)
+        with self._active_cond:
+            while self._active_requests > 0:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    drained = False
+                    break
+                self._active_cond.wait(
+                    0.1 if remaining is None else min(0.1, remaining)
+                )
+            # Requests arriving on persistent connections after this point
+            # are refused (their connection closes; a client would retry
+            # against a peer).
+            self._draining = True
+        self.server_close()
+        return drained
 
     # -- idempotency cache --------------------------------------------------------
     def cached_response(self, request_id: int) -> Optional[Frame]:
@@ -290,8 +362,17 @@ class VaultProtocolServer(socketserver.ThreadingTCPServer):
 
     def _on_chunk_read(self, payload: bytes) -> Tuple[int, bytes]:
         fps, _ = m.decode_fps(payload)
+        chunks: List[Tuple[bytes, bytes]] = []
         with self.vault_lock:
-            chunks = [(fp, self.vault.chunk_store.read_chunk(fp)) for fp in fps]
+            for fp in fps:
+                try:
+                    chunks.append((fp, self.vault.chunk_store.read_chunk(fp)))
+                except KeyError:
+                    # Not in the local store: serve it out of the replica
+                    # store if some peer replicated it here (failover reads
+                    # keep working after the chunk's origin node died).
+                    chunks.append((fp, self.replica_store.read_chunk(fp)))
+                    self._t_replica_served.inc()
         return m.CHUNK_DATA, m.encode_chunk_batch(chunks)
 
     def _run_payload(self, run) -> List[Tuple[dict, List[bytes]]]:
@@ -366,6 +447,76 @@ class VaultProtocolServer(socketserver.ThreadingTCPServer):
             self.vault.forget(int(doc["run_id"]))
         return m.FORGET_OK, m.encode_json({"forgotten": int(doc["run_id"])})
 
+    # -- replication (DESIGN.md §11) ----------------------------------------------
+    def _on_container_push(self, payload: bytes) -> Tuple[int, bytes]:
+        envelope, image = m.decode_container_image(payload)
+        origin = str(envelope.get("origin", ""))
+        container_id = int(envelope.get("container_id", -1))
+        if container_id < 0:
+            raise ValueError("container push lacks a container_id")
+        if origin == self.node_name:
+            raise ValueError(
+                f"refusing a replica of this node's own container ({origin!r})"
+            )
+        stored = self.replica_store.put(origin, container_id, image)
+        if stored:
+            self._t_pushes.labels(origin=origin).inc()
+        return m.CONTAINER_PUSH_OK, m.encode_json({
+            "origin": origin,
+            "container_id": container_id,
+            "stored": stored,
+        })
+
+    def _on_catalog_push(self, payload: bytes) -> Tuple[int, bytes]:
+        doc = m.decode_json(payload)
+        origin = str(doc.get("origin", ""))
+        catalog = doc.get("catalog")
+        if not isinstance(catalog, dict):
+            raise ValueError("catalog push lacks a catalog object")
+        self.replica_store.put_catalog(origin, catalog)
+        return m.CATALOG_OK, m.encode_json({
+            "origin": origin,
+            "runs": len(catalog.get("runs", [])),
+        })
+
+    def _on_repl_status(self, payload: bytes) -> Tuple[int, bytes]:
+        status = {
+            "node": self.node_name,
+            "replicas": self.replica_store.status(),
+            "outbound": (
+                self.replicator.status() if self.replicator is not None else None
+            ),
+        }
+        return m.REPL_STATUS_OK, m.encode_json(status)
+
+    def _on_container_fetch(self, payload: bytes) -> Tuple[int, bytes]:
+        doc = m.decode_json(payload)
+        origin = str(doc.get("origin", ""))
+        container_id = int(doc.get("container_id", -1))
+        if origin == self.node_name:
+            # Our own container: serve the primary copy (re-replication and
+            # peer-driven repair pull from the origin like any replica).
+            with self.vault_lock:
+                image = self.vault.fs.read_file(
+                    self.vault.repository.path_for(container_id)
+                )
+        else:
+            image = self.replica_store.fetch_image(origin, container_id)
+        return m.CONTAINER_IMAGE, m.encode_container_image(
+            {"origin": origin, "container_id": container_id, "bytes": len(image)},
+            image,
+        )
+
+    def _on_catalog_fetch(self, payload: bytes) -> Tuple[int, bytes]:
+        doc = m.decode_json(payload)
+        origin = str(doc.get("origin", ""))
+        if origin == self.node_name:
+            with self.vault_lock:
+                catalog = self.vault._catalog
+        else:
+            catalog = self.replica_store.catalog(origin)
+        return m.CATALOG_DATA, m.encode_json({"origin": origin, "catalog": catalog})
+
     def _on_exchange(self, payload: bytes) -> Tuple[int, bytes]:
         # The daemon is single-vault; EXCHANGE belongs to the cluster
         # loopback transport (repro.net.exchange), which runs its own
@@ -391,6 +542,11 @@ _HANDLERS: Dict[int, Callable[[VaultProtocolServer, bytes], Tuple[int, bytes]]] 
     m.VERIFY: VaultProtocolServer._on_verify,
     m.FORGET: VaultProtocolServer._on_forget,
     m.EXCHANGE: VaultProtocolServer._on_exchange,
+    m.CONTAINER_PUSH: VaultProtocolServer._on_container_push,
+    m.CATALOG_PUSH: VaultProtocolServer._on_catalog_push,
+    m.REPL_STATUS: VaultProtocolServer._on_repl_status,
+    m.CONTAINER_FETCH: VaultProtocolServer._on_container_fetch,
+    m.CATALOG_FETCH: VaultProtocolServer._on_catalog_fetch,
 }
 
 
@@ -418,6 +574,8 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
                 return
             except OSError:
                 return
+            if not srv.begin_request():
+                return  # draining: refuse post-drain work, drop the line
             try:
                 response = srv.handle_request_frame(frame)
             except ProtocolError as exc:
@@ -427,6 +585,8 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
                 }))
                 self._send(sock, frame, response)
                 return
+            finally:
+                srv.end_request()
             srv._t_requests.labels(type=m.msg_name(frame.msg_type)).inc()
             if not self._send(sock, frame, response):
                 return
@@ -446,10 +606,14 @@ def serve_vault(
     host: str = "127.0.0.1",
     port: int = 0,
     registry: Optional[MetricsRegistry] = None,
+    node_name: str = "node",
 ) -> VaultProtocolServer:
     """Build a protocol server on ``host:port`` (port 0 = ephemeral).
 
     The caller runs ``serve_forever()`` (or a background thread does, in
-    tests) and ``shutdown()`` + ``server_close()`` when done.
+    tests) and ``shutdown()`` + ``server_close()`` — or
+    ``shutdown_gracefully()`` — when done.
     """
-    return VaultProtocolServer(vault, host=host, port=port, registry=registry)
+    return VaultProtocolServer(
+        vault, host=host, port=port, registry=registry, node_name=node_name
+    )

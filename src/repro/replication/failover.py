@@ -1,0 +1,118 @@
+"""Failover reads: fall through the replica set until a chunk resolves.
+
+:class:`FailoverChunkReader` presents the plain ``read_chunk`` interface
+restore and scrub already speak, backed by an ordered list of *sources* —
+typically the primary (a local :class:`ChunkStore` or a
+:class:`~repro.net.client.RemoteChunkReader`) followed by one
+:class:`ReplicaReader` per surviving peer.  A miss (``KeyError``) or a
+transport failure (timeout, dead peer) on one source falls through to
+the next; only when every source has failed does the read raise, so a
+restore stays byte-identical as long as *any* replica of each chunk
+survives.  Every fall-through increments ``repl.failovers`` labelled
+with the source that failed and the one that answered.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.fingerprint import Fingerprint
+from repro.net.client import NetClient, RemoteChunkReader, RemoteError
+from repro.net.framing import ProtocolError
+from repro.telemetry.registry import MetricsRegistry, get_registry
+
+
+class ReplicaReader:
+    """``read_chunk`` against one peer daemon (its replica store included).
+
+    A thin veneer over :class:`RemoteChunkReader` that owns its client,
+    carries a display name for repair attribution, and narrows transport
+    failures to ``KeyError`` so callers can treat "peer is down" and
+    "peer doesn't have it" uniformly as *this source cannot help*.
+    """
+
+    def __init__(self, host: str, port: int, name: Optional[str] = None) -> None:
+        self.host = host
+        self.port = port
+        self.name = name if name is not None else f"{host}:{port}"
+        self._net: Optional[NetClient] = None
+        self._reader: Optional[RemoteChunkReader] = None
+
+    def _ensure(self) -> RemoteChunkReader:
+        if self._reader is None:
+            self._net = NetClient(
+                self.host, self.port, client_name=f"failover:{self.name}"
+            )
+            self._reader = RemoteChunkReader(self._net)
+        return self._reader
+
+    def read_chunk(self, fp: Fingerprint) -> bytes:
+        try:
+            return self._ensure().read_chunk(fp)
+        except (RemoteError, ProtocolError, OSError) as exc:
+            self.close()
+            raise KeyError(
+                f"replica {self.name} cannot serve {fp.hex()[:12]}: {exc}"
+            ) from exc
+
+    def plan(self, fps: Sequence[Fingerprint]) -> None:
+        try:
+            self._ensure().plan(fps)
+        except (ProtocolError, OSError):
+            self.close()
+
+    def close(self) -> None:
+        if self._net is not None:
+            self._net.close()
+        self._net = None
+        self._reader = None
+
+
+class FailoverChunkReader:
+    """Try each named source in order; first hit wins."""
+
+    def __init__(
+        self,
+        sources: Sequence[Tuple[str, object]],
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if not sources:
+            raise ValueError("failover reader needs at least one source")
+        self.sources: List[Tuple[str, object]] = list(sources)
+        registry = registry if registry is not None else get_registry()
+        self._t_failovers = registry.counter(
+            "repl.failovers", "chunk reads that fell through to a later replica"
+        )
+        #: name of the source that served the most recent read (repair
+        #: attribution: the scrubber names its healer from this).
+        self.last_source: Optional[str] = None
+
+    def plan(self, fps: Sequence[Fingerprint]) -> None:
+        for _, source in self.sources:
+            plan = getattr(source, "plan", None)
+            if plan is not None:
+                plan(fps)
+
+    def read_chunk(self, fp: Fingerprint) -> bytes:
+        last_exc: Optional[Exception] = None
+        for position, (name, source) in enumerate(self.sources):
+            try:
+                data = source.read_chunk(fp)
+            except (KeyError, ProtocolError, OSError) as exc:
+                last_exc = exc
+                continue
+            self.last_source = name
+            if position > 0:
+                primary = self.sources[0][0]
+                self._t_failovers.labels(missed=primary, served=name).inc()
+            return data
+        raise KeyError(
+            f"fingerprint {fp.hex()[:12]} unavailable on all "
+            f"{len(self.sources)} sources: {last_exc}"
+        ) from last_exc
+
+    def close(self) -> None:
+        for _, source in self.sources:
+            close = getattr(source, "close", None)
+            if close is not None:
+                close()

@@ -173,6 +173,11 @@ class DebarVault:
             "vault.restores", "restore operations completed by this vault"
         ).labels()
         self._save_catalog()
+        #: Outbound replicator (repro.replication), attached by the serve
+        #: CLI when --replicate-to is configured; ``None`` standalone.
+        #: When set, every committed run (and gc pass) notifies it so new
+        #: sealed containers are queued for asynchronous shipment.
+        self.replicator: Optional[object] = None
         #: What the open-time recovery pass found (``None`` when disabled).
         self.recovery_report: Optional[RecoveryReport] = None
         if auto_recover:
@@ -339,6 +344,11 @@ class DebarVault:
             span.set_io(bytes_in=stats.logical_bytes, bytes_out=stats.transferred_bytes)
             span.annotate(run_id=run.run_id)
         self._t_backups.inc()
+        if self.replicator is not None:
+            # Strictly after dedup-2 + catalog commit: the inline path is
+            # done; shipment of the newly sealed containers is queued
+            # asynchronously (DESIGN.md §11.2).
+            self.replicator.notify_run(run)
         return run
 
     def _sync_index_geometry(self) -> None:
@@ -525,6 +535,12 @@ class DebarVault:
                 removed=report.containers_removed,
                 rewritten=report.containers_rewritten,
             )
+        if self.replicator is not None and (
+            report.containers_rewritten or report.containers_removed
+        ):
+            # Copy-forward containers are new sealed containers: they need
+            # replicas too (removed originals simply stop being owed).
+            self.replicator.notify_run(None)
         return report
 
     def _gc(self, rewrite_threshold: float) -> GcReport:

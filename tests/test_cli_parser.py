@@ -14,6 +14,7 @@ class TestParser:
         assert set(sub.choices) == {
             "backup", "list", "restore", "verify", "audit", "stats",
             "forget", "gc", "scrub", "recover-index", "serve", "trace",
+            "rebuild", "repl-status",
         }
 
     def test_backup_requires_job_and_paths(self):
@@ -78,6 +79,51 @@ class TestParser:
             ["serve", "--vault", "/v", "--port", "7070", "--port-file", "/tmp/p"]
         )
         assert args.port == 7070 and args.port_file == "/tmp/p"
+
+    def test_serve_replication_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--vault", "/v"])
+        assert args.node_name == "node"
+        assert args.replicate_to is None
+        assert args.replication_factor == 2
+        args = parser.parse_args([
+            "serve", "--vault", "/v", "--node-name", "a",
+            "--replicate-to", "b=h:1", "--replicate-to", "c=h:2",
+            "--replication-factor", "3", "--drain-timeout", "5",
+        ])
+        assert args.node_name == "a"
+        assert args.replicate_to == ["b=h:1", "c=h:2"]
+        assert args.replication_factor == 3
+        assert args.drain_timeout == 5.0
+
+    def test_rebuild_flags(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):  # --peer is required
+            parser.parse_args(["rebuild", "--vault", "/v", "--node", "a"])
+        args = parser.parse_args([
+            "rebuild", "--vault", "/v", "--node", "a",
+            "--peer", "b=h:1", "--peer", "h:2",
+        ])
+        assert args.node == "a"
+        assert args.peer == ["b=h:1", "h:2"]
+
+    def test_repl_status_accepts_vault_or_connect(self):
+        parser = build_parser()
+        args = parser.parse_args(["repl-status", "--connect", "h:1"])
+        assert args.connect == "h:1" and args.vault is None
+        args = parser.parse_args(["repl-status", "--vault", "/v", "--json", "/tmp/s"])
+        assert args.json == "/tmp/s"
+        with pytest.raises(SystemExit) as exc:
+            main(["repl-status"])
+        assert exc.value.code == 2
+
+    def test_restore_replica_flag_repeatable(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["restore", "--vault", "/v", "--run", "1", "--dest", "/d",
+             "--replica", "b=h:1", "--replica", "h:2"]
+        )
+        assert args.replica == ["b=h:1", "h:2"]
 
     def test_command_required(self):
         with pytest.raises(SystemExit):

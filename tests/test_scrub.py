@@ -274,6 +274,60 @@ class TestIncrementalSweep:
         assert sum(naps) == pytest.approx(report.bytes_read / (1024 * 1024), rel=0.2)
 
 
+class TestGcScrubInteraction:
+    """gc interleaved with a budgeted scrub: the resumed pass must neither
+    skip containers gc rewrote nor double-count the prefix already swept."""
+
+    def test_resumed_scrub_covers_gc_rewrites_exactly_once(self, tmp_path):
+        from tests.test_gc import vault_with_two_generations
+
+        vault, src, run1, run2 = vault_with_two_generations(tmp_path)
+        first = Scrubber(vault, max_records=1).run()
+        assert first.partial and first.containers_scanned == 1
+        cursor = json.loads((vault.root / CURSOR_FILE).read_text())
+        assert cursor["phase"] == "containers" and cursor["position"] > 0
+        position = cursor["position"]
+        before = set(vault.repository.container_ids())
+        vault.forget(run1.run_id)
+        gc_report = vault.gc(rewrite_threshold=1.0)
+        assert gc_report.containers_rewritten > 0
+        after = vault.repository.container_ids()
+        # Copy-forward allocates fresh ids, all past the saved cursor, so
+        # the resumed pass picks up every rewrite without rescanning the
+        # already-swept prefix.
+        new_ids = [cid for cid in after if cid not in before]
+        assert new_ids and min(new_ids) >= position
+        resumed = Scrubber(vault).run()
+        assert resumed.resumed and not resumed.partial
+        expected = [cid for cid in after if cid >= position]
+        assert resumed.containers_scanned == len(expected)
+        assert resumed.clean
+        # A fresh full pass over the post-gc vault covers everything.
+        final = Scrubber(vault).run()
+        assert not final.resumed and final.clean
+        assert final.containers_scanned == len(after)
+
+    def test_resumed_scrub_tolerates_container_removed_at_cursor(self, tmp_path):
+        from tests.test_gc import vault_with_two_generations
+
+        vault, src, run1, run2 = vault_with_two_generations(
+            tmp_path, overlap=False
+        )
+        Scrubber(vault, max_records=1).run()
+        cursor = json.loads((vault.root / CURSOR_FILE).read_text())
+        assert cursor["position"] > 0
+        vault.forget(run1.run_id)
+        vault.forget(run2.run_id)
+        vault.gc()
+        assert vault.repository.container_ids() == []
+        # The container the cursor points at no longer exists; the resumed
+        # pass must finish cleanly rather than hunting for it.
+        resumed = Scrubber(vault).run()
+        assert resumed.resumed and not resumed.partial and resumed.clean
+        assert resumed.containers_scanned == 0
+        assert not (vault.root / CURSOR_FILE).exists()
+
+
 class TestScrubCli:
     def test_exit_codes_and_report_json(self, tmp_path, capsys):
         src = make_tree(tmp_path / "src")
