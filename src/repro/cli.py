@@ -108,7 +108,11 @@ def _open(args):
     """
     if getattr(args, "connect", None):
         host, port = _parse_connect(args.connect)
-        client = RemoteBackupClient(host, port)
+        client = RemoteBackupClient(
+            host, port,
+            client_name=getattr(args, "client", None) or "remote",
+            token=getattr(args, "token", None),
+        )
         try:
             yield client
         finally:
@@ -381,7 +385,14 @@ def cmd_recover_index(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    from repro.net.server import TenantConfig
+
     registry, tracer = _telemetry_begin(args)
+    try:
+        tenants = [TenantConfig.parse(spec) for spec in (args.tenant or [])]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     with DebarVault(args.vault) as vault:
         try:
             server = serve_vault(
@@ -390,6 +401,11 @@ def cmd_serve(args) -> int:
                 port=args.port,
                 registry=registry,
                 node_name=args.node_name,
+                threaded=args.threaded,
+                max_inflight=args.max_inflight,
+                max_buffered_bytes=args.max_buffered_bytes,
+                session_ttl=args.session_ttl,
+                tenants=tenants,
             )
         except OSError as exc:
             print(f"error: cannot bind {args.host}:{args.port}: {exc}",
@@ -546,6 +562,18 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="HOST:PORT",
                 help="run against a `repro serve` daemon instead of a "
                 "local vault (exactly one of --vault/--connect)",
+            )
+            p.add_argument(
+                "--client",
+                default=None,
+                metavar="NAME",
+                help="client name presented in the handshake; must match "
+                "the tenant name on a daemon running with --tenant",
+            )
+            p.add_argument(
+                "--token",
+                default=None,
+                help="tenant token for a daemon running with --tenant",
             )
         else:
             p.add_argument("--vault", required=True, help="vault directory")
@@ -709,6 +737,29 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="graceful-shutdown budget for draining in-flight "
                    "requests and the replication queue")
+    p.add_argument("--max-inflight", type=int, default=64,
+                   help="admission control: max concurrently executing "
+                   "requests before shedding ERROR/Busy")
+    p.add_argument("--max-buffered-bytes", type=int,
+                   default=256 * 1024 * 1024,
+                   help="admission control: max chunk payload bytes parked "
+                   "in open sessions before appends shed Busy")
+    p.add_argument("--session-ttl", type=float, default=900.0,
+                   metavar="SECONDS",
+                   help="idle sessions older than this are swept "
+                   "(abandoned-client reclamation; 0 disables)")
+    p.add_argument(
+        "--tenant",
+        action="append",
+        default=None,
+        metavar="NAME=TOKEN[:QUOTA_BYTES]",
+        help="register a tenant (repeatable); when any are set, clients "
+        "must HELLO with a matching client name + token, and each "
+        "tenant's buffered session bytes are capped by its quota",
+    )
+    p.add_argument("--threaded", action="store_true",
+                   help="use the legacy thread-per-connection core instead "
+                   "of the async event loop (benchmark baseline)")
     telemetry_opts(p)
     p.set_defaults(func=cmd_serve, trace=False)
 

@@ -10,8 +10,11 @@ boundaries real.  It provides, bottom up:
   preliminary-filter queries, chunk appends into the chunk log, metadata
   put/get, the dedup-2 trigger, PSIL/PSIU fingerprint exchange and
   LPC-backed chunk reads (DESIGN.md §9.2).
-- :mod:`repro.net.server` — ``repro serve``: a threaded daemon hosting a
-  :class:`~repro.system.vault.DebarVault` behind the protocol.
+- :mod:`repro.net.server` — ``repro serve``: an async multiplexed event
+  loop hosting a :class:`~repro.system.vault.DebarVault` behind the
+  protocol, with admission control and per-tenant auth/quotas
+  (DESIGN.md §12; a legacy threaded core remains as the benchmark
+  baseline).
 - :mod:`repro.net.client` — :class:`RemoteBackupClient` and
   :class:`RemoteChunkReader`, mirroring the in-process vault API so the
   CLI runs against ``--connect host:port`` unchanged.
@@ -40,7 +43,12 @@ from repro.net.framing import (
     ProtocolError,
     TruncatedFrame,
 )
-from repro.net.server import VaultProtocolServer, serve_vault
+from repro.net.server import (
+    TenantConfig,
+    ThreadedVaultProtocolServer,
+    VaultProtocolServer,
+    serve_vault,
+)
 
 __all__ = [
     "BadFrame",
@@ -55,6 +63,8 @@ __all__ = [
     "RemoteBackupClient",
     "RemoteChunkReader",
     "RetryPolicy",
+    "TenantConfig",
+    "ThreadedVaultProtocolServer",
     "TruncatedFrame",
     "VaultProtocolServer",
     "serve_vault",

@@ -1,10 +1,16 @@
 """The remote backup client: the vault API over the wire (DESIGN.md §9).
 
-:class:`NetClient` is the RPC layer — one TCP connection, a handshake,
-``call()`` with per-request timeouts, bounded retry with exponential
-backoff and deterministic jitter, and idempotent request ids (a retried
-request re-sends the *same* id; the server's response cache makes the
-retry safe even when the original executed).
+:class:`NetClient` is the RPC layer — one TCP connection, a handshake
+(with the tenant token when the daemon is tenanted), ``call()`` with
+per-request timeouts, bounded retry with exponential backoff and
+deterministic jitter, and idempotent request ids (a retried request
+re-sends the *same* id; the server's response cache makes the retry safe
+even when the original executed).  ``call_many()`` pipelines a batch of
+requests down the socket and collects the responses by id in whatever
+order the server's multiplexed core finishes them — the client half of
+connection multiplexing (DESIGN.md §12).  A server-side admission shed
+(``ERROR {"error": "Busy"}``) is retryable like a transport fault;
+every other remote error raises :class:`RemoteError` immediately.
 
 :class:`RemoteBackupClient` mirrors the parts of
 :class:`~repro.system.vault.DebarVault` the CLI uses — ``backup``,
@@ -89,10 +95,12 @@ class NetClient:
         retry: Optional[RetryPolicy] = None,
         registry: Optional[MetricsRegistry] = None,
         seed: Optional[int] = None,
+        token: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.client_name = client_name
+        self.token = token
         self.retry = retry if retry is not None else RetryPolicy()
         # Request ids must be unique across reconnects of this client and
         # across clients sharing a server (they key the server's
@@ -139,11 +147,16 @@ class NetClient:
         )
         self._sock = sock
         self._t_reconnects.inc()
-        hello = Frame(
-            m.HELLO, self._next_rid(), m.encode_json({"client": self.client_name})
-        )
+        doc = {"client": self.client_name}
+        if self.token is not None:
+            doc["token"] = self.token
+        hello = Frame(m.HELLO, self._next_rid(), m.encode_json(doc))
         self._send_raw(hello.encode())
         response = self._recv_frame()
+        if response.msg_type == m.ERROR:
+            err = m.decode_json(response.payload)
+            self.close()
+            raise RemoteError(err.get("error", "Error"), err.get("message", ""))
         if response.msg_type != m.HELLO_OK:
             raise ProtocolError(
                 f"handshake failed: got {m.msg_name(response.msg_type)}"
@@ -213,24 +226,30 @@ class NetClient:
                 return frame
 
     # -- the RPC ------------------------------------------------------------------
+    def _backoff(self, attempt: int) -> None:
+        self._t_retries.inc()
+        sleep = self._sleep if self._sleep is not None else time.sleep
+        sleep(self.retry.delay(attempt - 1, self._rng))
+
     def call(self, msg_type: int, payload: bytes = b"") -> bytes:
         """One request/response round trip with retries.
 
         Transport failures (timeout, connection loss, truncated or
         malformed frames) reconnect and re-send the same request id, up to
-        ``retry.max_attempts``; application errors raise
-        :class:`RemoteError` immediately and are never retried.
+        ``retry.max_attempts``; a ``Busy`` admission shed backs off and
+        retries the same id; every other application error raises
+        :class:`RemoteError` immediately and is never retried.  Each
+        attempt is timed individually, so ``net.rpc_latency`` measures
+        round trips, not backoff sleeps.
         """
         rid = self._next_rid()
         frame = Frame(msg_type, rid, payload)
         expected = m.RESPONSE_OF.get(msg_type)
         last_error: Optional[Exception] = None
-        t0 = wall_now()
         for attempt in range(1, self.retry.max_attempts + 1):
             if attempt > 1:
-                self._t_retries.inc()
-                sleep = self._sleep if self._sleep is not None else time.sleep
-                sleep(self.retry.delay(attempt - 1, self._rng))
+                self._backoff(attempt)
+            t0 = wall_now()
             try:
                 self._ensure_connected()
                 self._send_frame(frame)
@@ -245,6 +264,10 @@ class NetClient:
             )
             if response.msg_type == m.ERROR:
                 doc = m.decode_json(response.payload)
+                if doc.get("error") == "Busy":
+                    # Admission shed: retryable with backoff, same id.
+                    last_error = RemoteError("Busy", doc.get("message", ""))
+                    continue
                 raise RemoteError(doc.get("error", "Error"), doc.get("message", ""))
             if expected is not None and response.msg_type != expected:
                 raise ProtocolError(
@@ -256,6 +279,86 @@ class NetClient:
             f"{m.msg_name(msg_type)} failed after {self.retry.max_attempts} "
             f"attempts: {last_error}"
         )
+
+    def call_many(
+        self, requests: Sequence[Tuple[int, bytes]]
+    ) -> List[bytes]:
+        """Pipeline a batch of requests on one socket (multiplexed calls).
+
+        All frames are written back to back, then responses are collected
+        by request id in whatever order the server finishes them.  A
+        transport fault re-sends only the still-unanswered ids (safe:
+        idempotent request ids); a ``Busy`` shed re-queues that id for the
+        next backoff round.  Responses are returned in request order.
+        """
+        if not requests:
+            return []
+        rids = [self._next_rid() for _ in requests]
+        frames = {
+            rid: Frame(msg_type, rid, payload)
+            for rid, (msg_type, payload) in zip(rids, requests)
+        }
+        expected = {
+            rid: m.RESPONSE_OF.get(msg_type)
+            for rid, (msg_type, _) in zip(rids, requests)
+        }
+        results: Dict[int, bytes] = {}
+        last_error: Optional[Exception] = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            if attempt > 1:
+                self._backoff(attempt)
+            outstanding = [rid for rid in rids if rid not in results]
+            if not outstanding:
+                break
+            t0 = wall_now()
+            try:
+                self._ensure_connected()
+                for rid in outstanding:
+                    self._send_frame(frames[rid])
+                pending = set(outstanding)
+                while pending:
+                    response = self._recv_frame()
+                    rid = response.request_id
+                    if rid not in pending:
+                        continue  # stale or duplicated response: discard
+                    msg_type = frames[rid].msg_type
+                    if response.msg_type == m.ERROR:
+                        doc = m.decode_json(response.payload)
+                        if doc.get("error") == "Busy":
+                            # Shed: leave it out of results; next attempt
+                            # re-sends it after backoff.
+                            last_error = RemoteError("Busy", doc.get("message", ""))
+                            pending.discard(rid)
+                            continue
+                        raise RemoteError(
+                            doc.get("error", "Error"), doc.get("message", "")
+                        )
+                    if (
+                        expected[rid] is not None
+                        and response.msg_type != expected[rid]
+                    ):
+                        raise ProtocolError(
+                            f"expected {m.msg_name(expected[rid])} for "
+                            f"{m.msg_name(msg_type)}, got "
+                            f"{m.msg_name(response.msg_type)}"
+                        )
+                    results[rid] = response.payload
+                    pending.discard(rid)
+                    self._t_requests.labels(type=m.msg_name(msg_type)).inc()
+                    self._t_latency.labels(type=m.msg_name(msg_type)).observe(
+                        wall_now() - t0
+                    )
+            except (socket.timeout, TimeoutError, FrameError, OSError) as exc:
+                last_error = exc
+                self._drop_connection()
+                continue
+        missing = [rid for rid in rids if rid not in results]
+        if missing:
+            raise RemoteUnavailable(
+                f"{len(missing)} of {len(rids)} pipelined requests failed "
+                f"after {self.retry.max_attempts} attempts: {last_error}"
+            )
+        return [results[rid] for rid in rids]
 
     def call_json(self, msg_type: int, doc: Optional[dict] = None) -> dict:
         return m.decode_json(self.call(msg_type, m.encode_json(doc or {})))
@@ -311,22 +414,27 @@ class RemoteChunkReader:
         data = self._cache.pop(fp, None)
         if data is not None:
             return data
-        # Advance the plan to this fingerprint, then read ahead one batch.
-        while self._plan_pos < len(self._plan) and self._plan[self._plan_pos] != fp:
-            self._plan_pos += 1
-        if self._plan_pos < len(self._plan):
+        # Scan ahead for this fingerprint *without* committing the scan:
+        # an off-plan read (scrub repair probes, a replayed fingerprint)
+        # must not burn the rest of the plan, or every subsequent planned
+        # read would degrade to one RPC per chunk.
+        pos = self._plan_pos
+        while pos < len(self._plan) and self._plan[pos] != fp:
+            pos += 1
+        if pos < len(self._plan):
             window: List[Fingerprint] = []
             seen = set()
-            for planned in self._plan[self._plan_pos : self._plan_pos + self._batch]:
+            for planned in self._plan[pos : pos + self._batch]:
                 if planned not in seen:
                     window.append(planned)
                     seen.add(planned)
-            self._plan_pos += 1
+            self._plan_pos = pos + 1
             self._fetch(window)
             data = self._cache.pop(fp, None)
             if data is not None:
                 return data
-        # Off-plan (or server-side miss): a single direct read.
+        # Off-plan (or server-side miss): a single direct read; the plan
+        # position is untouched so planned reads keep batching.
         self._fetch([fp])
         try:
             return self._cache.pop(fp)
@@ -337,6 +445,10 @@ class RemoteChunkReader:
 class RemoteBackupClient:
     """The in-process vault API, spoken to a ``repro serve`` daemon."""
 
+    #: Pipelined CHUNK_APPEND frames kept in flight per window (bounds
+    #: client-side buffering at APPEND_WINDOW * APPEND_BATCH_BYTES).
+    APPEND_WINDOW = 4
+
     def __init__(
         self,
         host: str,
@@ -345,10 +457,12 @@ class RemoteBackupClient:
         chunker: Optional[ContentDefinedChunker] = None,
         retry: Optional[RetryPolicy] = None,
         registry: Optional[MetricsRegistry] = None,
+        token: Optional[str] = None,
     ) -> None:
         registry = registry if registry is not None else get_registry()
         self.net = NetClient(
-            host, port, client_name=client_name, retry=retry, registry=registry
+            host, port, client_name=client_name, retry=retry, registry=registry,
+            token=token,
         )
         self.engine = BackupEngine(client_name, chunker=chunker, registry=registry)
 
@@ -380,12 +494,20 @@ class RemoteBackupClient:
         """
         begun = self.net.call_json(m.SESSION_BEGIN, {"job": job})
         session = int(begun["session"])
-        for metadata, chunks in self.engine.iter_dataset([Path(p) for p in dataset]):
-            self._send_file(session, metadata, chunks)
-        doc = {"session": session}
-        if timestamp is not None:
-            doc["timestamp"] = timestamp
-        summary = self.net.call_json(m.SESSION_COMMIT, doc)
+        try:
+            for metadata, chunks in self.engine.iter_dataset(
+                [Path(p) for p in dataset]
+            ):
+                self._send_file(session, metadata, chunks)
+            doc = {"session": session}
+            if timestamp is not None:
+                doc["timestamp"] = timestamp
+            summary = self.net.call_json(m.SESSION_COMMIT, doc)
+        except Exception:
+            # The session (and its buffered payload bytes) would otherwise
+            # sit server-side until the idle-TTL sweep finds it.
+            self.abort_session(session)
+            raise
         return RemoteRun(
             run_id=int(summary["run_id"]),
             job=summary["job"],
@@ -395,16 +517,29 @@ class RemoteBackupClient:
             transferred_bytes=int(summary["transferred_bytes"]),
         )
 
+    def abort_session(self, session: int) -> None:
+        """Discard a server-side session (best effort; idempotent)."""
+        try:
+            self.net.call(m.SESSION_ABORT, m.encode_json({"session": session}))
+        except ProtocolError:
+            pass  # the TTL sweep will reclaim it eventually
+
     def _send_file(self, session: int, metadata: FileMetadata, chunks) -> None:
         session_prefix = m._U32.pack(session)
         chunks = list(chunks)
         sized = [(c.fingerprint, c.size) for c in chunks]
+        # All filter batches for the file go down the pipe together; the
+        # multiplexed server answers them as they decode.
+        batches = [
+            sized[start : start + QUERY_BATCH]
+            for start in range(0, len(sized), QUERY_BATCH)
+        ]
+        filter_results = self.net.call_many([
+            (m.FILTER_QUERY, session_prefix + m.encode_sized_fps(batch))
+            for batch in batches
+        ])
         wanted: List[bool] = []
-        for start in range(0, len(sized), QUERY_BATCH):
-            batch = sized[start : start + QUERY_BATCH]
-            result = self.net.call(
-                m.FILTER_QUERY, session_prefix + m.encode_sized_fps(batch)
-            )
+        for batch, result in zip(batches, filter_results):
             decisions, _ = m.decode_bitmap(result)
             if len(decisions) != len(batch):
                 raise ProtocolError(
@@ -413,16 +548,26 @@ class RemoteBackupClient:
             wanted.extend(decisions)
         pending: List[Tuple[Fingerprint, bytes]] = []
         pending_bytes = 0
+        window: List[Tuple[int, bytes]] = []
         for chunk, admit in zip(chunks, wanted):
             if not admit:
                 continue
             pending.append((chunk.fingerprint, chunk.data))
             pending_bytes += chunk.size
             if pending_bytes >= APPEND_BATCH_BYTES:
-                self._append(session_prefix, pending)
+                window.append(
+                    (m.CHUNK_APPEND, session_prefix + m.encode_chunk_batch(pending))
+                )
                 pending, pending_bytes = [], 0
+                if len(window) >= self.APPEND_WINDOW:
+                    self.net.call_many(window)
+                    window = []
         if pending:
-            self._append(session_prefix, pending)
+            window.append(
+                (m.CHUNK_APPEND, session_prefix + m.encode_chunk_batch(pending))
+            )
+        if window:
+            self.net.call_many(window)
         meta_blob = m.encode_json({
             "path": metadata.path,
             "size": metadata.size,
@@ -434,9 +579,6 @@ class RemoteBackupClient:
             session_prefix + m._U32.pack(len(meta_blob)) + meta_blob
             + m.encode_sized_fps(sized),
         )
-
-    def _append(self, session_prefix: bytes, chunks: List[Tuple[Fingerprint, bytes]]) -> None:
-        self.net.call(m.CHUNK_APPEND, session_prefix + m.encode_chunk_batch(chunks))
 
     # -- restore ------------------------------------------------------------------
     def run_entries(self, run_id: int) -> List[FileIndexEntry]:

@@ -54,6 +54,8 @@ META_PUT = 0x16
 META_OK = 0x17
 SESSION_COMMIT = 0x18
 RUN_OK = 0x19
+SESSION_ABORT = 0x1A
+ABORT_OK = 0x1B
 
 # Maintenance and queries.
 DEDUP2 = 0x20
@@ -99,6 +101,7 @@ RESPONSE_OF: Dict[int, int] = {
     CHUNK_APPEND: APPEND_OK,
     META_PUT: META_OK,
     SESSION_COMMIT: RUN_OK,
+    SESSION_ABORT: ABORT_OK,
     DEDUP2: DEDUP2_OK,
     CHUNK_READ: CHUNK_DATA,
     META_GET: META_ENTRIES,
@@ -132,6 +135,8 @@ MSG_NAMES: Dict[int, str] = {
     META_OK: "meta_ok",
     SESSION_COMMIT: "session_commit",
     RUN_OK: "run_ok",
+    SESSION_ABORT: "session_abort",
+    ABORT_OK: "abort_ok",
     DEDUP2: "dedup2",
     DEDUP2_OK: "dedup2_ok",
     CHUNK_READ: "chunk_read",

@@ -1,35 +1,59 @@
-"""``repro serve`` — a threaded daemon hosting a DebarVault on a socket.
+"""``repro serve`` — the vault behind the wire protocol (DESIGN.md §9, §12).
 
-One :class:`VaultProtocolServer` (a stdlib ``ThreadingTCPServer``) owns a
-:class:`~repro.system.vault.DebarVault` and speaks the frame protocol of
-:mod:`repro.net.framing` / :mod:`repro.net.messages`.  Each connection is a
-thread; a single vault lock serializes store mutations, matching the
-single-server paper deployment (one File Store / Chunk Store pipeline).
+Two serving cores share one request brain:
+
+- :class:`VaultProtocolServer` (the default) is a **single-process
+  asyncio event loop**.  Each connection is a lightweight *frame pump*
+  coroutine; every decoded frame becomes an independent in-flight request,
+  so one socket can carry many request ids concurrently (connection
+  multiplexing).  The blocking vault pipeline still runs on a small
+  worker-thread executor behind the one vault lock — ``repro.system`` is
+  untouched — but the loop keeps accepting, parsing and answering frames
+  for hundreds of other streams while it grinds.
+- :class:`ThreadedVaultProtocolServer` is the previous
+  thread-per-connection core, kept as the measured baseline
+  (``benchmarks/bench_serve_concurrency.py``) and for the
+  async-vs-threaded equivalence sweep in the tests.
+
+Both inherit :class:`VaultServerCore`: the handler table, the session
+store, the idempotency cache, graceful drain, telemetry, and the
+admission-control policy (DESIGN.md §12.2):
+
+- **max in-flight requests** — past the cap a frame is answered with an
+  immediate ``ERROR {"error": "Busy"}`` shed (never executed, never
+  cached); clients treat ``Busy`` as retryable with backoff.
+- **max buffered session bytes** — chunk payloads parked in open
+  sessions are bounded vault-wide; an append that would exceed the bound
+  is shed ``Busy`` (a commit in flight will release memory).
+- **per-tenant authentication + quota/QoS** — when tenants are
+  configured, ``HELLO`` must present the tenant's token; sessions are
+  owned by the authenticated tenant, each tenant's buffered bytes are
+  capped by its quota (hard ``QuotaError``), and each tenant's in-flight
+  requests by a fair share of the global cap.
 
 **Sessions.**  A backup session (``SESSION_BEGIN`` .. ``SESSION_COMMIT``)
 lives in the *server*, keyed by session id, not in the connection — a
 client that lost its connection mid-backup reconnects and continues the
-same session.  The session captures the job's filtering fingerprints at
-begin time and answers batched ``FILTER_QUERY`` messages from its own
-preliminary filter in stream order; commit replays the buffered stream
-through the vault's standard dedup-1 path with the *same* filtering set,
-so the admission decisions the client acted on are reproduced exactly.
+same session.  Abandoned sessions no longer leak: an idle-TTL sweep
+expires them (``net.sessions_expired``) and ``SESSION_ABORT`` discards
+one explicitly, releasing the buffered payload bytes either way.
 
 **Idempotency.**  Every mutating request type is answered through a
 response cache keyed by request id: a retried frame (duplicate on the
 wire, or a client resend after a drop/timeout) returns the cached
-response instead of executing twice.  This is what makes a retried
-``CHUNK_APPEND`` unable to double-log a chunk and a retried
-``SESSION_COMMIT`` unable to record a run twice (DESIGN.md §9.3).
+response instead of executing twice (DESIGN.md §9.3).
 """
 
 from __future__ import annotations
 
+import asyncio
+import contextlib
 import socket
 import socketserver
 import threading
 import time
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -37,7 +61,14 @@ from repro.core.preliminary_filter import FilterDecision, PreliminaryFilter
 from repro.director.metadata import FileMetadata
 from repro.net import messages as m
 from repro.durability.errors import MediaError
-from repro.net.framing import Frame, FrameError, ProtocolError, read_frame
+from repro.net.framing import (
+    FRAME_HEADER_SIZE,
+    Frame,
+    FrameError,
+    ProtocolError,
+    decode_header,
+    read_frame,
+)
 from repro.replication.store import ReplicaStore
 from repro.system.vault import DebarVault, VaultError
 from repro.telemetry.clock import wall_now
@@ -50,6 +81,7 @@ IDEMPOTENT_CACHED = frozenset({
     m.CHUNK_APPEND,
     m.META_PUT,
     m.SESSION_COMMIT,
+    m.SESSION_ABORT,
     m.DEDUP2,
     m.GC,
     m.FORGET,
@@ -58,15 +90,61 @@ IDEMPOTENT_CACHED = frozenset({
 })
 
 #: Response-cache capacity (entries); old responses fall off the end.
-RESPONSE_CACHE_SIZE = 4096
+#: Sized for hundreds of concurrent streams — an entry is one response
+#: frame (bitmaps, acks), not chunk payload.
+RESPONSE_CACHE_SIZE = 32768
+
+#: Admission-control defaults (overridable per daemon / ``repro serve``).
+DEFAULT_MAX_INFLIGHT = 64
+DEFAULT_MAX_BUFFERED_BYTES = 256 * 1024 * 1024
+DEFAULT_SESSION_TTL = 900.0
+
+
+class BusyError(Exception):
+    """Admission control shed this request; the client should retry."""
+
+
+class QuotaError(VaultError):
+    """A tenant exceeded its configured buffered-bytes quota."""
+
+
+class AuthError(Exception):
+    """Missing or wrong tenant credentials on a tenanted daemon."""
+
+
+class TenantConfig:
+    """One tenant: its shared-secret token and buffered-bytes quota."""
+
+    def __init__(self, name: str, token: str, quota_bytes: Optional[int] = None):
+        self.name = name
+        self.token = token
+        self.quota_bytes = quota_bytes
+
+    @classmethod
+    def parse(cls, spec: str) -> "TenantConfig":
+        """``NAME=TOKEN[:QUOTA_BYTES]`` (the ``repro serve --tenant`` form)."""
+        name, sep, rest = spec.partition("=")
+        if not sep or not name or not rest:
+            raise ValueError(f"expected NAME=TOKEN[:QUOTA_BYTES], got {spec!r}")
+        token, sep, quota = rest.partition(":")
+        if not token:
+            raise ValueError(f"tenant {name!r} has an empty token")
+        return cls(name, token, int(quota) if sep and quota else None)
 
 
 class _RemoteSession:
     """Server-side state of one remote backup session."""
 
-    def __init__(self, session_id: int, job: str, vault: DebarVault) -> None:
+    def __init__(
+        self,
+        session_id: int,
+        job: str,
+        vault: DebarVault,
+        tenant: Optional[str] = None,
+    ) -> None:
         self.session_id = session_id
         self.job = job
+        self.tenant = tenant
         self.filtering = vault.filtering_for(job)
         self.filter = PreliminaryFilter(vault.tpds.filter_capacity)
         if self.filtering:
@@ -74,9 +152,16 @@ class _RemoteSession:
         #: Payloads received for admitted chunks (fp -> bytes).  Keyed by
         #: fingerprint, so a replayed CHUNK_APPEND cannot duplicate data.
         self.payloads: Dict[bytes, bytes] = {}
+        #: Bytes currently parked in :attr:`payloads` (admission control).
+        self.buffered_bytes = 0
         #: Completed files in arrival order: (metadata, [(fp, size)...]).
         self.files: List[Tuple[FileMetadata, List[Tuple[bytes, int]]]] = []
         self.committed_run: Optional[dict] = None
+        #: Idle clock for the TTL sweep (monotonic seconds).
+        self.last_used = time.monotonic()
+
+    def touch(self) -> None:
+        self.last_used = time.monotonic()
 
     def query(self, entries: List[Tuple[bytes, int]]) -> List[bool]:
         """Answer one batched preliminary-filter query in stream order."""
@@ -90,23 +175,36 @@ class _RemoteSession:
             ]
 
 
-class VaultProtocolServer(socketserver.ThreadingTCPServer):
-    """The daemon: a vault behind the wire protocol on a TCP socket."""
+class VaultServerCore:
+    """Everything both serving cores share: sessions, cache, handlers,
+    admission policy, drain accounting and telemetry."""
 
-    allow_reuse_address = True
-    daemon_threads = True
-
-    def __init__(
+    def _init_core(
         self,
         vault: DebarVault,
-        host: str = "127.0.0.1",
-        port: int = 0,
-        registry: Optional[MetricsRegistry] = None,
-        node_name: str = "node",
+        registry: Optional[MetricsRegistry],
+        node_name: str,
+        max_inflight: int,
+        max_buffered_bytes: int,
+        session_ttl: float,
+        tenants: Optional[List[TenantConfig]],
     ) -> None:
         self.vault = vault
         self.vault_lock = threading.Lock()
         self.node_name = node_name
+        self.max_inflight = max_inflight
+        self.max_buffered_bytes = max_buffered_bytes
+        self.session_ttl = session_ttl
+        self.tenants: Dict[str, TenantConfig] = {
+            t.name: t for t in (tenants or [])
+        }
+        #: Per-tenant fair share of the in-flight cap (QoS): one tenant
+        #: hammering the daemon cannot starve the others.
+        self.tenant_max_inflight = (
+            max(1, max_inflight // max(1, len(self.tenants)))
+            if self.tenants
+            else max_inflight
+        )
         #: Containers pushed by peer nodes (vault/replicas/<origin>/...).
         self.replica_store = ReplicaStore(
             Path(vault.root) / "replicas",
@@ -118,8 +216,15 @@ class VaultProtocolServer(socketserver.ThreadingTCPServer):
         self.replicator = None
         self._sessions: Dict[int, _RemoteSession] = {}
         self._next_session = 1
+        #: Vault-wide buffered session payload bytes (under vault_lock).
+        self._buffered_bytes = 0
+        #: Per-tenant buffered session payload bytes (under vault_lock).
+        self._tenant_buffered: Dict[str, int] = {}
         self._response_cache: "OrderedDict[int, Frame]" = OrderedDict()
         self._cache_lock = threading.Lock()
+        #: The authenticated tenant of the thread currently dispatching
+        #: (handler threads set it before calling into _HANDLERS).
+        self._local = threading.local()
         # Graceful-drain state: in-flight request count + drain flag.
         self._active_cond = threading.Condition()
         self._active_requests = 0
@@ -144,6 +249,26 @@ class VaultProtocolServer(socketserver.ThreadingTCPServer):
         self._t_connections = registry.counter(
             "net.connections", "connections accepted by the daemon"
         ).labels()
+        self._t_sessions_expired = registry.counter(
+            "net.sessions_expired",
+            "abandoned sessions reclaimed by the idle-TTL sweep",
+        ).labels()
+        self._t_sessions_aborted = registry.counter(
+            "net.sessions_aborted", "sessions discarded by SESSION_ABORT"
+        ).labels()
+        self._t_busy = registry.counter(
+            "net.busy_rejections", "requests shed with ERROR/Busy by admission"
+        ).labels()
+        self._t_auth_failures = registry.counter(
+            "net.auth_failures", "connections refused for bad tenant credentials"
+        ).labels()
+        self._t_inflight = registry.gauge(
+            "net.inflight_requests", "requests currently executing"
+        ).labels()
+        self._t_buffered = registry.gauge(
+            "net.session_buffered_bytes",
+            "chunk payload bytes parked in open sessions",
+        ).labels()
         self._t_replica_served = registry.counter(
             "repl.chunks_served_from_replicas",
             "chunk reads answered from the replica store (failover serving)",
@@ -151,20 +276,6 @@ class VaultProtocolServer(socketserver.ThreadingTCPServer):
         self._t_pushes = registry.counter(
             "repl.containers_received", "container images accepted by push"
         )
-        super().__init__((host, port), _ConnectionHandler)
-
-    # -- addressing ---------------------------------------------------------------
-    @property
-    def host(self) -> str:
-        return self.server_address[0]
-
-    @property
-    def port(self) -> int:
-        return self.server_address[1]
-
-    @property
-    def address(self) -> str:
-        return f"{self.host}:{self.port}"
 
     # -- graceful shutdown --------------------------------------------------------
     def begin_request(self) -> bool:
@@ -173,26 +284,42 @@ class VaultProtocolServer(socketserver.ThreadingTCPServer):
             if self._draining:
                 return False
             self._active_requests += 1
+            self._t_inflight.set(self._active_requests)
             return True
 
     def end_request(self) -> None:
         with self._active_cond:
             self._active_requests -= 1
+            self._t_inflight.set(self._active_requests)
             self._active_cond.notify_all()
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def _stop_accepting(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _finalize_shutdown(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
     def shutdown_gracefully(self, timeout: Optional[float] = 30.0) -> bool:
-        """Stop accepting, drain in-flight requests and the replication
-        queue, then close the listening socket.  Returns True on a clean
-        drain, False when the timeout forced the exit (sockets still close).
+        """Refuse new work, finish in-flight requests, drain the
+        replication queue, then close.  Returns True on a clean drain,
+        False when the timeout forced the exit (sockets still close).
+
+        The drain flag is raised **before** waiting (a busy persistent
+        connection must not keep admitting frames while we wait for the
+        in-flight count to reach zero — that drain would only ever end by
+        timeout), and the replicator is drained **after** the in-flight
+        wait (an in-flight commit may seal containers that still owe
+        shipment).
         """
         deadline = None if timeout is None else time.monotonic() + timeout
-        self.shutdown()  # stop the accept loop; live connections continue
+        with self._active_cond:
+            self._draining = True
+        self._stop_accepting()
         drained = True
-        if self.replicator is not None:
-            remaining = (
-                None if deadline is None else max(0.0, deadline - time.monotonic())
-            )
-            drained = self.replicator.close(drain=True, timeout=remaining)
         with self._active_cond:
             while self._active_requests > 0:
                 remaining = (
@@ -204,11 +331,12 @@ class VaultProtocolServer(socketserver.ThreadingTCPServer):
                 self._active_cond.wait(
                     0.1 if remaining is None else min(0.1, remaining)
                 )
-            # Requests arriving on persistent connections after this point
-            # are refused (their connection closes; a client would retry
-            # against a peer).
-            self._draining = True
-        self.server_close()
+        if self.replicator is not None:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            drained = self.replicator.close(drain=True, timeout=remaining) and drained
+        self._finalize_shutdown()
         return drained
 
     # -- idempotency cache --------------------------------------------------------
@@ -222,9 +350,68 @@ class VaultProtocolServer(socketserver.ThreadingTCPServer):
             while len(self._response_cache) > RESPONSE_CACHE_SIZE:
                 self._response_cache.popitem(last=False)
 
+    # -- authentication -----------------------------------------------------------
+    def authenticate(self, hello_doc: dict) -> Optional[str]:
+        """Validate a HELLO against the tenant table.
+
+        Returns the authenticated tenant name (None when the daemon is
+        untenanted); raises :class:`AuthError` on a miss.
+        """
+        if not self.tenants:
+            return None
+        name = str(hello_doc.get("client", ""))
+        tenant = self.tenants.get(name)
+        if tenant is None or str(hello_doc.get("token", "")) != tenant.token:
+            self._t_auth_failures.inc()
+            raise AuthError(f"unknown tenant or bad token for {name!r}")
+        return name
+
+    # -- session lifecycle --------------------------------------------------------
+    def _discard_session(self, session: _RemoteSession) -> int:
+        """Drop one session's buffered payloads (caller holds vault_lock)."""
+        freed = session.buffered_bytes
+        self._buffered_bytes -= freed
+        if session.tenant is not None:
+            self._tenant_buffered[session.tenant] = (
+                self._tenant_buffered.get(session.tenant, 0) - freed
+            )
+        self._t_buffered.set(self._buffered_bytes)
+        self._sessions.pop(session.session_id, None)
+        return freed
+
+    def expire_idle_sessions(self, now: Optional[float] = None) -> int:
+        """Reclaim sessions idle past the TTL; returns how many died.
+
+        Called periodically by the async core's sweeper task; callable
+        directly (with a forced ``now``) from tests and the threaded core.
+        """
+        if self.session_ttl is None or self.session_ttl <= 0:
+            return 0
+        now = time.monotonic() if now is None else now
+        expired = 0
+        with self.vault_lock:
+            for session in list(self._sessions.values()):
+                if now - session.last_used > self.session_ttl:
+                    self._discard_session(session)
+                    expired += 1
+        if expired:
+            self._t_sessions_expired.inc(expired)
+        return expired
+
+    def open_sessions(self) -> int:
+        with self.vault_lock:
+            return len(self._sessions)
+
     # -- dispatch -----------------------------------------------------------------
-    def handle_request_frame(self, frame: Frame) -> Frame:
-        """Execute one request frame; returns the response frame."""
+    def handle_request_frame(
+        self, frame: Frame, tenant: Optional[str] = None
+    ) -> Frame:
+        """Execute one request frame; returns the response frame.
+
+        ``tenant`` is the connection's authenticated tenant; it is parked
+        in a thread-local so the (fixed-signature, monkeypatchable)
+        handlers can read it.
+        """
         handler = _HANDLERS.get(frame.msg_type)
         if handler is None:
             raise ProtocolError(f"unknown message type {m.msg_name(frame.msg_type)}")
@@ -233,9 +420,17 @@ class VaultProtocolServer(socketserver.ThreadingTCPServer):
             if cached is not None:
                 self._t_replays.inc()
                 return cached
+        self._local.tenant = tenant
         t0 = wall_now()
         try:
             msg_type, payload = handler(self, frame.payload)
+        except BusyError as exc:
+            # Admission shed: immediate, retryable, never cached.
+            self._t_busy.inc()
+            return Frame(m.ERROR, frame.request_id, m.encode_json({
+                "error": "Busy",
+                "message": str(exc),
+            }))
         except (VaultError, MediaError, KeyError, ValueError, OSError) as exc:
             # Application-level failure: report it, keep the connection.
             return Frame(m.ERROR, frame.request_id, m.encode_json({
@@ -268,10 +463,11 @@ class VaultProtocolServer(socketserver.ThreadingTCPServer):
         job = doc.get("job", "")
         if not job:
             raise VaultError("job name required")
+        tenant = getattr(self._local, "tenant", None)
         with self.vault_lock:
             session_id = self._next_session
             self._next_session += 1
-            session = _RemoteSession(session_id, job, self.vault)
+            session = _RemoteSession(session_id, job, self.vault, tenant=tenant)
             self._sessions[session_id] = session
         return m.SESSION_OK, m.encode_json({
             "session": session_id,
@@ -282,6 +478,7 @@ class VaultProtocolServer(socketserver.ThreadingTCPServer):
         session = self._sessions.get(session_id)
         if session is None:
             raise VaultError(f"no open session {session_id}")
+        session.touch()
         return session
 
     def _on_filter_query(self, payload: bytes) -> Tuple[int, bytes]:
@@ -297,11 +494,37 @@ class VaultProtocolServer(socketserver.ThreadingTCPServer):
         chunks, _ = m.decode_chunk_batch(payload, offset)
         with self.vault_lock:
             session = self._session(session_id)
+            new_bytes = sum(
+                len(data) for fp, data in chunks if fp not in session.payloads
+            )
+            if (
+                new_bytes
+                and self._buffered_bytes + new_bytes > self.max_buffered_bytes
+            ):
+                raise BusyError(
+                    f"session buffers full ({self._buffered_bytes} of "
+                    f"{self.max_buffered_bytes} bytes in use)"
+                )
+            if session.tenant is not None:
+                quota = self.tenants[session.tenant].quota_bytes
+                used = self._tenant_buffered.get(session.tenant, 0)
+                if quota is not None and used + new_bytes > quota:
+                    raise QuotaError(
+                        f"tenant {session.tenant!r} over quota "
+                        f"({used + new_bytes} > {quota} buffered bytes)"
+                    )
             appended = 0
             for fp, data in chunks:
                 if fp not in session.payloads:
                     appended += 1
+                    session.buffered_bytes += len(data)
                 session.payloads[fp] = data
+            self._buffered_bytes += new_bytes
+            if session.tenant is not None:
+                self._tenant_buffered[session.tenant] = (
+                    self._tenant_buffered.get(session.tenant, 0) + new_bytes
+                )
+            self._t_buffered.set(self._buffered_bytes)
         return m.APPEND_OK, m.encode_json({"appended": appended, "received": len(chunks)})
 
     def _on_meta_put(self, payload: bytes) -> Tuple[int, bytes]:
@@ -319,7 +542,8 @@ class VaultProtocolServer(socketserver.ThreadingTCPServer):
         with self.vault_lock:
             session = self._session(session_id)
             session.files.append((metadata, sized))
-        return m.META_OK, m.encode_json({"files": len(session.files)})
+            files = len(session.files)
+        return m.META_OK, m.encode_json({"files": files})
 
     def _on_session_commit(self, payload: bytes) -> Tuple[int, bytes]:
         doc = m.decode_json(payload)
@@ -344,8 +568,23 @@ class VaultProtocolServer(socketserver.ThreadingTCPServer):
                     "transferred_bytes": run.transferred_bytes,
                 }
             summary = session.committed_run
-            del self._sessions[session_id]
+            self._discard_session(session)
         return m.RUN_OK, m.encode_json(summary)
+
+    def _on_session_abort(self, payload: bytes) -> Tuple[int, bytes]:
+        doc = m.decode_json(payload)
+        session_id = int(doc.get("session", 0))
+        with self.vault_lock:
+            session = self._sessions.get(session_id)
+            freed = self._discard_session(session) if session is not None else 0
+        if session is not None:
+            self._t_sessions_aborted.inc()
+        # Idempotent: aborting an already-gone session is a success.
+        return m.ABORT_OK, m.encode_json({
+            "session": session_id,
+            "discarded": session is not None,
+            "discarded_bytes": freed,
+        })
 
     def _on_dedup2(self, payload: bytes) -> Tuple[int, bytes]:
         doc = m.decode_json(payload)
@@ -435,9 +674,11 @@ class VaultProtocolServer(socketserver.ThreadingTCPServer):
         with self.vault_lock:
             try:
                 report = self.vault.verify(deep=bool(doc.get("deep", False)))
-            except VaultError as exc:
+            except (VaultError, MediaError) as exc:
                 # Corruption is a *finding*, not a transport failure: report
-                # it in-band so the client can exit EXIT_CORRUPTION.
+                # it in-band so the client can exit EXIT_CORRUPTION.  Deep
+                # verify surfaces media rot as MediaError/CorruptionError,
+                # which must not cross the wire as a generic ERROR frame.
                 return m.VERIFY_OK, m.encode_json({"ok": False, "finding": str(exc)})
         return m.VERIFY_OK, m.encode_json({"ok": True, **report})
 
@@ -525,40 +766,429 @@ class VaultProtocolServer(socketserver.ThreadingTCPServer):
         return m.EXCHANGE_OK, m.encode_json({"sender": sender, "parts": len(parts)})
 
 
-_HANDLERS: Dict[int, Callable[[VaultProtocolServer, bytes], Tuple[int, bytes]]] = {
-    m.HELLO: VaultProtocolServer._on_hello,
-    m.PING: VaultProtocolServer._on_ping,
-    m.SESSION_BEGIN: VaultProtocolServer._on_session_begin,
-    m.FILTER_QUERY: VaultProtocolServer._on_filter_query,
-    m.CHUNK_APPEND: VaultProtocolServer._on_chunk_append,
-    m.META_PUT: VaultProtocolServer._on_meta_put,
-    m.SESSION_COMMIT: VaultProtocolServer._on_session_commit,
-    m.DEDUP2: VaultProtocolServer._on_dedup2,
-    m.CHUNK_READ: VaultProtocolServer._on_chunk_read,
-    m.META_GET: VaultProtocolServer._on_meta_get,
-    m.RUNS: VaultProtocolServer._on_runs,
-    m.STATS: VaultProtocolServer._on_stats,
-    m.GC: VaultProtocolServer._on_gc,
-    m.VERIFY: VaultProtocolServer._on_verify,
-    m.FORGET: VaultProtocolServer._on_forget,
-    m.EXCHANGE: VaultProtocolServer._on_exchange,
-    m.CONTAINER_PUSH: VaultProtocolServer._on_container_push,
-    m.CATALOG_PUSH: VaultProtocolServer._on_catalog_push,
-    m.REPL_STATUS: VaultProtocolServer._on_repl_status,
-    m.CONTAINER_FETCH: VaultProtocolServer._on_container_fetch,
-    m.CATALOG_FETCH: VaultProtocolServer._on_catalog_fetch,
+_HANDLERS: Dict[int, Callable[[VaultServerCore, bytes], Tuple[int, bytes]]] = {
+    m.HELLO: VaultServerCore._on_hello,
+    m.PING: VaultServerCore._on_ping,
+    m.SESSION_BEGIN: VaultServerCore._on_session_begin,
+    m.FILTER_QUERY: VaultServerCore._on_filter_query,
+    m.CHUNK_APPEND: VaultServerCore._on_chunk_append,
+    m.META_PUT: VaultServerCore._on_meta_put,
+    m.SESSION_COMMIT: VaultServerCore._on_session_commit,
+    m.SESSION_ABORT: VaultServerCore._on_session_abort,
+    m.DEDUP2: VaultServerCore._on_dedup2,
+    m.CHUNK_READ: VaultServerCore._on_chunk_read,
+    m.META_GET: VaultServerCore._on_meta_get,
+    m.RUNS: VaultServerCore._on_runs,
+    m.STATS: VaultServerCore._on_stats,
+    m.GC: VaultServerCore._on_gc,
+    m.VERIFY: VaultServerCore._on_verify,
+    m.FORGET: VaultServerCore._on_forget,
+    m.EXCHANGE: VaultServerCore._on_exchange,
+    m.CONTAINER_PUSH: VaultServerCore._on_container_push,
+    m.CATALOG_PUSH: VaultServerCore._on_catalog_push,
+    m.REPL_STATUS: VaultServerCore._on_repl_status,
+    m.CONTAINER_FETCH: VaultServerCore._on_container_fetch,
+    m.CATALOG_FETCH: VaultServerCore._on_catalog_fetch,
 }
 
 
-class _ConnectionHandler(socketserver.BaseRequestHandler):
+def _error_frame(request_id: int, error: str, message: str) -> Frame:
+    return Frame(m.ERROR, request_id, m.encode_json({
+        "error": error,
+        "message": message,
+    }))
+
+
+class VaultProtocolServer(VaultServerCore):
+    """The async serving core: one event loop, many multiplexed streams.
+
+    The loop thread owns frame parsing, admission, response writes and all
+    in-flight bookkeeping; vault work runs on a bounded worker-thread
+    executor behind :attr:`vault_lock`.  The public surface matches the
+    old ``ThreadingTCPServer``: ``serve_forever()`` (blocking; run it in a
+    thread), ``shutdown()``, ``server_close()``, ``server_address`` — plus
+    ``shutdown_gracefully()`` for the drain path.
+    """
+
+    def __init__(
+        self,
+        vault: DebarVault,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+        node_name: str = "node",
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_buffered_bytes: int = DEFAULT_MAX_BUFFERED_BYTES,
+        session_ttl: float = DEFAULT_SESSION_TTL,
+        tenants: Optional[List[TenantConfig]] = None,
+        executor_workers: int = 8,
+    ) -> None:
+        self._init_core(
+            vault, registry, node_name, max_inflight, max_buffered_bytes,
+            session_ttl, tenants,
+        )
+        # Bind synchronously so server_address is valid on return and a
+        # bind failure raises OSError from the constructor (exit code 4).
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            sock.bind((host, port))
+            sock.listen(256)
+        except OSError:
+            sock.close()
+            raise
+        self._listen_sock = sock
+        self.server_address = sock.getsockname()
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_workers, thread_name_prefix="repro-serve-worker"
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._aio_server: Optional[asyncio.base_events.Server] = None
+        self._stop_requested = False
+        self._stopped = threading.Event()
+        self._conn_tasks: set = set()
+        self._request_tasks: set = set()
+        # Loop-thread-only admission counters (no lock needed).
+        self._inflight_total = 0
+        self._tenant_inflight: Dict[Optional[str], int] = {}
+
+    # -- addressing ---------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- lifecycle ----------------------------------------------------------------
+    def serve_forever(self, poll_interval: Optional[float] = None) -> None:
+        """Run the event loop until :meth:`shutdown` (blocking call)."""
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        self._stopped.clear()
+        try:
+            loop.run_until_complete(self._main())
+        finally:
+            self._loop = None
+            with contextlib.suppress(Exception):
+                loop.close()
+            self._stopped.set()
+
+    async def _main(self) -> None:
+        self._stop_event = asyncio.Event()
+        if self._stop_requested:
+            self._stop_event.set()
+        server = await asyncio.start_server(
+            self._handle_conn, sock=self._listen_sock
+        )
+        self._aio_server = server
+        sweeper = asyncio.ensure_future(self._session_sweeper())
+        try:
+            await self._stop_event.wait()
+        finally:
+            self._aio_server = None
+            sweeper.cancel()
+            server.close()
+            pending = [
+                t
+                for t in (self._conn_tasks | self._request_tasks)
+                if not t.done()
+            ]
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(sweeper, *pending, return_exceptions=True)
+            with contextlib.suppress(Exception):
+                await server.wait_closed()
+            # Abandon wedged vault work rather than hanging the exit; a
+            # clean drain reaches here with nothing running.
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        """Stop the event loop (threadsafe); waits for serve_forever to
+        return, mirroring ``socketserver.BaseServer.shutdown``."""
+        self._stop_requested = True
+        loop = self._loop
+        if loop is not None:
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(self._request_stop)
+            self._stopped.wait(timeout=10.0)
+
+    def _request_stop(self) -> None:
+        if hasattr(self, "_stop_event"):
+            self._stop_event.set()
+
+    def server_close(self) -> None:
+        with contextlib.suppress(OSError):
+            if self._listen_sock.fileno() != -1:
+                self._listen_sock.close()
+
+    # -- graceful-drain hooks -----------------------------------------------------
+    def _stop_accepting(self) -> None:
+        loop = self._loop
+        if loop is None:
+            return
+
+        def _close_listener() -> None:
+            if self._aio_server is not None:
+                self._aio_server.close()
+
+        with contextlib.suppress(RuntimeError):
+            loop.call_soon_threadsafe(_close_listener)
+
+    def _finalize_shutdown(self) -> None:
+        self.shutdown()
+        self.server_close()
+
+    # -- the event loop core ------------------------------------------------------
+    async def _session_sweeper(self) -> None:
+        if self.session_ttl is None or self.session_ttl <= 0:
+            return
+        interval = max(0.05, min(self.session_ttl / 4.0, 5.0))
+        while True:
+            await asyncio.sleep(interval)
+            # The sweep takes the vault lock; keep it off the loop thread.
+            await self._in_executor(self.expire_idle_sessions)
+
+    def _in_executor(self, fn: Callable, *args) -> "asyncio.Future":
+        """Run ``fn`` on the worker executor, completing an asyncio future.
+
+        Unlike ``loop.run_in_executor`` this tolerates the loop closing
+        underneath a wedged job (forced shutdown): the completion callback
+        is simply dropped instead of raising in the worker thread.
+        """
+        loop = self._loop
+        aio_future = loop.create_future()
+        cf = self._executor.submit(fn, *args)
+
+        def _complete() -> None:
+            if aio_future.cancelled():
+                return
+            exc = cf.exception()
+            if exc is not None:
+                aio_future.set_exception(exc)
+            else:
+                aio_future.set_result(cf.result())
+
+        def _relay(_cf) -> None:
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(_complete)
+
+        cf.add_done_callback(_relay)
+        return aio_future
+
+    async def _write_frame(
+        self, writer: asyncio.StreamWriter, wlock: asyncio.Lock, response: Frame
+    ) -> bool:
+        blob = response.encode()
+        try:
+            async with wlock:
+                writer.write(blob)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            return False
+        self._t_bytes_out.inc(len(blob))
+        return True
+
+    async def _read_frame(self, reader: asyncio.StreamReader) -> Optional[Frame]:
+        try:
+            header = await reader.readexactly(FRAME_HEADER_SIZE)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            return None
+        self._t_bytes_in.inc(len(header))
+        try:
+            msg_type, request_id, length = decode_header(header)
+        except FrameError:
+            return None  # desynchronized stream: drop the connection
+        payload = b""
+        if length:
+            try:
+                payload = await reader.readexactly(length)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return None
+            self._t_bytes_in.inc(length)
+        return Frame(msg_type, request_id, payload)
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._t_connections.inc()
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        wlock = asyncio.Lock()
+        tenant: Optional[str] = None
+        authed = not self.tenants
+        pending: set = set()
+        try:
+            while True:
+                frame = await self._read_frame(reader)
+                if frame is None:
+                    break
+                if self._draining:
+                    break  # refuse post-drain frames; the client retries elsewhere
+                if frame.msg_type == m.HELLO and self.tenants:
+                    try:
+                        tenant = self.authenticate(m.decode_json(frame.payload))
+                        authed = True
+                    except (AuthError, m.MessageError) as exc:
+                        await self._write_frame(
+                            writer, wlock,
+                            _error_frame(frame.request_id, "AuthError", str(exc)),
+                        )
+                        break
+                elif not authed:
+                    self._t_auth_failures.inc()
+                    await self._write_frame(
+                        writer, wlock,
+                        _error_frame(
+                            frame.request_id, "AuthError",
+                            "authenticate first (HELLO with client + token)",
+                        ),
+                    )
+                    break
+                # Admission: global in-flight cap, then the tenant's share.
+                # HELLO is exempt — shedding the handshake would refuse the
+                # connection outright (clients can't tell Busy from an auth
+                # failure mid-connect), and it costs one cheap echo.
+                if frame.msg_type != m.HELLO and (
+                    self._inflight_total >= self.max_inflight
+                    or self._tenant_inflight.get(tenant, 0)
+                    >= self.tenant_max_inflight
+                ):
+                    self._t_busy.inc()
+                    await self._write_frame(
+                        writer, wlock,
+                        _error_frame(
+                            frame.request_id, "Busy",
+                            f"{self._inflight_total} requests in flight "
+                            f"(cap {self.max_inflight})",
+                        ),
+                    )
+                    continue
+                if not self.begin_request():
+                    break
+                self._inflight_total += 1
+                self._tenant_inflight[tenant] = (
+                    self._tenant_inflight.get(tenant, 0) + 1
+                )
+                job = asyncio.ensure_future(
+                    self._process(frame, tenant, writer, wlock)
+                )
+                pending.add(job)
+                self._request_tasks.add(job)
+                job.add_done_callback(pending.discard)
+                job.add_done_callback(self._request_tasks.discard)
+        except asyncio.CancelledError:
+            pass  # forced stop: fall through to cleanup
+        finally:
+            if pending:
+                # In-flight responses still flush after the pump stops
+                # (graceful drain finishes started work).
+                with contextlib.suppress(asyncio.CancelledError):
+                    await asyncio.gather(*pending, return_exceptions=True)
+            with contextlib.suppress(Exception):
+                writer.close()
+            self._conn_tasks.discard(task)
+
+    async def _process(
+        self,
+        frame: Frame,
+        tenant: Optional[str],
+        writer: asyncio.StreamWriter,
+        wlock: asyncio.Lock,
+    ) -> None:
+        try:
+            drop_connection = False
+            try:
+                response = await self._in_executor(
+                    self.handle_request_frame, frame, tenant
+                )
+            except ProtocolError as exc:
+                response = _error_frame(
+                    frame.request_id, "ProtocolError", str(exc)
+                )
+                drop_connection = True
+            except asyncio.CancelledError:
+                return  # forced stop abandoned this request
+            self._t_requests.labels(type=m.msg_name(frame.msg_type)).inc()
+            await self._write_frame(writer, wlock, response)
+            if drop_connection:
+                with contextlib.suppress(Exception):
+                    writer.close()
+        finally:
+            self._inflight_total -= 1
+            count = self._tenant_inflight.get(tenant, 1) - 1
+            if count <= 0:
+                self._tenant_inflight.pop(tenant, None)
+            else:
+                self._tenant_inflight[tenant] = count
+            self.end_request()
+
+
+class ThreadedVaultProtocolServer(VaultServerCore, socketserver.ThreadingTCPServer):
+    """The legacy thread-per-connection core (benchmark baseline).
+
+    Kept so the async rewrite has a measured comparison point and an
+    equivalence sweep; new deployments use :class:`VaultProtocolServer`.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        vault: DebarVault,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+        node_name: str = "node",
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_buffered_bytes: int = DEFAULT_MAX_BUFFERED_BYTES,
+        session_ttl: float = DEFAULT_SESSION_TTL,
+        tenants: Optional[List[TenantConfig]] = None,
+    ) -> None:
+        self._init_core(
+            vault, registry, node_name, max_inflight, max_buffered_bytes,
+            session_ttl, tenants,
+        )
+        socketserver.ThreadingTCPServer.__init__(
+            self, (host, port), _ThreadedConnectionHandler
+        )
+
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def _stop_accepting(self) -> None:
+        self.shutdown()  # stop the accept loop; live connections continue
+
+    def _finalize_shutdown(self) -> None:
+        self.server_close()
+
+
+class _ThreadedConnectionHandler(socketserver.BaseRequestHandler):
     """One connection: read frames, dispatch, write responses."""
 
-    server: VaultProtocolServer
+    server: ThreadedVaultProtocolServer
 
     def handle(self) -> None:
         sock: socket.socket = self.request
         srv = self.server
         srv._t_connections.inc()
+        tenant: Optional[str] = None
+        authed = not srv.tenants
 
         def counted_recv(n: int) -> bytes:
             block = sock.recv(n)
@@ -574,24 +1204,39 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
                 return
             except OSError:
                 return
+            if frame.msg_type == m.HELLO and srv.tenants:
+                try:
+                    tenant = srv.authenticate(m.decode_json(frame.payload))
+                    authed = True
+                except (AuthError, m.MessageError) as exc:
+                    self._send(sock, _error_frame(
+                        frame.request_id, "AuthError", str(exc)
+                    ))
+                    return
+            elif not authed:
+                srv._t_auth_failures.inc()
+                self._send(sock, _error_frame(
+                    frame.request_id, "AuthError",
+                    "authenticate first (HELLO with client + token)",
+                ))
+                return
             if not srv.begin_request():
                 return  # draining: refuse post-drain work, drop the line
             try:
-                response = srv.handle_request_frame(frame)
+                response = srv.handle_request_frame(frame, tenant)
             except ProtocolError as exc:
-                response = Frame(m.ERROR, frame.request_id, m.encode_json({
-                    "error": "ProtocolError",
-                    "message": str(exc),
-                }))
-                self._send(sock, frame, response)
+                response = _error_frame(
+                    frame.request_id, "ProtocolError", str(exc)
+                )
+                self._send(sock, response)
                 return
             finally:
                 srv.end_request()
             srv._t_requests.labels(type=m.msg_name(frame.msg_type)).inc()
-            if not self._send(sock, frame, response):
+            if not self._send(sock, response):
                 return
 
-    def _send(self, sock: socket.socket, request: Frame, response: Frame) -> bool:
+    def _send(self, sock: socket.socket, response: Frame) -> bool:
         blob = response.encode()
         try:
             sock.sendall(blob)
@@ -607,13 +1252,20 @@ def serve_vault(
     port: int = 0,
     registry: Optional[MetricsRegistry] = None,
     node_name: str = "node",
-) -> VaultProtocolServer:
+    threaded: bool = False,
+    **limits,
+) -> VaultServerCore:
     """Build a protocol server on ``host:port`` (port 0 = ephemeral).
 
     The caller runs ``serve_forever()`` (or a background thread does, in
     tests) and ``shutdown()`` + ``server_close()`` — or
-    ``shutdown_gracefully()`` — when done.
+    ``shutdown_gracefully()`` — when done.  ``threaded=True`` selects the
+    legacy thread-per-connection core (benchmark baseline); ``limits``
+    forwards admission-control knobs (``max_inflight``,
+    ``max_buffered_bytes``, ``session_ttl``, ``tenants``).
     """
-    return VaultProtocolServer(
-        vault, host=host, port=port, registry=registry, node_name=node_name
+    cls = ThreadedVaultProtocolServer if threaded else VaultProtocolServer
+    return cls(
+        vault, host=host, port=port, registry=registry, node_name=node_name,
+        **limits,
     )

@@ -42,10 +42,13 @@ def write_dataset(root, n_files=5, seed=7):
     return data
 
 
-@pytest.fixture()
-def daemon(tmp_path):
+@pytest.fixture(params=["async", "threaded"])
+def daemon(tmp_path, request):
+    # Every scenario in this module runs against BOTH serving cores: the
+    # async multiplexed event loop (default) and the legacy threaded
+    # baseline, so their externally observable behaviour stays identical.
     vault = DebarVault(tmp_path / "vault")
-    server = serve_vault(vault)
+    server = serve_vault(vault, threaded=request.param == "threaded")
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     host, port = server.server_address
@@ -135,6 +138,27 @@ class TestRemoteBackupRestore:
         assert client.runs() == []
         report = client.gc()
         assert report["containers_removed"] >= 1
+
+    def test_remote_deep_verify_reports_corruption_in_band(
+        self, daemon, client, tmp_path
+    ):
+        # Media rot found by a remote deep verify must come back as an
+        # in-band finding ({"ok": False, ...} -> exit 3), not as a typed
+        # exception lost over the wire (regression: CorruptionError is a
+        # MediaError, which _on_verify's VaultError catch used to miss).
+        vault, _, _ = daemon
+        data = write_dataset(tmp_path, n_files=2)
+        client.backup("rot", [str(data)])
+        cid = vault.repository.container_ids()[0]
+        path = vault.repository.path_for(cid)
+        blob = bytearray(path.read_bytes())
+        blob[100] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        # Drop the cached image so the deep verify re-reads the rotted disk.
+        vault.repository.invalidate(cid)
+        verdict = client.verify(deep=True)
+        assert verdict["ok"] is False
+        assert verdict["finding"]
 
     def test_remote_error_for_missing_run(self, client, tmp_path):
         with pytest.raises(RemoteError) as exc:

@@ -120,6 +120,54 @@ def test_sigterm_drains_replication_queue(tmp_path):
 
 
 class TestGracefulDrainInProcess:
+    @pytest.mark.parametrize("threaded", [False, True], ids=["async", "threaded"])
+    def test_drain_under_load_completes_without_timeout(self, tmp_path, threaded):
+        # Regression for the drain-flag ordering bug: persistent
+        # connections hammering the daemon used to keep admitting new
+        # requests while shutdown_gracefully waited for in-flight to hit
+        # zero, so every drain under load exited via its timeout.  With
+        # the flag raised BEFORE the wait, the hammering clients are
+        # refused and the drain completes promptly.
+        vault = DebarVault(tmp_path / "vault")
+        server = serve_vault(vault, threaded=threaded)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        stop_hammer = threading.Event()
+        counts = [0] * 4
+
+        def hammer(slot):
+            net = NetClient("127.0.0.1", server.port, retry=FAST_RETRY)
+            try:
+                while not stop_hammer.is_set():
+                    net.call(m.PING, b"x")
+                    counts[slot] += 1
+            except Exception:
+                pass  # refused/dropped once the drain begins
+            finally:
+                net.close()
+
+        hammers = [
+            threading.Thread(target=hammer, args=(i,), daemon=True)
+            for i in range(len(counts))
+        ]
+        for t in hammers:
+            t.start()
+        # Let the load establish itself before draining.
+        deadline = time.monotonic() + 5.0
+        while sum(counts) < 20 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert sum(counts) >= 20, "hammer clients never got going"
+        t0 = time.monotonic()
+        try:
+            drained = server.shutdown_gracefully(timeout=10.0)
+            elapsed = time.monotonic() - t0
+            assert drained is True
+            assert elapsed < 8.0, f"drain under load took {elapsed:.1f}s"
+        finally:
+            stop_hammer.set()
+            for t in hammers:
+                t.join(5.0)
+            vault.close()
+
     def test_drain_finishes_in_flight_then_refuses(self, tmp_path):
         vault = DebarVault(tmp_path / "vault")
         server = serve_vault(vault)
