@@ -1,0 +1,158 @@
+"""The storage-backend interface and its error taxonomy.
+
+Every backend speaks the same six verbs over opaque keys:
+
+========== =============================================================
+``put``     store an immutable object (overwrite = idempotent re-put)
+``get``     whole object
+``get_range``  one byte range
+``get_ranges`` several byte ranges of one object in a single request —
+            the multi-range batch call the cold-tier read planner feeds
+``delete``  drop an object (missing = KeyError-compatible error)
+``list_keys`` keys under a prefix, sorted
+``stat``    size without bytes
+========== =============================================================
+
+Errors split into *permanent* (:class:`ObjectMissingError`, corrupt
+request) and *transient* (:class:`TransientBackendError` — a 5xx-style
+hiccup; :class:`ThrottledError` — a 503/SlowDown).  Backends with a retry
+policy absorb transients internally; when the budget runs out they raise
+:class:`RetryExhaustedError`, which is **not** transient — callers treat
+it as the backend being down.
+
+``ObjectMissingError`` subclasses ``KeyError`` so repository code that
+already catches ``KeyError`` for "container not stored" keeps working
+unchanged against any backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.telemetry.registry import MetricsRegistry, get_registry
+
+
+class BackendError(Exception):
+    """Base of everything a storage backend can raise."""
+
+
+class ObjectMissingError(BackendError, KeyError):
+    """The named object does not exist (a 404)."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return BackendError.__str__(self)
+
+
+class TransientBackendError(BackendError):
+    """A retryable, 5xx-style failure (internal error, connection reset)."""
+
+
+class ThrottledError(TransientBackendError):
+    """The backend shed the request (503 SlowDown); retry after backoff."""
+
+
+class RetryExhaustedError(BackendError, OSError):
+    """Transient failures outlasted the retry budget; the backend is down.
+
+    Also an ``OSError``: failover readers and the CLI already treat
+    "the medium is unreachable" as an I/O failure, so a dead cold tier
+    falls through to replicas (and exits 1) without new catch sites.
+    """
+
+
+@dataclass(frozen=True)
+class ObjectStat:
+    """What ``stat`` knows without fetching bytes."""
+
+    key: str
+    size: int
+
+
+class BackendTelemetry:
+    """``storage.*`` instruments shared by every backend implementation.
+
+    One instance per backend object, labelled with the backend's name so
+    a tiered repository's hot and cold traffic stay distinguishable in
+    the same registry.
+    """
+
+    def __init__(self, backend: str, registry: Optional[MetricsRegistry] = None) -> None:
+        registry = registry if registry is not None else get_registry()
+        self.requests = registry.counter(
+            "storage.requests", "backend requests issued, by operation"
+        )
+        self.bytes_fetched = registry.counter(
+            "storage.bytes_fetched", "object bytes fetched from a backend"
+        ).labels(backend=backend)
+        self.bytes_stored = registry.counter(
+            "storage.bytes_stored", "object bytes written to a backend"
+        ).labels(backend=backend)
+        self.batched_gets = registry.counter(
+            "storage.batched_gets",
+            "multi-range GET requests (one request, many ranges)",
+        ).labels(backend=backend)
+        self.single_gets = registry.counter(
+            "storage.single_gets", "single-range or whole-object GET requests"
+        ).labels(backend=backend)
+        self.retries = registry.counter(
+            "storage.retries", "transient backend failures retried"
+        ).labels(backend=backend)
+        self.throttled = registry.counter(
+            "storage.throttled", "requests the backend shed with a throttle"
+        ).labels(backend=backend)
+        self.errors = registry.counter(
+            "storage.errors", "backend requests that failed permanently"
+        ).labels(backend=backend)
+        self._backend = backend
+
+    def request(self, op: str) -> None:
+        self.requests.labels(backend=self._backend, op=op).inc()
+
+
+class StorageBackend:
+    """Abstract key/value object store (see module docstring).
+
+    Subclasses implement the six verbs; ``get_ranges`` has a default
+    loop-of-``get_range`` implementation so a minimal backend works out
+    of the box — object stores override it to answer all ranges in one
+    request (that override is what makes adjacent-GET batching pay).
+    """
+
+    #: Short name used in telemetry labels and reports.
+    name = "backend"
+
+    def put(self, key: str, data: bytes) -> None:
+        raise NotImplementedError
+
+    def get(self, key: str) -> bytes:
+        raise NotImplementedError
+
+    def get_range(self, key: str, offset: int, length: int) -> bytes:
+        raise NotImplementedError
+
+    def get_ranges(
+        self, key: str, ranges: Sequence[Tuple[int, int]]
+    ) -> List[bytes]:
+        """Fetch several ``(offset, length)`` ranges of one object.
+
+        Default: one ``get_range`` request per range.  Batched backends
+        override this to answer every range in a single request.
+        """
+        return [self.get_range(key, off, length) for off, length in ranges]
+
+    def delete(self, key: str) -> None:
+        raise NotImplementedError
+
+    def list_keys(self, prefix: str = "") -> List[str]:
+        raise NotImplementedError
+
+    def stat(self, key: str) -> ObjectStat:
+        raise NotImplementedError
+
+    def exists(self, key: str) -> bool:
+        try:
+            self.stat(key)
+            return True
+        except ObjectMissingError:
+            return False

@@ -227,7 +227,14 @@ def _restore_with_failover(args, target, replicas: List[str]) -> List[Path]:
         else:
             raise VaultError(f"no run {args.run} in this vault")
         entries = run.files
-        primary = ("local vault", target.chunk_store)
+        # Cold-capable when a cold tier is attached: hot chunks via the
+        # chunk store, cold chunks via planned range GETs; a dead cold
+        # backend raises OSError and falls through to the replicas.
+        local_source = (
+            target.cold_reader()
+            if target.repository.cold is not None else target.chunk_store
+        )
+        primary = ("local vault", local_source)
         engine = target.engine
     sources = [primary]
     for spec in replicas:
@@ -377,6 +384,78 @@ def cmd_scrub(args) -> int:
     return EXIT_CORRUPTION if report.unrepaired else EXIT_OK
 
 
+def cmd_migrate(args) -> int:
+    """Move eligible hot containers to the object-store cold tier."""
+    if not Path(args.vault).is_dir():
+        print(f"error: no vault at {args.vault}", file=sys.stderr)
+        return EXIT_ERROR
+    from repro.backend.lifecycle import LifecycleManager, LifecyclePolicy
+
+    registry, tracer = _telemetry_begin(args)
+    with DebarVault(args.vault) as vault:
+        if vault.repository.cold is None or args.cold_root:
+            vault.enable_cold_tier(root=args.cold_root)
+        manager = LifecycleManager(
+            vault,
+            LifecyclePolicy(
+                min_age_runs=args.min_age, min_idle_runs=args.min_idle
+            ),
+        )
+        report = manager.migrate(limit=args.limit, dry_run=args.dry_run)
+        verb = "would migrate" if args.dry_run else "migrated"
+        print(
+            f"{verb} {report.migrated} of {report.examined} hot containers "
+            f"({fmt_bytes(report.bytes_moved)}); {report.skipped} kept hot, "
+            f"{report.already_cold} already cold"
+        )
+        for failure in report.failed:
+            print(f"  failed: {failure}", file=sys.stderr)
+        if args.report_json:
+            Path(args.report_json).write_text(
+                json.dumps(report.to_json(), indent=1)
+            )
+            print(f"migration report written to {args.report_json}")
+        _telemetry_finish(args, registry, tracer)
+    return EXIT_ERROR if report.failed else EXIT_OK
+
+
+def cmd_tier_status(args) -> int:
+    """Per-tier container placement and lifecycle scores."""
+    if not Path(args.vault).is_dir():
+        print(f"error: no vault at {args.vault}", file=sys.stderr)
+        return EXIT_ERROR
+    from repro.backend.lifecycle import LifecycleManager, LifecyclePolicy
+
+    with DebarVault(args.vault) as vault:
+        manager = LifecycleManager(
+            vault,
+            LifecyclePolicy(
+                min_age_runs=args.min_age, min_idle_runs=args.min_idle
+            ),
+        )
+        status = manager.tier_status()
+        tiers = status["tiers"]
+        print(
+            f"hot : {tiers['hot']['containers']} containers "
+            f"({fmt_bytes(tiers['hot']['bytes'])})"
+        )
+        print(
+            f"cold: {tiers['cold']['containers']} containers "
+            f"({fmt_bytes(tiers['cold']['bytes'])})"
+            + ("" if status["cold_attached"] else "  [no cold tier attached]")
+        )
+        for c in status["containers"]:
+            mark = " eligible" if c["eligible"] and c["tier"] == "hot" else ""
+            print(
+                f"  container {c['container_id']:>4}  {c['tier']:<4} "
+                f"age={c['age_runs']} idle={c['idle_runs']}{mark}"
+            )
+        if args.json:
+            Path(args.json).write_text(json.dumps(status, indent=1))
+            print(f"tier status written to {args.json}")
+    return EXIT_OK
+
+
 def cmd_recover_index(args) -> int:
     with _open(args) as vault:
         entries = vault.recover_index()
@@ -394,6 +473,8 @@ def cmd_serve(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
     with DebarVault(args.vault) as vault:
+        if args.cold_root:
+            vault.enable_cold_tier(root=args.cold_root)
         try:
             server = serve_vault(
                 vault,
@@ -708,6 +789,46 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry_opts(p)
     p.set_defaults(func=cmd_scrub, trace=False)
 
+    def lifecycle_opts(p):
+        p.add_argument(
+            "--min-age", type=int, default=1, metavar="RUNS",
+            help="runs since a container was first referenced before it "
+            "may go cold",
+        )
+        p.add_argument(
+            "--min-idle", type=int, default=0, metavar="RUNS",
+            help="runs since a container was last referenced before it "
+            "may go cold (0 = the newest run's containers qualify too)",
+        )
+
+    p = sub.add_parser(
+        "migrate", help="move aged sealed containers to the cold tier"
+    )
+    common(p)
+    p.add_argument(
+        "--cold-root", default=None, metavar="PATH",
+        help="object-store bucket directory (default <vault>/cold; "
+        "persisted in the catalog, so later commands re-attach it)",
+    )
+    lifecycle_opts(p)
+    p.add_argument("--limit", type=int, default=None, metavar="N",
+                   help="migrate at most N containers this pass")
+    p.add_argument("--dry-run", action="store_true",
+                   help="report what would move without moving anything")
+    p.add_argument("--report-json", default=None, metavar="PATH",
+                   help="also write the migration report JSON to PATH")
+    telemetry_opts(p)
+    p.set_defaults(func=cmd_migrate, trace=False)
+
+    p = sub.add_parser(
+        "tier-status", help="per-tier placement and lifecycle scores"
+    )
+    common(p)
+    lifecycle_opts(p)
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the tier status JSON to PATH")
+    p.set_defaults(func=cmd_tier_status)
+
     p = sub.add_parser("recover-index", help="rebuild the index from containers")
     common(p)
     p.set_defaults(func=cmd_recover_index)
@@ -760,6 +881,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threaded", action="store_true",
                    help="use the legacy thread-per-connection core instead "
                    "of the async event loop (benchmark baseline)")
+    p.add_argument(
+        "--cold-root", default=None, metavar="PATH",
+        help="attach (and persist) an object-store cold tier at PATH "
+        "before serving; migrated containers stay restorable remotely",
+    )
     telemetry_opts(p)
     p.set_defaults(func=cmd_serve, trace=False)
 

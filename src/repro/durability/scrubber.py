@@ -304,29 +304,38 @@ class Scrubber:
         for cid in ids:
             if self._budget.exhausted():
                 return cid
-            path = repo.path_for(cid)
-            if not self.fs.exists(path):
-                continue  # removed since the id list was taken (gc race)
-            blob = self.fs.read_file(path)
-            report.bytes_read += len(blob)
-            self._budget.charge_bytes(len(blob))
-            report.containers_scanned += 1
             try:
-                container = Container.deserialize(
-                    cid, blob, capacity=repo.container_bytes
-                )
+                tier = repo.tier_of(cid)
+            except KeyError:
+                continue  # removed since the id list was taken (gc race)
+            try:
+                if tier == "cold":
+                    container, faults, nbytes, nrecords = (
+                        self._check_cold_container(repo, cid)
+                    )
+                else:
+                    container, faults, nbytes, nrecords = (
+                        self._check_hot_container(repo, cid)
+                    )
+            except KeyError:
+                continue  # gc race after the tier check
             except CorruptionError as exc:
+                report.containers_scanned += 1
                 report.corrupt_found += 1
-                self._handle_unparseable_container(report, repair, cid, path, exc)
+                self._handle_unparseable_container(report, repair, cid, exc)
                 continue
-            report.records_checked += len(container.records)
-            self._budget.charge_records(len(container.records))
-            faults = container.verify_payloads()
+            report.containers_scanned += 1
+            report.bytes_read += nbytes
+            self._budget.charge_bytes(nbytes)
+            report.records_checked += nrecords
+            self._budget.charge_records(nrecords)
             if not faults:
                 continue
             report.corrupt_found += len(faults)
             if repair:
-                self._repair_payloads(report, cid, path, container, faults)
+                if container is None:
+                    container = repo.fetch(cid)
+                self._repair_payloads(report, cid, container, faults)
             else:
                 for fault in faults:
                     report.add(ScrubFinding(
@@ -337,6 +346,25 @@ class Scrubber:
                         offset=fault.file_offset,
                     ))
         return None
+
+    def _check_hot_container(self, repo, cid: int):
+        """Full-image check of a hot container (one local file read)."""
+        blob = repo.read_image(cid)
+        container = Container.deserialize(cid, blob, capacity=repo.container_bytes)
+        return (
+            container, container.verify_payloads(), len(blob),
+            len(container.records),
+        )
+
+    def _check_cold_container(self, repo, cid: int):
+        """Ranged check of a cold container — metadata from a bounded
+        prefix GET, payloads from coalesced multi-range GETs; the image
+        (and its zero padding in particular) is never downloaded whole.
+        The container object is fetched lazily, only if repair needs it.
+        """
+        faults, nbytes = repo.verify_cold_payloads(cid)
+        records, _, _ = repo.fetch_meta(cid)
+        return None, faults, nbytes, len(records)
 
     def _peer_name(self, position: int, peer: object) -> str:
         name = getattr(peer, "name", None)
@@ -367,7 +395,7 @@ class Scrubber:
         return None
 
     def _repair_payloads(
-        self, report: ScrubReport, cid: int, path, container: Container, faults
+        self, report: ScrubReport, cid: int, container: Container, faults
     ) -> None:
         data = bytearray(container.data)
         records: List[ChunkRecord] = list(container.records)
@@ -402,12 +430,13 @@ class Scrubber:
             ))
         if fixed:
             healed = Container(cid, records, bytes(data), container.capacity)
-            self.fs.write_file(path, healed.serialize())
-            self.vault.repository.invalidate(cid)
+            # write_image heals in place on whichever tier holds the
+            # container and invalidates the read/metadata caches.
+            self.vault.repository.write_image(cid, healed.serialize())
             report.repaired += fixed
 
     def _handle_unparseable_container(
-        self, report: ScrubReport, repair: bool, cid: int, path, exc: CorruptionError
+        self, report: ScrubReport, repair: bool, cid: int, exc: CorruptionError
     ) -> None:
         """Metadata section lost: rebuild from the index + repair sources.
 
@@ -449,8 +478,7 @@ class Scrubber:
                 recovered[fp], source = found
                 if source not in sources:
                     sources.append(source)
-        qpath = path.with_suffix(path.suffix + ".quarantine")
-        self.fs.replace(path, qpath)
+        self.vault.repository.quarantine(cid)
         if recovered:
             records: List[ChunkRecord] = []
             blob = bytearray()
@@ -458,8 +486,7 @@ class Scrubber:
                 records.append(ChunkRecord(fp, len(payload), len(blob)))
                 blob.extend(payload)
             rebuilt = Container(cid, records, bytes(blob), self.vault.container_bytes)
-            self.fs.write_file(path, rebuilt.serialize())
-        self.vault.repository.invalidate(cid)
+            self.vault.repository.write_image(cid, rebuilt.serialize())
         for fp in lost:
             index.delete(fp)
             self._mark_degraded(report, fp)

@@ -44,6 +44,7 @@ from repro.net import messages as m
 from repro.net.framing import Frame, FrameError, ProtocolError, read_frame
 from repro.telemetry.clock import wall_now
 from repro.telemetry.registry import MetricsRegistry, get_registry
+from repro.util.ranges import Span, leading_run
 
 PathLike = Union[str, Path]
 
@@ -422,12 +423,19 @@ class RemoteChunkReader:
         while pos < len(self._plan) and self._plan[pos] != fp:
             pos += 1
         if pos < len(self._plan):
+            # The batch window is the leading adjacent run of the plan from
+            # this position — the same coalescing geometry the cold-tier
+            # read planner uses over byte ranges (repro.util.ranges).
+            spans = [
+                Span(i, 1, self._plan[i])
+                for i in range(pos, min(pos + self._batch, len(self._plan)))
+            ]
             window: List[Fingerprint] = []
             seen = set()
-            for planned in self._plan[pos : pos + self._batch]:
-                if planned not in seen:
-                    window.append(planned)
-                    seen.add(planned)
+            for span in leading_run(spans, max_items=self._batch):
+                if span.item not in seen:
+                    window.append(span.item)
+                    seen.add(span.item)
             self._plan_pos = pos + 1
             self._fetch(window)
             data = self._cache.pop(fp, None)

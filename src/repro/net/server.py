@@ -738,9 +738,9 @@ class VaultServerCore:
             # Our own container: serve the primary copy (re-replication and
             # peer-driven repair pull from the origin like any replica).
             with self.vault_lock:
-                image = self.vault.fs.read_file(
-                    self.vault.repository.path_for(container_id)
-                )
+                # read_image serves either tier, so peers can rebuild from
+                # a node whose containers have been migrated cold.
+                image = self.vault.repository.read_image(container_id)
         else:
             image = self.replica_store.fetch_image(origin, container_id)
         return m.CONTAINER_IMAGE, m.encode_container_image(

@@ -379,14 +379,16 @@ class Replicator:
     def _push_container(
         self, client: NetClient, channel: _PeerChannel, cid: int
     ) -> None:
-        path = self.vault.repository.path_for(cid)
-        if not self.vault.fs.exists(path):
+        repo = self.vault.repository
+        if cid not in repo:
             # Sealed then garbage-collected before shipping: nothing owed.
             with self._cond:
                 self._acked[channel.name].add(cid)
                 self._save_state()
             return
-        image = self.vault.fs.read_file(path)
+        # Tier-agnostic: a container the lifecycle manager already moved
+        # cold still ships its byte-identical image to the replica.
+        image = repo.read_image(cid)
         envelope = {
             "origin": self.node_name,
             "container_id": cid,

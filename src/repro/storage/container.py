@@ -94,6 +94,54 @@ class PayloadFault:
     reason: str
 
 
+class MetaPrefixShort(Exception):
+    """:meth:`Container.parse_meta` needs more leading bytes.
+
+    ``needed`` is the prefix length that will satisfy the parse — the
+    caller issues one more range read of exactly that much and retries.
+    """
+
+    def __init__(self, needed: int) -> None:
+        super().__init__(f"metadata section needs {needed} leading bytes")
+        self.needed = needed
+
+
+def verify_records(
+    records: List[ChunkRecord],
+    read_at: Callable[[int, int], bytes],
+    base_offset: int = 0,
+) -> List[PayloadFault]:
+    """Check chunk payloads against their stored checksums via a reader.
+
+    ``read_at(offset, size)`` returns payload bytes at a data-section
+    offset — a slice of an in-memory image, a :class:`SegmentBuffer` over
+    a few coalesced range GETs, or a raw backend ``get_range``.  This is
+    what lets deep verify of a *cold* container check exactly the suspect
+    records instead of downloading the whole image.  Framed records verify
+    via CRC32C; legacy records (no CRC) re-hash against the fingerprint.
+    """
+    faults: List[PayloadFault] = []
+    for rec in records:
+        where = base_offset + rec.offset
+        try:
+            chunk = read_at(rec.offset, rec.size)
+        except KeyError:
+            faults.append(PayloadFault(rec.fingerprint, where, "payload unreadable"))
+            continue
+        if len(chunk) < rec.size:
+            faults.append(PayloadFault(rec.fingerprint, where, "payload cut short"))
+        elif rec.crc is not None:
+            if crc32c(chunk) != rec.crc:
+                faults.append(
+                    PayloadFault(rec.fingerprint, where, "payload CRC mismatch")
+                )
+        elif hashlib.sha1(chunk).digest() != rec.fingerprint:
+            faults.append(
+                PayloadFault(rec.fingerprint, where, "payload digest mismatch (legacy)")
+            )
+    return faults
+
+
 @dataclass
 class Container:
     """A sealed, self-described container.
@@ -234,30 +282,81 @@ class Container:
         data = blob[data_start : data_start + data_len]
         return cls(container_id, records, data, capacity, legacy=legacy)
 
-    def verify_payloads(self) -> List[PayloadFault]:
-        """Check every chunk payload against its stored checksum.
+    @classmethod
+    def parse_meta(
+        cls, container_id: int, prefix: bytes
+    ) -> tuple:
+        """Parse ``(records, data_start, legacy)`` from a leading image slice.
 
-        Framed records verify via their CRC32C; legacy records (no CRC)
-        fall back to re-hashing the payload against its fingerprint.
-        Virtual (metadata-only) containers have nothing to verify.
+        The cold tier fetches container metadata with a bounded range read
+        instead of the whole image; when the supplied prefix is too short
+        for the record array, :class:`MetaPrefixShort` names the exact
+        prefix length a retry needs.  The framed metadata CRC is verified
+        here, same as :meth:`deserialize`.
         """
-        faults: List[PayloadFault] = []
-        if self.data is None:
-            return faults
-        base = self.data_start
-        for rec in self.records:
-            chunk = self.data[rec.offset : rec.offset + rec.size]
-            where = base + rec.offset
-            if len(chunk) < rec.size:
-                faults.append(PayloadFault(rec.fingerprint, where, "payload cut short"))
-            elif rec.crc is not None:
-                if crc32c(chunk) != rec.crc:
-                    faults.append(PayloadFault(rec.fingerprint, where, "payload CRC mismatch"))
-            elif hashlib.sha1(chunk).digest() != rec.fingerprint:
-                faults.append(
-                    PayloadFault(rec.fingerprint, where, "payload digest mismatch (legacy)")
+        artifact = f"container {container_id}"
+        if len(prefix) < FRAMED_META_FIXED:
+            raise MetaPrefixShort(FRAMED_META_FIXED)
+        if has_superblock(prefix):
+            sb, off = unpack_superblock(prefix, artifact=artifact)
+            if sb.kind != KIND_CONTAINER:
+                raise CorruptionError(
+                    f"{artifact}: superblock kind {sb.kind!r} is not a container",
+                    artifact=artifact, container_id=container_id,
                 )
-        return faults
+            stored_id, count, meta_crc = _SB_PAYLOAD.unpack(sb.payload)
+            if stored_id != container_id:
+                raise CorruptionError(
+                    f"{artifact}: image claims to be container {stored_id}",
+                    artifact=artifact, container_id=container_id,
+                )
+            needed = off + count * _FRAMED_RECORD.size
+            if len(prefix) < needed:
+                raise MetaPrefixShort(needed)
+            meta = prefix[off:needed]
+            if crc32c(meta) != meta_crc:
+                raise CorruptionError(
+                    f"{artifact}: metadata section CRC mismatch",
+                    artifact=artifact, container_id=container_id, offset=off,
+                )
+            records = [
+                ChunkRecord(*_FRAMED_RECORD.unpack_from(meta, i * _FRAMED_RECORD.size))
+                for i in range(count)
+            ]
+            return records, needed, False
+        if len(prefix) < _META_HEADER.size:
+            raise MetaPrefixShort(_META_HEADER.size)
+        (count,) = _META_HEADER.unpack_from(prefix, 0)
+        needed = _META_HEADER.size + count * _META_RECORD.size
+        if len(prefix) < needed:
+            raise MetaPrefixShort(needed)
+        records = []
+        at = _META_HEADER.size
+        for _ in range(count):
+            fp, size, offset = _META_RECORD.unpack_from(prefix, at)
+            records.append(ChunkRecord(fp, size, offset))
+            at += _META_RECORD.size
+        return records, needed, True
+
+    def verify_payloads(
+        self, records: Optional[List[ChunkRecord]] = None
+    ) -> List[PayloadFault]:
+        """Check chunk payloads against their stored checksums.
+
+        ``records`` narrows the check to a suspect subset (default: all).
+        Virtual (metadata-only) containers have nothing to verify.  The
+        actual checking is :func:`verify_records`, shared with the cold
+        tier's ranged verify so an in-memory image and a range-read sweep
+        cannot diverge.
+        """
+        if self.data is None:
+            return []
+        data = self.data
+        return verify_records(
+            self.records if records is None else records,
+            lambda offset, size: data[offset : offset + size],
+            base_offset=self.data_start,
+        )
 
 
 class ContainerWriter:

@@ -25,6 +25,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.backend.cache import LruMetaCache
+from repro.backend.objectstore import ObjectStoreBackend, RequestProfile
+from repro.backend.planner import ColdChunkReader
 from repro.chunking.cdc import ContentDefinedChunker
 from repro.client.backup_client import BackupEngine
 from repro.core.checking import CheckingFile
@@ -39,7 +42,7 @@ from repro.server.chunk_store import ChunkStore
 from repro.server.file_store import FileStore
 from repro.storage.blockstore import FileBlockStore
 from repro.storage.chunk_log import PersistentChunkLog
-from repro.storage.file_repository import FileChunkRepository
+from repro.storage.tiered import TieredChunkRepository
 from repro.telemetry.clock import wall_now
 from repro.telemetry.registry import MetricsRegistry, get_registry
 from repro.telemetry.tracing import trace_span
@@ -133,12 +136,14 @@ class DebarVault:
         self._t_retries = self.telemetry.counter(
             "io.retries", "transient I/O errors retried by the storage layer"
         ).labels()
-        self.repository = FileChunkRepository(
+        self.repository = TieredChunkRepository(
             self.root / _CONTAINERS,
             container_bytes=container_bytes,
             fs=self.fs,
             on_retry=self._t_retries.inc,
         )
+        if self._catalog.get("cold"):
+            self._attach_cold(self._catalog["cold"])
         index_size = (1 << index_n_bits) * index_bucket_bytes
         self._index_store = FileBlockStore(
             self.root / _INDEX, index_size, fs=self.fs, on_retry=self._t_retries.inc
@@ -185,6 +190,67 @@ class DebarVault:
             if self.recovery_report.replayed:
                 self._sync_index_geometry()
                 self._flush_index()
+
+    # -- cold tier ----------------------------------------------------------------
+    def _cold_root(self, config: dict) -> Path:
+        root = Path(config["root"])
+        return root if root.is_absolute() else self.root / root
+
+    def _attach_cold(self, config: dict) -> None:
+        backend = ObjectStoreBackend(
+            self._cold_root(config),
+            profile=RequestProfile.from_json(config.get("profile")),
+            registry=self.telemetry,
+        )
+        self.repository.attach_cold(
+            backend,
+            meta_cache=LruMetaCache(
+                capacity=int(config.get("meta_cache_capacity", 1024)),
+                registry=self.telemetry,
+            ),
+        )
+
+    def enable_cold_tier(
+        self,
+        root: Optional[PathLike] = None,
+        profile: Optional[RequestProfile] = None,
+        meta_cache_capacity: int = 1024,
+    ) -> None:
+        """Attach an object-store cold tier and persist it in the catalog.
+
+        ``root`` is the bucket directory (default ``<vault>/cold``; stored
+        relative to the vault root when inside it, so the vault stays
+        relocatable).  Idempotent — re-enabling rewires the same bucket.
+        Every subsequent open re-attaches automatically.
+        """
+        path = Path(root) if root is not None else self.root / "cold"
+        try:
+            stored = str(path.resolve().relative_to(self.root.resolve()))
+        except ValueError:
+            stored = str(path)
+        config = {
+            "backend": "object",
+            "root": stored,
+            "profile": (profile or RequestProfile()).to_json(),
+            "meta_cache_capacity": meta_cache_capacity,
+        }
+        self._catalog["cold"] = config
+        self._attach_cold(config)
+        self._save_catalog()
+
+    def cold_reader(self, plan: Optional[List[bytes]] = None, batch: bool = True) -> ColdChunkReader:
+        """A tier-aware chunk reader (hot via the chunk store's LPC, cold
+        via planned multi-range GETs), primed with ``plan`` if given."""
+        reader = ColdChunkReader(
+            self.repository,
+            self.tpds.index,
+            self.chunk_store,
+            batch=batch,
+            registry=self.telemetry,
+        )
+        if plan is not None:
+            reader.plan(plan)
+        return reader
 
     # -- index superblock ---------------------------------------------------------
     def _read_index_generation(self) -> int:
@@ -378,9 +444,16 @@ class DebarVault:
                 break
         else:
             raise VaultError(f"no run {run_id} in this vault")
+        source = self.chunk_store
+        if self.repository.cold is not None:
+            # Cold-capable reader: hot chunks still flow through the LPC,
+            # cold chunks through planned, coalesced multi-range GETs.
+            source = self.cold_reader(
+                [fp for e in run.files for fp in e.fingerprints]
+            )
         with trace_span("restore", sim_clock=self.tpds.clock, run_id=run_id) as span:
             paths = self.engine.restore_run(
-                run.files, self.chunk_store, dest, strip_prefix
+                run.files, source, dest, strip_prefix
             )
             span.set_io(bytes_out=sum(e.metadata.size for e in run.files))
             span.annotate(files=len(paths))
@@ -617,6 +690,11 @@ class DebarVault:
             "physical_bytes": physical,
             "compression_ratio": logical / physical if physical else float("inf"),
             "containers": len(self.repository),
+            "containers_cold": sum(
+                1
+                for cid in self.repository.container_ids()
+                if self.repository.tier_of(cid) == "cold"
+            ),
             "index_entries": len(self.tpds.index),
             "index_utilization": self.tpds.index.utilization,
         }

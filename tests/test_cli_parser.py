@@ -14,7 +14,7 @@ class TestParser:
         assert set(sub.choices) == {
             "backup", "list", "restore", "verify", "audit", "stats",
             "forget", "gc", "scrub", "recover-index", "serve", "trace",
-            "rebuild", "repl-status",
+            "rebuild", "repl-status", "migrate", "tier-status",
         }
 
     def test_backup_requires_job_and_paths(self):
@@ -182,6 +182,40 @@ class TestParser:
         assert args.limit == 500 and args.rate == 8.0
         assert args.report_json == "/tmp/r.json"
         assert args.reset_cursor is True
+
+    def test_migrate_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["migrate", "--vault", "/v"])
+        assert args.cold_root is None
+        assert args.min_age == 1 and args.min_idle == 0
+        assert args.limit is None and args.dry_run is False
+        args = parser.parse_args([
+            "migrate", "--vault", "/v", "--cold-root", "/bucket",
+            "--min-age", "2", "--min-idle", "1", "--limit", "5",
+            "--dry-run", "--report-json", "/tmp/m.json",
+        ])
+        assert args.cold_root == "/bucket"
+        assert args.min_age == 2 and args.min_idle == 1
+        assert args.limit == 5 and args.dry_run is True
+        assert args.report_json == "/tmp/m.json"
+
+    def test_tier_status_flags(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):  # local-only: --vault required
+            parser.parse_args(["tier-status"])
+        args = parser.parse_args(
+            ["tier-status", "--vault", "/v", "--json", "/tmp/t.json"]
+        )
+        assert args.json == "/tmp/t.json"
+        assert args.min_age == 1 and args.min_idle == 0
+
+    def test_serve_cold_root_flag(self):
+        parser = build_parser()
+        assert parser.parse_args(["serve", "--vault", "/v"]).cold_root is None
+        args = parser.parse_args(
+            ["serve", "--vault", "/v", "--cold-root", "/bucket"]
+        )
+        assert args.cold_root == "/bucket"
 
     def test_audit_refuses_missing_vault(self, tmp_path, capsys):
         # Opening a vault creates one; the auditor must not conjure an
