@@ -1,0 +1,194 @@
+"""Front-door routing overhead: direct vs redirect vs proxy backup.
+
+The router offers two data paths (DESIGN.md §14.3): **redirect**, where
+a smart client pays one ``ROUTE_LOOKUP``, rebuilds the ring locally and
+then streams straight to the owning node — and **proxy**, where a dumb
+client sends every frame to the router, which re-frames it onto the
+right downstream.  This bench backs up the same synthetic dataset over
+all three paths against the same two-node cluster shape and reports
+throughput per path.
+
+The redirect gate is the point of the design: one extra control-plane
+round trip amortised over megabytes must cost ≤5% versus dialing the
+node directly (a small absolute epsilon absorbs scheduler noise on
+short runs).  Proxying is *expected* to cost real throughput — every
+byte crosses the wire twice — so it only carries a loose sanity floor;
+the number is tracked here so a regression (say, the router serialising
+frames it should stream) is visible in the result history.
+"""
+
+import random
+import threading
+import time
+from pathlib import Path
+
+from harness import save_result, telemetry_session
+from conftest import print_table, volume_scale
+
+from repro.frontdoor.client import RouterClient
+from repro.frontdoor.membership import ClusterMembership
+from repro.frontdoor.router import FrontDoorRouter
+from repro.net.client import RemoteBackupClient, RetryPolicy
+from repro.net.server import serve_vault
+from repro.system.vault import DebarVault
+
+#: Dataset volume at scale 1.0 (~24 MB): big enough that one extra
+#: round trip is amortised into the noise floor, small enough for CI.
+N_FILES = 24
+FILE_BYTES = 1 << 20
+
+RETRY = RetryPolicy(max_attempts=3, base_delay=0.05, timeout=30.0,
+                    connect_timeout=5.0)
+
+
+def _write_dataset(root: Path, scale: float, seed: int) -> Path:
+    rng = random.Random(seed)
+    data = root / f"data-{seed}"
+    data.mkdir()
+    for i in range(max(2, int(N_FILES * scale))):
+        head = rng.randbytes(FILE_BYTES // 2)
+        (data / f"f{i:03d}.bin").write_bytes(head + head[: FILE_BYTES // 2])
+    return data
+
+
+class _Cluster:
+    """Two daemons + a router, torn down as a unit."""
+
+    def __init__(self, tmp: Path, registry) -> None:
+        self.vaults = [
+            DebarVault(tmp / "node-a"), DebarVault(tmp / "node-b")
+        ]
+        self.servers = []
+        for vault, name in zip(self.vaults, ("a", "b")):
+            server = serve_vault(vault, node_name=name)
+            threading.Thread(target=server.serve_forever, daemon=True).start()
+            self.servers.append(server)
+        self.membership = ClusterMembership(
+            tmp / "router-state", replication_factor=2
+        )
+        for server, name in zip(self.servers, ("a", "b")):
+            self.membership.join(name, f"{server.host}:{server.port}")
+        self.router = FrontDoorRouter(
+            self.membership, state_dir=tmp / "router-state",
+            registry=registry, probe_interval=3600.0,
+        )
+        threading.Thread(target=self.router.serve_forever, daemon=True).start()
+
+    def owner_address(self, job: str):
+        name = self.membership.ring().replicas(f"job:{job}", rf=1)[0]
+        host, _, port = self.membership.address(name).rpartition(":")
+        return host, int(port)
+
+    def close(self) -> None:
+        self.router.shutdown()
+        self.router.server_close()
+        for server in self.servers:
+            server.shutdown()
+            server.server_close()
+        for vault in self.vaults:
+            vault.close()
+
+
+def _timed_backup(client: RemoteBackupClient, job: str, data: Path):
+    t0 = time.perf_counter()
+    run = client.backup(job, [str(data)])
+    return run, time.perf_counter() - t0
+
+
+def test_route_overhead(results_dir, tmp_path):
+    scale = volume_scale()
+    # One dataset per path (same size, different content) so dedup
+    # cannot subsidise the later paths: each transfers the full volume.
+    datasets = {
+        name: _write_dataset(tmp_path, scale, seed)
+        for name, seed in (("direct", 804), ("redirect", 805), ("proxy", 806))
+    }
+    logical = sum(p.stat().st_size for p in datasets["direct"].iterdir())
+
+    with telemetry_session() as (registry, tracer):
+        cluster = _Cluster(tmp_path, registry)
+        try:
+            # Direct: the client already knows the owner's address.
+            host, port = cluster.owner_address("direct")
+            with RemoteBackupClient(host, port, retry=RETRY) as client:
+                direct_run, direct_s = _timed_backup(
+                    client, "direct", datasets["direct"]
+                )
+
+            # Redirect: the client knows only the router; one
+            # ROUTE_LOOKUP, then the same direct connection.
+            with RouterClient(
+                cluster.router.host, cluster.router.port, retry=RETRY
+            ) as rc:
+                t0 = time.perf_counter()
+                client = rc.client_for_job("redirect", retry=RETRY)
+                try:
+                    redirect_run = client.backup(
+                        "redirect", [str(datasets["redirect"])]
+                    )
+                finally:
+                    client.close()
+                redirect_s = time.perf_counter() - t0
+
+            # Proxy: a dumb client, every frame through the router.
+            with RemoteBackupClient(
+                cluster.router.host, cluster.router.port, retry=RETRY
+            ) as client:
+                proxy_run, proxy_s = _timed_backup(
+                    client, "proxy", datasets["proxy"]
+                )
+        finally:
+            cluster.close()
+
+    # Every path observed (and, with per-path content, transferred) the
+    # full volume.
+    assert direct_run.logical_bytes == logical
+    assert redirect_run.logical_bytes == logical
+    assert proxy_run.logical_bytes == logical
+
+    direct_mbps = logical / direct_s / 1e6
+    redirect_mbps = logical / redirect_s / 1e6
+    proxy_mbps = logical / proxy_s / 1e6
+    redirect_overhead = redirect_s / direct_s - 1.0
+    proxy_overhead = proxy_s / direct_s - 1.0
+
+    # THE gate: redirect must be within 5% of direct (plus 250ms of
+    # absolute slack so a CI scheduler hiccup cannot flake the build).
+    assert redirect_s <= direct_s * 1.05 + 0.25, (
+        f"redirect {redirect_s:.3f}s vs direct {direct_s:.3f}s "
+        f"({redirect_overhead:+.1%})"
+    )
+    # Proxy sanity floor only: within 20x of direct.
+    assert proxy_s <= direct_s * 20
+
+    print_table(
+        "front-door routing overhead",
+        ["path", "MB/s", "seconds", "vs direct"],
+        [
+            ("direct", f"{direct_mbps:,.1f}", f"{direct_s:.3f}", "-"),
+            ("redirect", f"{redirect_mbps:,.1f}", f"{redirect_s:.3f}",
+             f"{redirect_overhead:+.1%}"),
+            ("proxy", f"{proxy_mbps:,.1f}", f"{proxy_s:.3f}",
+             f"{proxy_overhead:+.1%}"),
+        ],
+    )
+    save_result(
+        results_dir,
+        "route_overhead",
+        params={"scale": scale,
+                "files": len(list(datasets["direct"].iterdir())),
+                "logical_bytes": logical, "nodes": 2,
+                "replication_factor": 2},
+        metrics={
+            "direct_seconds": direct_s,
+            "redirect_seconds": redirect_s,
+            "proxy_seconds": proxy_s,
+            "direct_mb_per_s": direct_mbps,
+            "redirect_mb_per_s": redirect_mbps,
+            "proxy_mb_per_s": proxy_mbps,
+            "redirect_overhead": redirect_overhead,
+            "proxy_overhead": proxy_overhead,
+        },
+        registry=registry,
+        tracer=tracer,
+    )

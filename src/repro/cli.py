@@ -19,6 +19,13 @@
                             --replica b=host:7071
     python -m repro repl-status --connect host:7070 --json status.json
     python -m repro rebuild --vault /new/a --node a --peer b=host:7071
+    python -m repro route   --state /srv/router --port 7700 \\
+                            --node a=host:7070 --node b=host:7071
+    python -m repro serve   --vault ~/.debar --port 7072 --node-name c \\
+                            --advertise host:7700
+    python -m repro backup  --route host:7700 --job homedirs /data/home
+    python -m repro cluster-status --connect host:7700 --json cluster.json
+    python -m repro rebalance --route host:7700
 
 ``--telemetry`` (on ``backup``, ``restore``, ``gc`` and ``stats``) turns on
 the metrics registry for the invocation; ``backup``/``restore``/``gc``
@@ -98,6 +105,19 @@ def _parse_peer(spec: str):
     return name, host, port
 
 
+def _retry_from(args):
+    """The remote retry policy this invocation asked for, or None for the
+    defaults.  ``--connect-timeout`` bounds only the TCP connect, so a
+    down node fails fast without shrinking the request timeout that long
+    server-side work (commit, dedup-2) legitimately needs."""
+    from repro.net.client import RetryPolicy
+
+    timeout = getattr(args, "connect_timeout", None)
+    if timeout is None:
+        return None
+    return RetryPolicy(connect_timeout=timeout)
+
+
 @contextmanager
 def _open(args):
     """The command's target: a local vault or a remote daemon.
@@ -106,12 +126,46 @@ def _open(args):
     verify/forget), so the commands below stay shape-agnostic except
     where return types genuinely differ.
     """
-    if getattr(args, "connect", None):
+    if getattr(args, "route", None):
+        # Redirect mode: ask the router where the work belongs, then talk
+        # to that node directly.  Commands without a placement key (a
+        # job-less `list`, `stats`) fall back to the router's proxy path —
+        # the router speaks the full protocol, so its own address works as
+        # a server address.
+        from repro.frontdoor.client import RouterClient
+
+        host, port = _parse_connect(args.route)
+        retry = _retry_from(args)
+        kwargs = {
+            "client_name": getattr(args, "client", None) or "remote",
+            "token": getattr(args, "token", None),
+            "retry": retry,
+        }
+        with RouterClient(host, port, retry=retry) as rc:
+            client = None
+            try:
+                if getattr(args, "job", None):
+                    client = rc.client_for_job(args.job, **kwargs)
+                elif getattr(args, "run", None) is not None:
+                    client = rc.client_for_run(args.run, **kwargs)
+            except (KeyError, ConnectionError):
+                # No live owner to redirect to (the node that recorded
+                # the run may be down) — the router's proxy path still
+                # reaches the replica set.
+                client = None
+            if client is None:
+                client = RemoteBackupClient(host, port, **kwargs)
+        try:
+            yield client
+        finally:
+            client.close()
+    elif getattr(args, "connect", None):
         host, port = _parse_connect(args.connect)
         client = RemoteBackupClient(
             host, port,
             client_name=getattr(args, "client", None) or "remote",
             token=getattr(args, "token", None),
+            retry=_retry_from(args),
         )
         try:
             yield client
@@ -523,6 +577,34 @@ def cmd_serve(args) -> int:
             # reads a port nobody listens on.
             Path(args.port_file).write_text(f"{port}\n")
         print(f"serving vault {args.vault} on {host}:{port}", flush=True)
+        if args.advertise:
+            # Join the front door's membership table (after bind, so the
+            # advertised address is live before the router probes it).  A
+            # re-join with the same name+address is idempotent, so a
+            # restarted daemon does not churn the ring epoch.
+            from repro.net import messages as msg
+            from repro.net.client import NetClient
+
+            route_host, route_port = _parse_connect(args.advertise)
+            try:
+                with NetClient(
+                    route_host, route_port, client_name=args.node_name
+                ) as net:
+                    ack = net.call_json(msg.NODE_JOIN, {
+                        "name": args.node_name,
+                        "address": f"{host}:{port}",
+                    })
+                print(
+                    f"advertised as {args.node_name!r} to router "
+                    f"{args.advertise} (epoch {ack['epoch']})",
+                    flush=True,
+                )
+            except (ProtocolError, ConnectionError, OSError) as exc:
+                # The daemon still serves; an operator can join it later.
+                print(
+                    f"warning: could not advertise to {args.advertise}: {exc}",
+                    file=sys.stderr, flush=True,
+                )
 
         stop = threading.Event()
 
@@ -623,6 +705,144 @@ def cmd_repl_status(args) -> int:
     return EXIT_OK
 
 
+def cmd_route(args) -> int:
+    """Run the cluster front door (DESIGN.md §14)."""
+    from repro.frontdoor.membership import ClusterMembership, MembershipError
+    from repro.frontdoor.router import FrontDoorRouter
+
+    registry, tracer = _telemetry_begin(args)
+    state = Path(args.state)
+    state.mkdir(parents=True, exist_ok=True)
+    membership = ClusterMembership(
+        state, replication_factor=args.replication_factor
+    )
+    try:
+        for spec in args.node or []:
+            name, node_host, node_port = _parse_peer(spec)
+            membership.join(name, f"{node_host}:{node_port}")
+    except MembershipError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        router = FrontDoorRouter(
+            membership,
+            host=args.host,
+            port=args.port,
+            registry=registry,
+            state_dir=state,
+            probe_interval=args.probe_interval,
+            probe_timeout=args.probe_timeout,
+            mark_down_after=args.mark_down_after,
+            proxy_timeout=args.proxy_timeout,
+        )
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return EXIT_SERVE
+    host, port = router.server_address
+    if args.port_file:
+        Path(args.port_file).write_text(f"{port}\n")
+    print(
+        f"routing cluster of {len(membership.names())} node(s) on "
+        f"{host}:{port} (epoch {membership.epoch})",
+        flush=True,
+    )
+
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _request_stop)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    thread = threading.Thread(
+        target=router.serve_forever, name="repro-route", daemon=True
+    )
+    thread.start()
+    router.health.start()
+    try:
+        while not stop.is_set():
+            stop.wait(0.2)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        router.shutdown()
+        router.server_close()
+        thread.join(timeout=5)
+        _telemetry_finish(args, registry, tracer)
+    print("router shutdown complete", flush=True)
+    return EXIT_OK
+
+
+def cmd_cluster_status(args) -> int:
+    """The router's view: membership, health, epoch, rebalance progress."""
+    from repro.frontdoor.client import RouterClient
+
+    host, port = _parse_connect(args.connect)
+    with RouterClient(host, port, retry=_retry_from(args)) as rc:
+        status = rc.cluster_status()
+    print(f"epoch {status['epoch']}  rf={status['replication_factor']}")
+    for node in status["nodes"]:
+        marker = "" if node["state"] == "up" else f"  ({node['fails']} failed probes)"
+        print(f"  {node['name']:<12} {node['address']:<22} {node['state']}{marker}")
+    rebalance = status.get("rebalance") or {}
+    if rebalance.get("steps"):
+        print(
+            f"rebalance: {rebalance['done']}/{rebalance['steps']} steps done "
+            f"(planned at epoch {rebalance['epoch']})"
+        )
+    if args.json:
+        Path(args.json).write_text(json.dumps(status, indent=1, sort_keys=True))
+        print(f"cluster status written to {args.json}")
+    down = [n["name"] for n in status["nodes"] if n["state"] != "up"]
+    if down:
+        print(f"down: {', '.join(down)}", file=sys.stderr)
+    return EXIT_OK
+
+
+def cmd_rebalance(args) -> int:
+    """Plan (via the router) and execute the pending container moves."""
+    from repro.frontdoor.client import RouterClient
+    from repro.frontdoor.rebalance import execute_plan
+
+    host, port = _parse_connect(args.route)
+    retry = _retry_from(args)
+    with RouterClient(host, port, retry=retry) as rc:
+        plan = rc.rebalance_plan()
+        addresses = plan.pop("addresses", {})
+        total = len(plan["steps"])
+        pending = sum(1 for s in plan["steps"] if not s["done"])
+        print(
+            f"plan at epoch {plan['epoch']}: {total} step(s), "
+            f"{pending} pending"
+        )
+        if args.dry_run:
+            for step in plan["steps"]:
+                state = "done" if step["done"] else "pending"
+                print(
+                    f"  {step['origin']} container {step['container_id']} "
+                    f"-> {step['dst']}  [{state}]"
+                )
+            return EXIT_OK
+        report = execute_plan(
+            plan, addresses, ack=rc.rebalance_ack, retry=retry,
+            limit=args.limit,
+        )
+    print(
+        f"executed {report['executed']} step(s); "
+        f"{report['pending']} still pending"
+        + (f", {len(report['failed'])} failed" if report["failed"] else "")
+    )
+    for failure in report["failed"]:
+        print(f"  failed {failure['id']}: {failure['error']}", file=sys.stderr)
+    if args.report_json:
+        Path(args.report_json).write_text(json.dumps(report, indent=1))
+        print(f"rebalance report written to {args.report_json}")
+    return EXIT_ERROR if report["failed"] else EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -655,6 +875,21 @@ def build_parser() -> argparse.ArgumentParser:
                 "--token",
                 default=None,
                 help="tenant token for a daemon running with --tenant",
+            )
+            p.add_argument(
+                "--route",
+                default=None,
+                metavar="HOST:PORT",
+                help="route through a `repro route` front door: look the "
+                "owning node up and talk to it directly (redirect mode)",
+            )
+            p.add_argument(
+                "--connect-timeout",
+                type=float,
+                default=None,
+                metavar="SECONDS",
+                help="TCP connect budget per attempt (a down node fails "
+                "fast instead of hanging the full request timeout)",
             )
         else:
             p.add_argument("--vault", required=True, help="vault directory")
@@ -882,6 +1117,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the legacy thread-per-connection core instead "
                    "of the async event loop (benchmark baseline)")
     p.add_argument(
+        "--advertise",
+        default=None,
+        metavar="HOST:PORT",
+        help="announce this node to a `repro route` front door after "
+        "binding (NODE_JOIN with --node-name and the bound address)",
+    )
+    p.add_argument(
         "--cold-root", default=None, metavar="PATH",
         help="attach (and persist) an object-store cold tier at PATH "
         "before serving; migrated containers stay restorable remotely",
@@ -918,6 +1160,71 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_repl_status)
 
     p = sub.add_parser(
+        "route", help="run the cluster front door (hash-routed request router)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listening port (0 = ephemeral)")
+    p.add_argument("--port-file", default=None, metavar="PATH",
+                   help="write the bound port here once listening")
+    p.add_argument("--state", required=True, metavar="DIR",
+                   help="directory for membership + rebalance state")
+    p.add_argument(
+        "--node",
+        action="append",
+        default=None,
+        metavar="NAME=HOST:PORT",
+        help="seed cluster member (repeatable); nodes can also join "
+        "themselves with `serve --advertise`",
+    )
+    p.add_argument("--replication-factor", type=int, default=2,
+                   help="replica-set size the placement ring assumes")
+    p.add_argument("--probe-interval", type=float, default=2.0,
+                   metavar="SECONDS", help="health-check sweep period")
+    p.add_argument("--probe-timeout", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="per-probe connect + response budget")
+    p.add_argument("--mark-down-after", type=int, default=3, metavar="K",
+                   help="consecutive failed probes before a node is "
+                   "marked down")
+    p.add_argument("--proxy-timeout", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="round-trip budget per proxied frame")
+    telemetry_opts(p)
+    p.set_defaults(func=cmd_route, trace=False)
+
+    p = sub.add_parser(
+        "cluster-status",
+        help="membership, health and rebalance progress from the router",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="the `repro route` daemon to ask")
+    p.add_argument("--connect-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="TCP connect budget per attempt")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the status JSON to PATH")
+    p.set_defaults(func=cmd_cluster_status)
+
+    p = sub.add_parser(
+        "rebalance",
+        help="execute the router's pending container move plan",
+    )
+    p.add_argument("--route", required=True, metavar="HOST:PORT",
+                   help="the `repro route` daemon planning the moves")
+    p.add_argument("--connect-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="TCP connect budget per attempt")
+    p.add_argument("--limit", type=int, default=None, metavar="N",
+                   help="execute at most N steps this invocation (the "
+                   "plan resumes where it stopped)")
+    p.add_argument("--dry-run", action="store_true",
+                   help="print the plan without moving anything")
+    p.add_argument("--report-json", default=None, metavar="PATH",
+                   help="also write the execution report JSON to PATH")
+    p.set_defaults(func=cmd_rebalance)
+
+    p = sub.add_parser(
         "trace", help="run a backup/restore with tracing and print the span tree"
     )
     trace_sub = p.add_subparsers(dest="trace_command", required=True)
@@ -930,9 +1237,19 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if hasattr(args, "connect") and bool(args.vault) == bool(args.connect):
-        # parser.error prints usage and exits EXIT_USAGE (2).
-        parser.error("exactly one of --vault or --connect is required")
+    if hasattr(args, "vault") and hasattr(args, "connect"):
+        chosen = sum(
+            1
+            for value in (
+                args.vault, args.connect, getattr(args, "route", None)
+            )
+            if value
+        )
+        if chosen != 1:
+            # parser.error prints usage and exits EXIT_USAGE (2).
+            parser.error(
+                "exactly one of --vault, --connect or --route is required"
+            )
     try:
         return args.func(args)
     except CorruptionError as exc:

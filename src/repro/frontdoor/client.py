@@ -1,0 +1,153 @@
+"""The smart routed client: cache the ring, talk to nodes directly
+(DESIGN.md §14.3).
+
+Redirect mode inverts the proxy: the client pays one ``ROUTE_LOOKUP``
+to learn the ring inputs and address book, rebuilds the
+:class:`PlacementRing` locally (the ring is deterministic from its
+inputs — that is the whole redirect contract), and then opens direct
+connections to the owning nodes, so bulk bytes never traverse the
+router.  Staleness is handled by epoch: ``ROUTE_HINT`` is a tiny
+request that answers "has membership changed since epoch E?", and any
+topology-looking failure (the primary refusing connections) is reason
+to re-lookup before retrying.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.net import messages as m
+from repro.net.client import NetClient, RemoteBackupClient, RetryPolicy
+from repro.replication.ring import PlacementRing
+from repro.telemetry.registry import MetricsRegistry
+
+
+class RouterClient:
+    """A thin control-plane client for ``repro route``."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        retry: Optional[RetryPolicy] = None,
+        registry: Optional[MetricsRegistry] = None,
+        client_name: str = "routed",
+    ) -> None:
+        self.net = NetClient(
+            host, port, client_name=client_name, retry=retry, registry=registry
+        )
+        self.client_name = client_name
+        self.retry = retry
+        self.registry = registry
+        self.epoch: Optional[int] = None
+        self.ring: Optional[PlacementRing] = None
+        self.nodes: Dict[str, dict] = {}
+
+    def close(self) -> None:
+        self.net.close()
+
+    def __enter__(self) -> "RouterClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the cached ring ----------------------------------------------------------
+    def lookup(self) -> dict:
+        """Fetch and cache the ring inputs + address book."""
+        doc = self.net.call_json(m.ROUTE_LOOKUP, {})
+        self.epoch = int(doc["epoch"])
+        self.ring = PlacementRing.from_doc(doc["ring"])
+        self.nodes = dict(doc["nodes"])
+        return doc
+
+    def ensure_ring(self) -> PlacementRing:
+        if self.ring is None:
+            self.lookup()
+        return self.ring
+
+    def refresh_if_stale(self) -> bool:
+        """One cheap ``ROUTE_HINT`` round trip; re-lookup on staleness.
+        Returns True when the cached ring had to be replaced."""
+        if self.epoch is None:
+            self.lookup()
+            return True
+        hint = self.net.call_json(m.ROUTE_HINT, {"epoch": self.epoch})
+        if hint.get("stale"):
+            self.lookup()
+            return True
+        return False
+
+    # -- placement ----------------------------------------------------------------
+    def live_order_for_job(self, job: str) -> List[str]:
+        """Every live node in ring order for the job key (the head is the
+        primary; the tail is the failover order)."""
+        ring = self.ensure_ring()
+        live = {
+            n for n, info in self.nodes.items() if info.get("state") == "up"
+        }
+        return [
+            name
+            for name in ring.replicas(f"job:{job}", rf=len(ring.nodes))
+            if name in live
+        ]
+
+    def address_of(self, node: str) -> Tuple[str, int]:
+        info = self.nodes.get(node)
+        if info is None:
+            raise KeyError(f"unknown node {node!r}")
+        host, _, port = str(info["address"]).rpartition(":")
+        return host or "127.0.0.1", int(port)
+
+    # -- direct node clients ------------------------------------------------------
+    def client_for_job(self, job: str, **kwargs) -> RemoteBackupClient:
+        """A direct :class:`RemoteBackupClient` to the job's primary."""
+        order = self.live_order_for_job(job)
+        if not order:
+            raise ConnectionError(f"no live node to own job {job!r}")
+        host, port = self.address_of(order[0])
+        kwargs.setdefault("client_name", self.client_name)
+        kwargs.setdefault("retry", self.retry)
+        kwargs.setdefault("registry", self.registry)
+        return RemoteBackupClient(host, port, **kwargs)
+
+    def client_for_run(self, run_id: int, **kwargs) -> RemoteBackupClient:
+        """A direct client to a live node that records ``run_id``.
+
+        Run ids are per-vault, so the locator asks each live node (small
+        ``RUNS`` requests) rather than guessing from the ring; the node
+        that owns the run's job answers, and when that node is dead any
+        node holding its mirrored catalog can still restore via the
+        router's failover path (redirect mode prefers a live owner).
+        """
+        self.ensure_ring()
+        kwargs.setdefault("client_name", self.client_name)
+        kwargs.setdefault("retry", self.retry)
+        kwargs.setdefault("registry", self.registry)
+        last: Optional[Exception] = None
+        for node, info in sorted(self.nodes.items()):
+            if info.get("state") != "up":
+                continue
+            host, _, port = str(info["address"]).rpartition(":")
+            try:
+                client = RemoteBackupClient(host or "127.0.0.1", int(port), **kwargs)
+                if any(r.run_id == run_id for r in client.runs()):
+                    return client
+                client.close()
+            except Exception as exc:
+                last = exc
+                continue
+        raise KeyError(
+            f"no live node records run {run_id}"
+            + (f" (last error: {last})" if last else "")
+        )
+
+    # -- cluster admin ------------------------------------------------------------
+    def cluster_status(self) -> dict:
+        return self.net.call_json(m.CLUSTER_STATUS, {})
+
+    def rebalance_plan(self) -> dict:
+        return self.net.call_json(m.REBALANCE_PLAN, {})
+
+    def rebalance_ack(self, step_id: str) -> None:
+        self.net.call_json(m.REBALANCE_ACK, {"id": step_id})

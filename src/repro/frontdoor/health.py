@@ -1,0 +1,134 @@
+"""PING-based health checks for the front door (DESIGN.md §14.2).
+
+A plain thread, not an asyncio task: probes are blocking socket work
+with their own (short) timeouts, and keeping them off the router's event
+loop means a wedged node can never stall routing.  Each sweep sends one
+``PING`` per member with a single-attempt, fast-failing
+:class:`~repro.net.client.RetryPolicy` (``connect_timeout`` is the whole
+point — a dead host must cost ``probe_timeout``, not a TCP stack's
+default patience), folds the result into
+:class:`~repro.frontdoor.membership.ClusterMembership`, and moves
+``router.node_up`` / ``router.mark_downs`` / ``router.probe_failures``.
+
+Mark-down takes ``mark_down_after`` consecutive failures; mark-up takes
+one success (the asymmetry is argued in membership.record_probe).
+``probe_once()`` runs a single synchronous sweep — the deterministic
+entry point tests and the router's proxy error path use.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.frontdoor.membership import ClusterMembership
+from repro.net.client import NetClient, RetryPolicy
+from repro.telemetry.registry import MetricsRegistry, get_registry
+
+DEFAULT_PROBE_INTERVAL = 2.0
+DEFAULT_PROBE_TIMEOUT = 1.0
+DEFAULT_MARK_DOWN_AFTER = 3
+
+
+class HealthMonitor:
+    """Periodic PING sweeps over the membership table."""
+
+    def __init__(
+        self,
+        membership: ClusterMembership,
+        interval: float = DEFAULT_PROBE_INTERVAL,
+        probe_timeout: float = DEFAULT_PROBE_TIMEOUT,
+        mark_down_after: int = DEFAULT_MARK_DOWN_AFTER,
+        registry: Optional[MetricsRegistry] = None,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        self.membership = membership
+        self.interval = interval
+        self.mark_down_after = mark_down_after
+        self.on_transition = on_transition
+        self._retry = RetryPolicy(
+            max_attempts=1, timeout=probe_timeout, connect_timeout=probe_timeout
+        )
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        registry = registry if registry is not None else get_registry()
+        self._registry = registry
+        self._t_probe_failures = registry.counter(
+            "router.probe_failures", "health probes that failed, by node"
+        )
+        self._t_mark_downs = registry.counter(
+            "router.mark_downs", "nodes marked down after consecutive probe failures"
+        ).labels()
+        self._t_node_up = registry.gauge(
+            "router.node_up", "1 when the node answers probes, 0 when marked down"
+        )
+
+    # -- probing ------------------------------------------------------------------
+    def probe_node(self, name: str) -> bool:
+        """One synchronous probe of one member; folds the result in."""
+        try:
+            address = self.membership.address(name)
+        except Exception:
+            return False  # raced a leave; nothing to record
+        host, _, port = address.rpartition(":")
+        ok = False
+        try:
+            with NetClient(
+                host or "127.0.0.1", int(port),
+                client_name="router-probe", retry=self._retry,
+            ) as net:
+                ok = net.ping()
+        except Exception:
+            ok = False
+        if not ok:
+            self._t_probe_failures.labels(node=name).inc()
+        transition = self.membership.record_probe(
+            name, ok, mark_down_after=self.mark_down_after
+        )
+        self._t_node_up.labels(node=name).set(1.0 if ok else 0.0)
+        if transition == "down":
+            self._t_mark_downs.inc()
+        if transition is not None and self.on_transition is not None:
+            self.on_transition(name, transition)
+        return ok
+
+    def probe_once(self) -> dict:
+        """One full sweep; returns ``{name: answered}`` (tests, CLI)."""
+        return {name: self.probe_node(name) for name in self.membership.names()}
+
+    def note_failure(self, name: str) -> None:
+        """Fold a proxy-observed transport failure in as a failed probe.
+
+        The data path is a probe too: a node that just refused a proxied
+        frame should not wait for the sweep timer to start counting.
+        """
+        self._t_probe_failures.labels(node=name).inc()
+        transition = self.membership.record_probe(
+            name, False, mark_down_after=self.mark_down_after
+        )
+        if transition == "down":
+            self._t_mark_downs.inc()
+            self._t_node_up.labels(node=name).set(0.0)
+        if transition is not None and self.on_transition is not None:
+            self.on_transition(name, transition)
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-route-health", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=self.interval + 2.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.probe_once()

@@ -1,0 +1,842 @@
+"""The front-door router: one address for the whole cluster (DESIGN.md §14).
+
+:class:`FrontDoorRouter` is an asyncio daemon speaking the same ``DBAR``
+frame protocol as ``repro serve`` (it reuses the framing layer and the
+serving core's event-loop shape), but it owns no vault.  It owns the
+:class:`~repro.frontdoor.membership.ClusterMembership` table and serves
+two kinds of clients:
+
+* **smart clients** ask ``ROUTE_LOOKUP`` for the ring inputs + address
+  book, rebuild the :class:`PlacementRing` locally (determinism is the
+  contract), and talk to nodes directly — the router then costs one
+  small RPC per topology change, validated cheaply via ``ROUTE_HINT``;
+* **dumb clients** connect as if the router were a ``repro serve`` node
+  and every data frame is **proxied**: forwarded verbatim (same request
+  id, so the nodes' idempotency caches keep protecting retries) to the
+  node the ring picks.
+
+Routing keys: a backup session is pinned to ``job:<name>`` at
+``SESSION_BEGIN`` (the session id in ``SESSION_OK`` keys the rest of the
+session's frames to that node); reads (``META_GET``/``CHUNK_READ``/
+``RUNS``...) try the connection's last-good node first and fail over
+across the live set — a node that lacks the data answers with an
+``ERROR`` frame and the next candidate is tried, which is exactly how
+replica-set failover reaches a dead node's surviving copies (the serve
+core falls through to its replica store).  Two deeper fallbacks make
+restores survive a dead origin outright: a ``CHUNK_READ`` batch no
+single node can serve whole is split per-fingerprint across the live
+set, and a ``META_GET`` for a dead node's run is synthesized from the
+mirrored run catalog a surviving replica holds.
+
+Health is a PING sweep (:class:`HealthMonitor`) plus the data path
+itself: a proxied frame that dies on transport counts as a failed probe,
+so a crashed node stops receiving traffic after ``mark_down_after``
+consecutive failures without waiting out the sweep timer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import random
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.frontdoor.health import (
+    DEFAULT_MARK_DOWN_AFTER,
+    DEFAULT_PROBE_INTERVAL,
+    DEFAULT_PROBE_TIMEOUT,
+    HealthMonitor,
+)
+from repro.frontdoor.membership import ClusterMembership, MembershipError
+from repro.frontdoor.rebalance import RebalancePlanner, collect_inventories
+from repro.net import messages as m
+from repro.net.client import RetryPolicy
+from repro.net.framing import FRAME_HEADER_SIZE, Frame, FrameError, decode_header
+from repro.telemetry.clock import wall_now
+from repro.telemetry.registry import MetricsRegistry, get_registry
+
+#: Budget for one proxied round trip (generous: SESSION_COMMIT runs
+#: dedup-2 server-side).
+DEFAULT_PROXY_TIMEOUT = 60.0
+#: Budget for opening + handshaking a downstream connection.
+DEFAULT_CONNECT_TIMEOUT = 2.0
+
+#: Session-scoped message types whose payload *starts* with the u32
+#: session id (binary payloads).
+_SESSION_PREFIXED = frozenset({m.FILTER_QUERY, m.CHUNK_APPEND, m.META_PUT})
+#: Session-scoped message types carrying the session id in JSON.
+_SESSION_JSON = frozenset({m.SESSION_COMMIT, m.SESSION_ABORT})
+#: Read types that fail over across the live set on any error.
+_FAILOVER_READS = frozenset({m.META_GET, m.CHUNK_READ, m.RUNS, m.FORGET})
+
+
+class RouteError(Exception):
+    """The router could not place or forward a frame."""
+
+
+def _error_frame(request_id: int, error: str, message: str) -> Frame:
+    return Frame(
+        m.ERROR,
+        request_id,
+        m.encode_json({"error": error, "message": message}),
+    )
+
+
+def _parse_address(address: str) -> Tuple[str, int]:
+    host, _, port = address.rpartition(":")
+    return host or "127.0.0.1", int(port)
+
+
+class _Downstream:
+    """One router->node connection, multiplexed by request id.
+
+    Frames are forwarded with the client's own request ids; a single
+    reader task resolves pending futures as the node answers in whatever
+    order its event loop finishes them.
+    """
+
+    def __init__(self, name: str, address: str, router: "FrontDoorRouter") -> None:
+        self.name = name
+        self.address = address
+        self._router = router
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._wlock = asyncio.Lock()
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._pump_task: Optional[asyncio.Task] = None
+
+    async def ensure(self, hello_doc: dict) -> None:
+        if self._writer is not None:
+            return
+        host, port = _parse_address(self.address)
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port),
+            timeout=self._router.connect_timeout,
+        )
+        self._pump_task = asyncio.ensure_future(self._pump())
+        # Replay the client's HELLO (it may carry a tenant token the node
+        # wants); the router's own id keeps it out of the client's id space.
+        response = await self.call(
+            Frame(m.HELLO, self._router._next_rid(), m.encode_json(hello_doc)),
+            timeout=self._router.connect_timeout,
+        )
+        if response.msg_type != m.HELLO_OK:
+            doc = m.decode_json(response.payload)
+            raise RouteError(
+                f"{self.name} refused the handshake: {doc.get('message', '')}"
+            )
+
+    async def call(self, frame: Frame, timeout: float) -> Frame:
+        writer = self._writer
+        if writer is None:
+            raise ConnectionError(f"downstream {self.name} is closed")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending[frame.request_id] = future
+        try:
+            async with self._wlock:
+                writer.write(frame.encode())
+                await writer.drain()
+            return await asyncio.wait_for(future, timeout=timeout)
+        finally:
+            self._pending.pop(frame.request_id, None)
+
+    async def _pump(self) -> None:
+        reader = self._reader
+        try:
+            while True:
+                header = await reader.readexactly(FRAME_HEADER_SIZE)
+                msg_type, request_id, length = decode_header(header)
+                payload = (
+                    await reader.readexactly(length) if length else b""
+                )
+                future = self._pending.get(request_id)
+                if future is not None and not future.done():
+                    future.set_result(Frame(msg_type, request_id, payload))
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            OSError,
+            FrameError,
+            asyncio.CancelledError,
+        ) as exc:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError(f"downstream {self.name} dropped: {exc}")
+                    )
+
+    async def close(self) -> None:
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._pump_task
+            self._pump_task = None
+        if self._writer is not None:
+            with contextlib.suppress(Exception):
+                self._writer.close()
+            self._writer = None
+        self._reader = None
+
+
+class _Connection:
+    """Per-client-connection proxy state."""
+
+    def __init__(self) -> None:
+        self.hello_doc: dict = {"client": "router"}
+        self.downstreams: Dict[str, _Downstream] = {}
+        #: session id -> node name.  Session ids are allocated per node,
+        #: so two nodes can hand out the same id; mapping them per client
+        #: connection keeps that collision away from everything except a
+        #: client interleaving concurrent backups to different jobs on one
+        #: socket (which the CLI never does — it opens one connection per
+        #: invocation).
+        self.sessions: Dict[int, str] = {}
+        #: Last node that answered an unkeyed read for this connection.
+        self.pin: Optional[str] = None
+
+
+class FrontDoorRouter:
+    """The cluster's single client-facing address."""
+
+    def __init__(
+        self,
+        membership: ClusterMembership,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+        state_dir: Optional[Path] = None,
+        probe_interval: float = DEFAULT_PROBE_INTERVAL,
+        probe_timeout: float = DEFAULT_PROBE_TIMEOUT,
+        mark_down_after: int = DEFAULT_MARK_DOWN_AFTER,
+        proxy_timeout: float = DEFAULT_PROXY_TIMEOUT,
+        connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+    ) -> None:
+        self.membership = membership
+        self.proxy_timeout = proxy_timeout
+        self.connect_timeout = connect_timeout
+        registry = registry if registry is not None else get_registry()
+        self.registry = registry
+        self.health = HealthMonitor(
+            membership,
+            interval=probe_interval,
+            probe_timeout=probe_timeout,
+            mark_down_after=mark_down_after,
+            registry=registry,
+        )
+        self.planner = RebalancePlanner(state_dir)
+        # Router request ids (downstream HELLOs) get their own nonce so
+        # they never collide with a client's id space.
+        self._rid_base = random.SystemRandom().getrandbits(32) << 32
+        self._rid_next = 0
+        # Bind synchronously: server_address valid on return, bind failure
+        # raises from the constructor (same contract as the serve core).
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            sock.bind((host, port))
+            sock.listen(128)
+        except OSError:
+            sock.close()
+            raise
+        self._listen_sock = sock
+        self.server_address = sock.getsockname()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._aio_server = None
+        self._stop_requested = False
+        self._stopped = threading.Event()
+        self._conn_tasks: set = set()
+        # Blocking cluster work (inventory sweeps for rebalance plans)
+        # stays off the loop thread.
+        self._executor = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-route-worker"
+        )
+        self._t_requests = registry.counter(
+            "router.requests", "front-door requests handled, by message type"
+        )
+        self._t_proxied = registry.counter(
+            "router.proxied_frames", "frames proxied to nodes, by message type"
+        )
+        self._t_proxy_latency = registry.histogram(
+            "router.proxy_latency",
+            "proxied round-trip seconds, by message type",
+        )
+        self._t_lookups = registry.counter(
+            "router.lookups", "ROUTE_LOOKUP ring handouts to smart clients"
+        ).labels()
+        self._t_failovers = registry.counter(
+            "router.failovers",
+            "proxied reads answered by a node other than the first choice",
+        ).labels()
+        self._t_sessions = registry.counter(
+            "router.sessions_routed", "backup sessions pinned to a node"
+        ).labels()
+        self._t_rebalance = registry.counter(
+            "router.rebalance_steps", "rebalance steps, by lifecycle state"
+        )
+        self._t_epoch = registry.gauge(
+            "router.ring_epoch", "current membership epoch"
+        ).labels()
+        self._t_connections = registry.counter(
+            "router.connections", "client connections accepted"
+        ).labels()
+        self._t_epoch.set(float(membership.epoch))
+
+    # -- addressing ---------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def _next_rid(self) -> int:
+        self._rid_next += 1
+        return self._rid_base | (self._rid_next & 0xFFFFFFFF)
+
+    # -- lifecycle ----------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Run the event loop until :meth:`shutdown` (blocking call)."""
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        self._stopped.clear()
+        try:
+            loop.run_until_complete(self._main())
+        finally:
+            self._loop = None
+            with contextlib.suppress(Exception):
+                loop.close()
+            self._stopped.set()
+
+    async def _main(self) -> None:
+        self._stop_event = asyncio.Event()
+        if self._stop_requested:
+            self._stop_event.set()
+        server = await asyncio.start_server(
+            self._handle_conn, sock=self._listen_sock
+        )
+        self._aio_server = server
+        try:
+            await self._stop_event.wait()
+        finally:
+            self._aio_server = None
+            server.close()
+            pending = [t for t in self._conn_tasks if not t.done()]
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+            with contextlib.suppress(Exception):
+                await server.wait_closed()
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        self._stop_requested = True
+        self.health.stop()
+        loop = self._loop
+        if loop is not None:
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(self._request_stop)
+            self._stopped.wait(timeout=10.0)
+
+    def _request_stop(self) -> None:
+        if hasattr(self, "_stop_event"):
+            self._stop_event.set()
+
+    def server_close(self) -> None:
+        with contextlib.suppress(OSError):
+            if self._listen_sock.fileno() != -1:
+                self._listen_sock.close()
+
+    # -- connection pump ----------------------------------------------------------
+    async def _read_frame(self, reader: asyncio.StreamReader) -> Optional[Frame]:
+        try:
+            header = await reader.readexactly(FRAME_HEADER_SIZE)
+            msg_type, request_id, length = decode_header(header)
+            payload = await reader.readexactly(length) if length else b""
+        except (asyncio.IncompleteReadError, ConnectionError, OSError, FrameError):
+            return None
+        return Frame(msg_type, request_id, payload)
+
+    async def _write_frame(
+        self, writer: asyncio.StreamWriter, wlock: asyncio.Lock, frame: Frame
+    ) -> bool:
+        try:
+            async with wlock:
+                writer.write(frame.encode())
+                await writer.drain()
+        except (ConnectionError, OSError):
+            return False
+        return True
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._t_connections.inc()
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        wlock = asyncio.Lock()
+        conn = _Connection()
+        pending: set = set()
+        try:
+            while True:
+                frame = await self._read_frame(reader)
+                if frame is None:
+                    break
+                job = asyncio.ensure_future(
+                    self._dispatch(conn, frame, writer, wlock)
+                )
+                pending.add(job)
+                job.add_done_callback(pending.discard)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if pending:
+                with contextlib.suppress(asyncio.CancelledError):
+                    await asyncio.gather(*pending, return_exceptions=True)
+            for downstream in conn.downstreams.values():
+                with contextlib.suppress(Exception):
+                    await downstream.close()
+            with contextlib.suppress(Exception):
+                writer.close()
+            self._conn_tasks.discard(task)
+
+    async def _dispatch(
+        self,
+        conn: _Connection,
+        frame: Frame,
+        writer: asyncio.StreamWriter,
+        wlock: asyncio.Lock,
+    ) -> None:
+        self._t_requests.labels(type=m.msg_name(frame.msg_type)).inc()
+        try:
+            response = await self._handle_frame(conn, frame)
+        except asyncio.CancelledError:
+            return
+        except Exception as exc:  # routing must never kill the pump
+            response = _error_frame(
+                frame.request_id, type(exc).__name__, str(exc)
+            )
+        await self._write_frame(writer, wlock, response)
+
+    # -- local handlers -----------------------------------------------------------
+    async def _handle_frame(self, conn: _Connection, frame: Frame) -> Frame:
+        handler = _LOCAL_HANDLERS.get(frame.msg_type)
+        if handler is not None:
+            return handler(self, conn, frame)
+        if frame.msg_type == m.REBALANCE_PLAN:
+            return await self._on_rebalance_plan(frame)
+        return await self._proxy(conn, frame)
+
+    def _on_hello(self, conn: _Connection, frame: Frame) -> Frame:
+        doc = m.decode_json(frame.payload)
+        if isinstance(doc, dict):
+            conn.hello_doc = doc
+        return Frame(
+            m.HELLO_OK,
+            frame.request_id,
+            m.encode_json({
+                "server": "repro-route",
+                "cluster_epoch": self.membership.epoch,
+                "client": doc.get("client", "") if isinstance(doc, dict) else "",
+            }),
+        )
+
+    def _on_ping(self, conn: _Connection, frame: Frame) -> Frame:
+        return Frame(m.PONG, frame.request_id, frame.payload)
+
+    def _on_route_lookup(self, conn: _Connection, frame: Frame) -> Frame:
+        self._t_lookups.inc()
+        return Frame(
+            m.ROUTE_INFO, frame.request_id, m.encode_json(self.membership.route_doc())
+        )
+
+    def _on_route_hint(self, conn: _Connection, frame: Frame) -> Frame:
+        doc = m.decode_json(frame.payload)
+        seen = int(doc.get("epoch", -1))
+        return Frame(
+            m.ROUTE_HINT_OK,
+            frame.request_id,
+            m.encode_json({
+                "epoch": self.membership.epoch,
+                "stale": seen != self.membership.epoch,
+            }),
+        )
+
+    def _on_node_join(self, conn: _Connection, frame: Frame) -> Frame:
+        doc = m.decode_json(frame.payload)
+        name = str(doc.get("name", ""))
+        address = str(doc.get("address", ""))
+        try:
+            changed = self.membership.join(name, address)
+        except MembershipError as exc:
+            return _error_frame(frame.request_id, "MembershipError", str(exc))
+        self._t_epoch.set(float(self.membership.epoch))
+        return Frame(
+            m.NODE_JOIN_OK,
+            frame.request_id,
+            m.encode_json({
+                "epoch": self.membership.epoch,
+                "changed": changed,
+                "nodes": self.membership.names(),
+            }),
+        )
+
+    def _on_node_leave(self, conn: _Connection, frame: Frame) -> Frame:
+        doc = m.decode_json(frame.payload)
+        name = str(doc.get("name", ""))
+        changed = self.membership.leave(name)
+        self._t_epoch.set(float(self.membership.epoch))
+        return Frame(
+            m.NODE_LEAVE_OK,
+            frame.request_id,
+            m.encode_json({
+                "epoch": self.membership.epoch,
+                "changed": changed,
+                "nodes": self.membership.names(),
+            }),
+        )
+
+    def _on_cluster_status(self, conn: _Connection, frame: Frame) -> Frame:
+        status = self.membership.describe()
+        status["rebalance"] = self.planner.summary()
+        return Frame(m.CLUSTER_STATUS_OK, frame.request_id, m.encode_json(status))
+
+    def _on_rebalance_ack(self, conn: _Connection, frame: Frame) -> Frame:
+        doc = m.decode_json(frame.payload)
+        step_id = str(doc.get("id", ""))
+        known = self.planner.ack(step_id)
+        if known:
+            self._t_rebalance.labels(state="acked").inc()
+        return Frame(
+            m.REBALANCE_ACK_OK,
+            frame.request_id,
+            m.encode_json({"id": step_id, "known": known}),
+        )
+
+    async def _on_rebalance_plan(self, frame: Frame) -> Frame:
+        """Build (or resume) the move plan for the current epoch.
+
+        The inventory sweep is blocking socket work — it runs on the
+        worker executor so planning never stalls the proxy path.
+        """
+        epoch = self.membership.epoch
+        ring = self.membership.ring()
+        live = {
+            name: self.membership.address(name)
+            for name in self.membership.live_names()
+        }
+        loop = asyncio.get_running_loop()
+        retry = RetryPolicy(
+            max_attempts=2, timeout=self.proxy_timeout,
+            connect_timeout=self.connect_timeout,
+        )
+        inventories = await loop.run_in_executor(
+            self._executor, collect_inventories, live, retry
+        )
+        plan = self.planner.current(ring, inventories, epoch)
+        planned = sum(1 for s in plan["steps"] if not s["done"])
+        self._t_rebalance.labels(state="planned").inc(planned)
+        doc = dict(plan)
+        doc["addresses"] = self.membership.addresses()
+        return Frame(m.REBALANCE_PLAN_OK, frame.request_id, m.encode_json(doc))
+
+    # -- the proxy path -----------------------------------------------------------
+    async def _downstream(self, conn: _Connection, node: str) -> _Downstream:
+        downstream = conn.downstreams.get(node)
+        if downstream is None:
+            downstream = _Downstream(node, self.membership.address(node), self)
+            conn.downstreams[node] = downstream
+        try:
+            await downstream.ensure(conn.hello_doc)
+        except Exception:
+            conn.downstreams.pop(node, None)
+            with contextlib.suppress(Exception):
+                await downstream.close()
+            raise
+        return downstream
+
+    async def _forward(self, conn: _Connection, node: str, frame: Frame) -> Frame:
+        """One proxied round trip; transport failure counts as a probe
+        failure (the data path is a health signal too) and the downstream
+        is torn down so the next use reconnects."""
+        t0 = wall_now()
+        try:
+            downstream = await self._downstream(conn, node)
+            response = await downstream.call(frame, timeout=self.proxy_timeout)
+        except (ConnectionError, OSError, asyncio.TimeoutError, RouteError):
+            downstream = conn.downstreams.pop(node, None)
+            if downstream is not None:
+                with contextlib.suppress(Exception):
+                    await downstream.close()
+            self.health.note_failure(node)
+            raise
+        self._t_proxied.labels(type=m.msg_name(frame.msg_type)).inc()
+        self._t_proxy_latency.labels(type=m.msg_name(frame.msg_type)).observe(
+            wall_now() - t0
+        )
+        return response
+
+    def _live_candidates(self, conn: _Connection, preferred: Optional[str]) -> List[str]:
+        live = self.membership.live_names()
+        ordered: List[str] = []
+        for name in ([preferred] if preferred else []) + [conn.pin or ""] + live:
+            if name and name in live and name not in ordered:
+                ordered.append(name)
+        return ordered
+
+    def _primary_for_job(self, job: str) -> Optional[str]:
+        """First *live* node in ring order for the job key."""
+        ring = self.membership.ring()
+        live = set(self.membership.live_names())
+        for name in ring.replicas(f"job:{job}", rf=len(ring.nodes)):
+            if name in live:
+                return name
+        return None
+
+    async def _proxy(self, conn: _Connection, frame: Frame) -> Frame:
+        if frame.msg_type == m.SESSION_BEGIN:
+            return await self._proxy_session_begin(conn, frame)
+        if frame.msg_type in _SESSION_PREFIXED:
+            if len(frame.payload) < 4:
+                return _error_frame(
+                    frame.request_id, "ProtocolError", "missing session prefix"
+                )
+            session = m._U32.unpack_from(frame.payload)[0]
+            node = conn.sessions.get(session)
+            if node is None:
+                return _error_frame(
+                    frame.request_id, "KeyError", f"unknown session {session}"
+                )
+            return await self._forward(conn, node, frame)
+        if frame.msg_type in _SESSION_JSON:
+            doc = m.decode_json(frame.payload)
+            session = int(doc.get("session", -1))
+            node = conn.sessions.get(session)
+            if node is None:
+                return _error_frame(
+                    frame.request_id, "KeyError", f"unknown session {session}"
+                )
+            response = await self._forward(conn, node, frame)
+            if response.msg_type != m.ERROR:
+                conn.sessions.pop(session, None)
+            return response
+        if frame.msg_type == m.RUNS:
+            return await self._proxy_runs(conn, frame)
+        if frame.msg_type in _FAILOVER_READS:
+            return await self._proxy_with_failover(conn, frame)
+        # Everything else (STATS, GC, VERIFY, DEDUP2, REPL_STATUS...) goes
+        # to the pinned node, else the first live one.
+        candidates = self._live_candidates(conn, None)
+        if not candidates:
+            return _error_frame(
+                frame.request_id, "Unavailable", "no live nodes in the cluster"
+            )
+        return await self._forward(conn, candidates[0], frame)
+
+    async def _proxy_session_begin(self, conn: _Connection, frame: Frame) -> Frame:
+        doc = m.decode_json(frame.payload)
+        job = str(doc.get("job", ""))
+        node = self._primary_for_job(job) if job else None
+        if node is None:
+            return _error_frame(
+                frame.request_id, "Unavailable",
+                f"no live node to own job {job!r}",
+            )
+        response = await self._forward(conn, node, frame)
+        if response.msg_type == m.SESSION_OK:
+            session = int(m.decode_json(response.payload).get("session", -1))
+            if session >= 0:
+                conn.sessions[session] = node
+                self._t_sessions.inc()
+        return response
+
+    async def _proxy_runs(self, conn: _Connection, frame: Frame) -> Frame:
+        """``RUNS`` without a job fans out and merges (cluster view); with
+        a job it routes like the job's sessions do, with failover."""
+        doc = m.decode_json(frame.payload)
+        if doc.get("job"):
+            return await self._proxy_with_failover(
+                conn, frame, preferred=self._primary_for_job(str(doc["job"]))
+            )
+        merged: List[dict] = []
+        answered = False
+        for node in self._live_candidates(conn, None):
+            try:
+                response = await self._forward(conn, node, frame)
+            except (ConnectionError, OSError, asyncio.TimeoutError, RouteError):
+                continue
+            if response.msg_type == m.ERROR:
+                continue
+            answered = True
+            merged.extend(m.decode_json(response.payload))
+        if not answered:
+            return _error_frame(
+                frame.request_id, "Unavailable", "no live node answered RUNS"
+            )
+        merged.sort(key=lambda r: (r.get("job", ""), r.get("run_id", 0)))
+        return Frame(m.RUNS_OK, frame.request_id, m.encode_json(merged))
+
+    async def _proxy_with_failover(
+        self, conn: _Connection, frame: Frame, preferred: Optional[str] = None
+    ) -> Frame:
+        """Try each live node until one answers without error.
+
+        An ``ERROR`` response ("no such run", "fingerprint not stored")
+        means *this node doesn't hold it*, not that nobody does — with a
+        replica factor over one, some other node usually does.
+        """
+        last: Optional[Frame] = None
+        candidates = self._live_candidates(conn, preferred)
+        if not candidates:
+            return _error_frame(
+                frame.request_id, "Unavailable", "no live nodes in the cluster"
+            )
+        unreachable: set = set()
+        for i, node in enumerate(candidates):
+            try:
+                response = await self._forward(conn, node, frame)
+            except (ConnectionError, OSError, asyncio.TimeoutError, RouteError):
+                # De-facto down for this request, even if the health
+                # monitor has not marked it yet (SIGKILL to first missed
+                # probe is a real window).
+                unreachable.add(node)
+                continue
+            if response.msg_type != m.ERROR:
+                if i > 0:
+                    self._t_failovers.inc()
+                conn.pin = node
+                return response
+            last = response
+        # No single node carried the whole answer; the deep fallbacks
+        # reassemble one from the surviving copies.
+        if frame.msg_type == m.CHUNK_READ:
+            split = await self._chunk_read_split(conn, frame)
+            if split is not None:
+                self._t_failovers.inc()
+                return split
+        if frame.msg_type == m.META_GET:
+            synthesized = await self._meta_get_from_catalogs(
+                conn, frame, extra_down=unreachable
+            )
+            if synthesized is not None:
+                self._t_failovers.inc()
+                return synthesized
+        return last if last is not None else _error_frame(
+            frame.request_id, "Unavailable", "no live node answered"
+        )
+
+    async def _chunk_read_split(
+        self, conn: _Connection, frame: Frame
+    ) -> Optional[Frame]:
+        """Reassemble a CHUNK_READ batch no single node serves whole.
+
+        A batch can span containers whose replica sets land on different
+        surviving nodes after the origin died; per-fingerprint probes let
+        each survivor contribute the chunks it holds.
+        """
+        try:
+            fps, _ = m.decode_fps(frame.payload)
+        except m.MessageError:
+            return None
+        chunks: List[Tuple[bytes, bytes]] = []
+        for fp in fps:
+            data: Optional[bytes] = None
+            for node in self._live_candidates(conn, None):
+                try:
+                    response = await self._forward(
+                        conn, node,
+                        Frame(m.CHUNK_READ, self._next_rid(), m.encode_fps([fp])),
+                    )
+                except (ConnectionError, OSError, asyncio.TimeoutError, RouteError):
+                    continue
+                if response.msg_type == m.ERROR:
+                    continue
+                got, _ = m.decode_chunk_batch(response.payload)
+                if got:
+                    data = got[0][1]
+                    break
+            if data is None:
+                return None  # a chunk nobody holds: the batch is lost
+            chunks.append((fp, data))
+        return Frame(
+            m.CHUNK_DATA, frame.request_id, m.encode_chunk_batch(chunks)
+        )
+
+    async def _meta_get_from_catalogs(
+        self, conn: _Connection, frame: Frame, extra_down: Optional[set] = None
+    ) -> Optional[Frame]:
+        """Synthesize META_ENTRIES for a dead origin's run from a mirrored
+        catalog on a surviving replica.
+
+        The replicator ships the full run catalog (file metadata + hex
+        fingerprint indices) alongside containers, so any node holding the
+        dead origin's replicas can describe its runs even though only the
+        origin's vault ever recorded them.
+        """
+        try:
+            run_id = int(m.decode_json(frame.payload).get("run_id", -1))
+        except (m.MessageError, TypeError, ValueError):
+            return None
+        reachable = set(self.membership.live_names()) - (extra_down or set())
+        down = [
+            n for n in self.membership.names() if n not in reachable
+        ]
+        for origin in down:
+            for node in self._live_candidates(conn, None):
+                if node not in reachable:
+                    continue
+                try:
+                    response = await self._forward(
+                        conn, node,
+                        Frame(
+                            m.CATALOG_FETCH, self._next_rid(),
+                            m.encode_json({"origin": origin}),
+                        ),
+                    )
+                except (ConnectionError, OSError, asyncio.TimeoutError, RouteError):
+                    continue
+                if response.msg_type == m.ERROR:
+                    continue
+                catalog = m.decode_json(response.payload).get("catalog") or {}
+                for run in catalog.get("runs", []):
+                    if int(run.get("run_id", -1)) != run_id:
+                        continue
+                    entries = [
+                        (
+                            {
+                                "path": f["path"],
+                                "size": f["size"],
+                                "mode": f["mode"],
+                                "mtime": f["mtime"],
+                            },
+                            [bytes.fromhex(h) for h in f["fingerprints"]],
+                        )
+                        for f in run.get("files", [])
+                    ]
+                    return Frame(
+                        m.META_ENTRIES,
+                        frame.request_id,
+                        m.encode_file_entries(entries),
+                    )
+        return None
+
+
+_LOCAL_HANDLERS = {
+    m.HELLO: FrontDoorRouter._on_hello,
+    m.PING: FrontDoorRouter._on_ping,
+    m.ROUTE_LOOKUP: FrontDoorRouter._on_route_lookup,
+    m.ROUTE_HINT: FrontDoorRouter._on_route_hint,
+    m.NODE_JOIN: FrontDoorRouter._on_node_join,
+    m.NODE_LEAVE: FrontDoorRouter._on_node_leave,
+    m.CLUSTER_STATUS: FrontDoorRouter._on_cluster_status,
+    m.REBALANCE_ACK: FrontDoorRouter._on_rebalance_ack,
+}

@@ -77,6 +77,14 @@ class RetryPolicy:
     max_delay: float = 2.0
     jitter: float = 0.5
     timeout: float = 10.0
+    #: TCP connect budget; ``None`` falls back to ``timeout``.  A down
+    #: node whose SYNs go unanswered should fail in the connect budget,
+    #: not hold a whole request timeout hostage per attempt.
+    connect_timeout: Optional[float] = None
+
+    @property
+    def effective_connect_timeout(self) -> float:
+        return self.timeout if self.connect_timeout is None else self.connect_timeout
 
     def delay(self, attempt: int, rng: random.Random) -> float:
         """Backoff before retry ``attempt`` (1-based): ``base * 2^(n-1)``
@@ -144,8 +152,9 @@ class NetClient:
     # -- connection ---------------------------------------------------------------
     def _connect(self) -> None:
         sock = socket.create_connection(
-            (self.host, self.port), timeout=self.retry.timeout
+            (self.host, self.port), timeout=self.retry.effective_connect_timeout
         )
+        sock.settimeout(self.retry.timeout)
         self._sock = sock
         self._t_reconnects.inc()
         doc = {"client": self.client_name}

@@ -92,6 +92,24 @@ CATALOG_OK = 0x47
 CATALOG_FETCH = 0x48
 CATALOG_DATA = 0x49
 
+# Front door (DESIGN.md §14): cluster membership, routing lookups, and
+# the rebalancing protocol.  All JSON payloads — routing traffic is
+# control-plane small; the bulk path stays on the messages above.
+ROUTE_LOOKUP = 0x50
+ROUTE_INFO = 0x51
+ROUTE_HINT = 0x52
+ROUTE_HINT_OK = 0x53
+NODE_JOIN = 0x54
+NODE_JOIN_OK = 0x55
+NODE_LEAVE = 0x56
+NODE_LEAVE_OK = 0x57
+CLUSTER_STATUS = 0x58
+CLUSTER_STATUS_OK = 0x59
+REBALANCE_PLAN = 0x5A
+REBALANCE_PLAN_OK = 0x5B
+REBALANCE_ACK = 0x5C
+REBALANCE_ACK_OK = 0x5D
+
 #: Request type -> its success response type (the dispatch contract).
 RESPONSE_OF: Dict[int, int] = {
     HELLO: HELLO_OK,
@@ -116,6 +134,13 @@ RESPONSE_OF: Dict[int, int] = {
     CONTAINER_FETCH: CONTAINER_IMAGE,
     CATALOG_PUSH: CATALOG_OK,
     CATALOG_FETCH: CATALOG_DATA,
+    ROUTE_LOOKUP: ROUTE_INFO,
+    ROUTE_HINT: ROUTE_HINT_OK,
+    NODE_JOIN: NODE_JOIN_OK,
+    NODE_LEAVE: NODE_LEAVE_OK,
+    CLUSTER_STATUS: CLUSTER_STATUS_OK,
+    REBALANCE_PLAN: REBALANCE_PLAN_OK,
+    REBALANCE_ACK: REBALANCE_ACK_OK,
 }
 
 #: Message code -> stable name (telemetry labels, error text).
@@ -165,6 +190,20 @@ MSG_NAMES: Dict[int, str] = {
     CATALOG_OK: "catalog_ok",
     CATALOG_FETCH: "catalog_fetch",
     CATALOG_DATA: "catalog_data",
+    ROUTE_LOOKUP: "route_lookup",
+    ROUTE_INFO: "route_info",
+    ROUTE_HINT: "route_hint",
+    ROUTE_HINT_OK: "route_hint_ok",
+    NODE_JOIN: "node_join",
+    NODE_JOIN_OK: "node_join_ok",
+    NODE_LEAVE: "node_leave",
+    NODE_LEAVE_OK: "node_leave_ok",
+    CLUSTER_STATUS: "cluster_status",
+    CLUSTER_STATUS_OK: "cluster_status_ok",
+    REBALANCE_PLAN: "rebalance_plan",
+    REBALANCE_PLAN_OK: "rebalance_plan_ok",
+    REBALANCE_ACK: "rebalance_ack",
+    REBALANCE_ACK_OK: "rebalance_ack_ok",
 }
 
 

@@ -721,8 +721,13 @@ class VaultServerCore:
         })
 
     def _on_repl_status(self, payload: bytes) -> Tuple[int, bytes]:
+        with self.vault_lock:
+            own = sorted(self.vault.repository.container_ids())
         status = {
             "node": self.node_name,
+            # The node's own sealed containers: the rebalancer's inventory
+            # of what this origin must keep replicated as the ring moves.
+            "containers": own,
             "replicas": self.replica_store.status(),
             "outbound": (
                 self.replicator.status() if self.replicator is not None else None

@@ -12,12 +12,19 @@ otherwise.
 from __future__ import annotations
 
 import json
+import re
 import sys
 from typing import List, Optional
 
 from repro.telemetry.export import SNAPSHOT_VERSION
 
 _METRIC_TYPES = {"counter", "gauge", "histogram"}
+
+#: Metric names are dotted lowercase identifiers: a subsystem prefix
+#: (``net``, ``repl``, ``router``...) then one or more segments, each
+#: starting with a letter.  The DESIGN.md §8.2 catalogue and this pattern
+#: are the two places a new subsystem's names must clear.
+_METRIC_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
 
 
 class SchemaError(ValueError):
@@ -100,6 +107,9 @@ def validate_snapshot(doc: object) -> dict:
         name = metric.get("name")
         _require(isinstance(name, str) and bool(name), f"{path}.name",
                  "metric name must be a non-empty string")
+        _require(_METRIC_NAME.match(name) is not None, f"{path}.name",
+                 f"metric name {name!r} must be dotted lowercase "
+                 "(subsystem.metric)")
         _require(name not in seen, f"{path}.name", f"duplicate metric {name!r}")
         seen.add(name)
         type_ = metric.get("type")

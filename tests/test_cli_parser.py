@@ -15,6 +15,7 @@ class TestParser:
             "backup", "list", "restore", "verify", "audit", "stats",
             "forget", "gc", "scrub", "recover-index", "serve", "trace",
             "rebuild", "repl-status", "migrate", "tier-status",
+            "route", "cluster-status", "rebalance",
         }
 
     def test_backup_requires_job_and_paths(self):

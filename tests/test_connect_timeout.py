@@ -1,0 +1,107 @@
+"""``--connect-timeout``: fast failure against a listener that never
+accepts (satellite of the front-door PR).
+
+A router probing a hung node — or a CLI client pointed at one — must
+not wait out the full I/O timeout just to learn the TCP connection is
+going nowhere.  :class:`RetryPolicy.connect_timeout` bounds the
+``connect()`` itself, separately from the per-operation I/O timeout.
+
+The "never accepts" condition is manufactured portably: a listening
+socket with a minimal backlog whose accept queue is saturated by
+pre-opened connections, so further handshakes hang in SYN purgatory
+instead of completing.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.net.client import NetClient, RemoteUnavailable, RetryPolicy
+
+
+@pytest.fixture()
+def swamped_listener():
+    """A bound, listening, never-accepting socket with a full backlog."""
+    lsock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    lsock.bind(("127.0.0.1", 0))
+    lsock.listen(0)
+    addr = lsock.getsockname()
+    fillers = []
+    # Saturate the accept queue (kernels round the backlog up, so pile
+    # on well past it) with non-blocking connects that are never served.
+    for _ in range(32):
+        s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        s.setblocking(False)
+        try:
+            s.connect(addr)
+        except BlockingIOError:
+            pass
+        fillers.append(s)
+    time.sleep(0.05)
+    try:
+        yield addr
+    finally:
+        for s in fillers:
+            s.close()
+        lsock.close()
+
+
+def test_connect_timeout_bounds_the_handshake(swamped_listener):
+    host, port = swamped_listener
+    retry = RetryPolicy(
+        max_attempts=1, timeout=30.0, connect_timeout=0.3, base_delay=0.01
+    )
+    client = NetClient(host, port, retry=retry)
+    started = time.monotonic()
+    with pytest.raises(RemoteUnavailable):
+        client.ping()
+    elapsed = time.monotonic() - started
+    # Well under the 30s I/O timeout the old behaviour would have used.
+    assert elapsed < 5.0, f"connect hung {elapsed:.1f}s despite connect_timeout"
+    client.close()
+
+
+def test_connect_timeout_retries_each_attempt_bounded(swamped_listener):
+    host, port = swamped_listener
+    retry = RetryPolicy(
+        max_attempts=3, timeout=30.0, connect_timeout=0.2,
+        base_delay=0.01, max_delay=0.02,
+    )
+    client = NetClient(host, port, retry=retry)
+    started = time.monotonic()
+    with pytest.raises(RemoteUnavailable):
+        client.ping()
+    elapsed = time.monotonic() - started
+    assert elapsed < 6.0
+    client.close()
+
+
+def test_connect_timeout_defaults_to_io_timeout():
+    retry = RetryPolicy(timeout=7.5)
+    assert retry.effective_connect_timeout == 7.5
+    tighter = RetryPolicy(timeout=7.5, connect_timeout=0.5)
+    assert tighter.effective_connect_timeout == 0.5
+
+
+def test_connect_timeout_does_not_shrink_io_timeout(tmp_path):
+    """A live server keeps the full I/O timeout after a fast connect."""
+    from repro.net.server import serve_vault
+    from repro.system.vault import DebarVault
+    import threading
+
+    vault = DebarVault(tmp_path / "v")
+    server = serve_vault(vault, node_name="a")
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        retry = RetryPolicy(
+            max_attempts=1, timeout=5.0, connect_timeout=0.3, base_delay=0.01
+        )
+        with NetClient(server.host, server.port, retry=retry) as client:
+            assert client.ping() is True
+            assert client._sock.gettimeout() == 5.0
+    finally:
+        server.shutdown()
+        server.server_close()
+        vault.close()

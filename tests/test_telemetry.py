@@ -232,7 +232,7 @@ class TestSnapshot:
 
     def test_build_and_validate(self, live_telemetry):
         registry, tracer = live_telemetry
-        registry.counter("c").inc()
+        registry.counter("test.c").inc()
         with tracer.span("backup"):
             pass
         doc = build_snapshot(registry, tracer)
@@ -271,14 +271,14 @@ class TestSnapshot:
         with pytest.raises(SchemaError, match=r"\$\.version"):
             validate_snapshot({"version": 999})
         doc = build_snapshot(MetricsRegistry(), Tracer())
-        doc["metrics"] = [{"name": "x", "type": "teapot", "samples": []}]
+        doc["metrics"] = [{"name": "test.x", "type": "teapot", "samples": []}]
         with pytest.raises(SchemaError, match="type"):
             validate_snapshot(doc)
 
     def test_schema_rejects_negative_counter(self):
         doc = build_snapshot(MetricsRegistry(), Tracer())
         doc["metrics"] = [{
-            "name": "c", "type": "counter",
+            "name": "test.c", "type": "counter",
             "samples": [{"labels": {}, "value": -1}],
         }]
         with pytest.raises(SchemaError, match="negative"):
