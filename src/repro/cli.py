@@ -144,10 +144,14 @@ def _open(args):
         with RouterClient(host, port, retry=retry) as rc:
             client = None
             try:
-                if getattr(args, "job", None):
+                if getattr(args, "run", None) is not None:
+                    # Run-keyed commands (restore/forget) locate by
+                    # (job, run id) — run ids are per-vault and collide.
+                    client = rc.client_for_run(
+                        args.run, job=getattr(args, "job", None), **kwargs
+                    )
+                elif getattr(args, "job", None):
                     client = rc.client_for_job(args.job, **kwargs)
-                elif getattr(args, "run", None) is not None:
-                    client = rc.client_for_run(args.run, **kwargs)
             except (KeyError, ConnectionError):
                 # No live owner to redirect to (the node that recorded
                 # the run may be down) — the router's proxy path still
@@ -257,7 +261,10 @@ def cmd_restore(args) -> int:
         if replicas:
             paths = _restore_with_failover(args, target, replicas)
         else:
-            paths = target.restore(args.run, args.dest, strip_prefix=args.strip_prefix)
+            paths = target.restore(
+                args.run, args.dest, strip_prefix=args.strip_prefix,
+                job=getattr(args, "job", None),
+            )
         print(f"restored {len(paths)} files to {args.dest}")
         _telemetry_finish(args, registry, tracer)
     return EXIT_OK
@@ -270,12 +277,13 @@ def _restore_with_failover(args, target, replicas: List[str]) -> List[Path]:
     from repro.net.client import RemoteChunkReader
     from repro.replication.failover import FailoverChunkReader, ReplicaReader
 
+    job = getattr(args, "job", None)
     if isinstance(target, RemoteBackupClient):
-        entries = target.run_entries(args.run)
+        entries = target.run_entries(args.run, job=job)
         primary = (args.connect, RemoteChunkReader(target.net))
         engine = target.engine
     else:
-        for run in target.runs():
+        for run in target.runs(job=job):
             if run.run_id == args.run:
                 break
         else:
@@ -360,7 +368,7 @@ def cmd_stats(args) -> int:
 
 def cmd_forget(args) -> int:
     with _open(args) as target:
-        target.forget(args.run)
+        target.forget(args.run, job=getattr(args, "job", None))
         print(f"run {args.run} dropped from the catalog (space reclaimed on gc)")
     return EXIT_OK
 
@@ -922,6 +930,11 @@ def build_parser() -> argparse.ArgumentParser:
         p = parent.add_parser("restore", help="restore one run")
         common(p, remote_ok=True)
         p.add_argument("--run", type=int, required=True)
+        p.add_argument(
+            "--job", default=None,
+            help="job whose chain records --run (run ids are per-vault: "
+            "required to disambiguate a colliding id behind a router)",
+        )
         p.add_argument("--dest", required=True)
         p.add_argument("--strip-prefix", default="/")
         p.add_argument(
@@ -969,6 +982,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("forget", help="drop a run from the catalog (retention)")
     common(p, remote_ok=True)
     p.add_argument("--run", type=int, required=True)
+    p.add_argument(
+        "--job", default=None,
+        help="job whose chain records --run (run ids are per-vault: "
+        "required to disambiguate a colliding id behind a router)",
+    )
     p.set_defaults(func=cmd_forget)
 
     p = sub.add_parser("gc", help="reclaim space from unreferenced chunks")

@@ -111,34 +111,65 @@ class RouterClient:
         kwargs.setdefault("registry", self.registry)
         return RemoteBackupClient(host, port, **kwargs)
 
-    def client_for_run(self, run_id: int, **kwargs) -> RemoteBackupClient:
-        """A direct client to a live node that records ``run_id``.
+    def client_for_run(
+        self, run_id: int, job: Optional[str] = None, **kwargs
+    ) -> RemoteBackupClient:
+        """A direct client to the live node that records ``run_id``.
 
-        Run ids are per-vault, so the locator asks each live node (small
-        ``RUNS`` requests) rather than guessing from the ring; the node
-        that owns the run's job answers, and when that node is dead any
-        node holding its mirrored catalog can still restore via the
-        router's failover path (redirect mode prefers a live owner).
+        Run ids are per-vault — every node numbers its own runs from 1 —
+        so the locator matches on (job, run id), asking each candidate
+        node (small ``RUNS`` requests) rather than guessing from the
+        ring.  With ``job`` the search walks the job's ring order (owner
+        first); without one every live node is asked, and a run id
+        recorded under two different jobs raises instead of connecting
+        to whichever vault sorts first.  When the owner is dead the
+        router's proxy path (mirrored catalogs) is the fallback.
         """
         self.ensure_ring()
         kwargs.setdefault("client_name", self.client_name)
         kwargs.setdefault("retry", self.retry)
         kwargs.setdefault("registry", self.registry)
+        live = {
+            n for n, info in self.nodes.items() if info.get("state") == "up"
+        }
+        order = (
+            self.live_order_for_job(job)
+            if job else [n for n in sorted(self.nodes) if n in live]
+        )
         last: Optional[Exception] = None
-        for node, info in sorted(self.nodes.items()):
-            if info.get("state") != "up":
-                continue
-            host, _, port = str(info["address"]).rpartition(":")
+        owners: Dict[str, str] = {}  # job -> first node recording the run
+        for node in order:
+            host, port = self.address_of(node)
             try:
-                client = RemoteBackupClient(host or "127.0.0.1", int(port), **kwargs)
-                if any(r.run_id == run_id for r in client.runs()):
-                    return client
-                client.close()
+                client = RemoteBackupClient(host, port, **kwargs)
             except Exception as exc:
                 last = exc
                 continue
+            try:
+                runs = client.runs(job=job)
+            except Exception as exc:
+                last = exc
+                client.close()
+                continue
+            hit = any(r.run_id == run_id for r in runs)
+            if hit and job:
+                return client  # job-qualified: the first ring match wins
+            if hit:
+                for r in runs:
+                    if r.run_id == run_id:
+                        owners.setdefault(r.job, node)
+            client.close()
+        if len(owners) > 1:
+            raise KeyError(
+                f"run {run_id} is recorded by jobs {sorted(owners)}; "
+                "qualify the lookup with a job"
+            )
+        if owners:
+            host, port = self.address_of(next(iter(owners.values())))
+            return RemoteBackupClient(host, port, **kwargs)
+        scope = f" for job {job!r}" if job else ""
         raise KeyError(
-            f"no live node records run {run_id}"
+            f"no live node records run {run_id}{scope}"
             + (f" (last error: {last})" if last else "")
         )
 

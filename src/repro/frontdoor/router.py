@@ -17,16 +17,24 @@ two kinds of clients:
 
 Routing keys: a backup session is pinned to ``job:<name>`` at
 ``SESSION_BEGIN`` (the session id in ``SESSION_OK`` keys the rest of the
-session's frames to that node); reads (``META_GET``/``CHUNK_READ``/
-``RUNS``...) try the connection's last-good node first and fail over
-across the live set — a node that lacks the data answers with an
-``ERROR`` frame and the next candidate is tried, which is exactly how
-replica-set failover reaches a dead node's surviving copies (the serve
-core falls through to its replica store).  Two deeper fallbacks make
-restores survive a dead origin outright: a ``CHUNK_READ`` batch no
-single node can serve whole is split per-fingerprint across the live
-set, and a ``META_GET`` for a dead node's run is synthesized from the
-mirrored run catalog a surviving replica holds.
+session's frames to that node); content-addressed reads
+(``CHUNK_READ``, keyed by fingerprint) try the connection's last-good
+node first and fail over across the live set — a node that lacks the
+data answers with an ``ERROR`` frame and the next candidate is tried,
+which is exactly how replica-set failover reaches a dead node's
+surviving copies (the serve core falls through to its replica store).
+Run-keyed frames are different: run ids are **per vault** (every node
+numbers its own runs from 1), so ``META_GET`` is addressed by
+(job, run id) — the job resolved via small ``RUNS`` queries when the
+client did not supply one, ambiguity refused rather than guessed, and
+nodes validating the job server-side so a colliding id on the wrong
+vault errors instead of answering — and the destructive ``FORGET``
+routes to exactly one resolved owner and never fails over.  Two deeper
+fallbacks make restores survive a dead origin outright: a
+``CHUNK_READ`` batch no single node can serve whole is split
+per-fingerprint across the live set, and a ``META_GET`` for a dead
+node's run is synthesized from the mirrored run catalog a surviving
+replica holds.
 
 Health is a PING sweep (:class:`HealthMonitor`) plus the data path
 itself: a proxied frame that dies on transport counts as a failed probe,
@@ -70,8 +78,14 @@ DEFAULT_CONNECT_TIMEOUT = 2.0
 _SESSION_PREFIXED = frozenset({m.FILTER_QUERY, m.CHUNK_APPEND, m.META_PUT})
 #: Session-scoped message types carrying the session id in JSON.
 _SESSION_JSON = frozenset({m.SESSION_COMMIT, m.SESSION_ABORT})
-#: Read types that fail over across the live set on any error.
-_FAILOVER_READS = frozenset({m.META_GET, m.CHUNK_READ, m.RUNS, m.FORGET})
+#: Read types that fail over across the live set on any error.  Only
+#: content-addressed reads belong here: a CHUNK_READ is keyed by
+#: fingerprint (a content hash), so whichever node answers, the bytes are
+#: the right bytes.  META_GET and FORGET are keyed by *per-vault* run ids
+#: that collide across nodes (every vault numbers its own runs from 1),
+#: so they route through the job-qualified paths below instead —
+#: and FORGET, being destructive, never fails over at all.
+_FAILOVER_READS = frozenset({m.CHUNK_READ})
 
 
 class RouteError(Exception):
@@ -106,29 +120,34 @@ class _Downstream:
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._wlock = asyncio.Lock()
+        self._connect_lock = asyncio.Lock()
         self._pending: Dict[int, asyncio.Future] = {}
         self._pump_task: Optional[asyncio.Task] = None
 
     async def ensure(self, hello_doc: dict) -> None:
-        if self._writer is not None:
-            return
-        host, port = _parse_address(self.address)
-        self._reader, self._writer = await asyncio.wait_for(
-            asyncio.open_connection(host, port),
-            timeout=self._router.connect_timeout,
-        )
-        self._pump_task = asyncio.ensure_future(self._pump())
-        # Replay the client's HELLO (it may carry a tenant token the node
-        # wants); the router's own id keeps it out of the client's id space.
-        response = await self.call(
-            Frame(m.HELLO, self._router._next_rid(), m.encode_json(hello_doc)),
-            timeout=self._router.connect_timeout,
-        )
-        if response.msg_type != m.HELLO_OK:
-            doc = m.decode_json(response.payload)
-            raise RouteError(
-                f"{self.name} refused the handshake: {doc.get('message', '')}"
+        # Serialized: two frames dispatched concurrently for the same node
+        # must not both open a connection (the loser's socket and pump
+        # task would leak for the life of the client connection).
+        async with self._connect_lock:
+            if self._writer is not None:
+                return
+            host, port = _parse_address(self.address)
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port),
+                timeout=self._router.connect_timeout,
             )
+            self._pump_task = asyncio.ensure_future(self._pump())
+            # Replay the client's HELLO (it may carry a tenant token the node
+            # wants); the router's own id keeps it out of the client's id space.
+            response = await self.call(
+                Frame(m.HELLO, self._router._next_rid(), m.encode_json(hello_doc)),
+                timeout=self._router.connect_timeout,
+            )
+            if response.msg_type != m.HELLO_OK:
+                doc = m.decode_json(response.payload)
+                raise RouteError(
+                    f"{self.name} refused the handshake: {doc.get('message', '')}"
+                )
 
     async def call(self, frame: Frame, timeout: float) -> Frame:
         writer = self._writer
@@ -169,6 +188,13 @@ class _Downstream:
                     future.set_exception(
                         ConnectionError(f"downstream {self.name} dropped: {exc}")
                     )
+            # The transport is dead: drop it *now* so the next proxied
+            # frame reconnects immediately instead of writing into a dead
+            # socket and waiting out the full proxy timeout.
+            writer, self._writer, self._reader = self._writer, None, None
+            if writer is not None:
+                with contextlib.suppress(Exception):
+                    writer.close()
 
     async def close(self) -> None:
         if self._pump_task is not None:
@@ -631,6 +657,10 @@ class FrontDoorRouter:
             return response
         if frame.msg_type == m.RUNS:
             return await self._proxy_runs(conn, frame)
+        if frame.msg_type == m.META_GET:
+            return await self._proxy_meta_get(conn, frame)
+        if frame.msg_type == m.FORGET:
+            return await self._proxy_forget(conn, frame)
         if frame.msg_type in _FAILOVER_READS:
             return await self._proxy_with_failover(conn, frame)
         # Everything else (STATS, GC, VERIFY, DEDUP2, REPL_STATUS...) goes
@@ -685,8 +715,138 @@ class FrontDoorRouter:
         merged.sort(key=lambda r: (r.get("job", ""), r.get("run_id", 0)))
         return Frame(m.RUNS_OK, frame.request_id, m.encode_json(merged))
 
+    async def _resolve_run_job(
+        self, conn: _Connection, run_id: int, job: Optional[str] = None
+    ) -> Tuple[Dict[str, str], set]:
+        """Which job(s) record (per-vault) ``run_id``, cluster-wide?
+
+        Run ids collide across vaults — every node numbers its own runs
+        from 1 — so before routing a run-keyed frame the router asks the
+        live set (small ``RUNS`` queries) who actually records it.
+        Returns ``({job: first node recording it}, unreachable nodes)``;
+        more than one owner key means the bare run id is ambiguous and
+        the caller must refuse to guess, and an unreachable node is
+        de-facto down for this request even before the health monitor
+        marks it.  ``job`` narrows the sweep to that job's chain.
+        """
+        owners: Dict[str, str] = {}
+        unreachable: set = set()
+        payload = m.encode_json({"job": job} if job else {})
+        for node in self._live_candidates(conn, None):
+            try:
+                response = await self._forward(
+                    conn, node, Frame(m.RUNS, self._next_rid(), payload)
+                )
+            except (ConnectionError, OSError, asyncio.TimeoutError, RouteError):
+                unreachable.add(node)
+                continue
+            if response.msg_type == m.ERROR:
+                continue
+            for run in m.decode_json(response.payload):
+                if int(run.get("run_id", -1)) == run_id:
+                    owners.setdefault(str(run.get("job", "")), node)
+        return owners, unreachable
+
+    async def _proxy_meta_get(self, conn: _Connection, frame: Frame) -> Frame:
+        """Route ``META_GET`` by (job, run id), never by run id alone.
+
+        A job-qualified frame is safe to fail over: nodes validate the
+        job against their own catalog, so a colliding run id on the wrong
+        vault answers ERROR instead of another job's file list.  A bare
+        run id is first resolved to its job via the live set — and
+        refused as ambiguous when two vaults both record it.
+        """
+        try:
+            doc = m.decode_json(frame.payload)
+            run_id = int(doc.get("run_id", -1))
+        except (m.MessageError, TypeError, ValueError):
+            return _error_frame(
+                frame.request_id, "ProtocolError", "malformed META_GET payload"
+            )
+        job = str(doc.get("job") or "")
+        unreachable: set = set()
+        if not job:
+            owners, unreachable = await self._resolve_run_job(conn, run_id)
+            if len(owners) > 1:
+                return _error_frame(
+                    frame.request_id, "AmbiguousRun",
+                    f"run {run_id} is recorded by jobs {sorted(owners)}; "
+                    "qualify the request with a job",
+                )
+            if owners:
+                job = next(iter(owners))
+        if job:
+            doc["job"] = job
+            frame = Frame(m.META_GET, frame.request_id, m.encode_json(doc))
+            return await self._proxy_with_failover(
+                conn, frame, preferred=self._primary_for_job(job), job=job
+            )
+        # No live node records the run: the origin is dead (possibly not
+        # yet marked down — the resolve sweep's transport failures count),
+        # and only the mirrored catalogs on its replicas can describe it.
+        synthesized = await self._meta_get_from_catalogs(
+            conn, frame, extra_down=unreachable
+        )
+        if synthesized is not None:
+            self._t_failovers.inc()
+            return synthesized
+        return _error_frame(
+            frame.request_id, "Unavailable",
+            f"no live node or mirrored catalog records run {run_id}",
+        )
+
+    async def _proxy_forget(self, conn: _Connection, frame: Frame) -> Frame:
+        """Route ``FORGET`` to exactly one owner — destructive frames
+        never fail over.
+
+        Retrying a "no such run" ERROR on the next live node would delete
+        an unrelated job's run that happens to share the per-vault id
+        (every vault has a run 1).  Instead the run is resolved to its
+        owning (job, node); an ERROR from the owner goes back to the
+        client verbatim.
+        """
+        try:
+            doc = m.decode_json(frame.payload)
+            run_id = int(doc.get("run_id", -1))
+        except (m.MessageError, TypeError, ValueError):
+            return _error_frame(
+                frame.request_id, "ProtocolError", "malformed FORGET payload"
+            )
+        job = str(doc.get("job") or "")
+        owners, _ = await self._resolve_run_job(conn, run_id, job=job or None)
+        if not job:
+            if len(owners) > 1:
+                return _error_frame(
+                    frame.request_id, "AmbiguousRun",
+                    f"run {run_id} is recorded by jobs {sorted(owners)}; "
+                    "qualify the forget with a job",
+                )
+            if owners:
+                job = next(iter(owners))
+        node = owners.get(job) if job else None
+        if node is None:
+            # Nobody live records it (or the payload was never resolvable):
+            # let the job's primary — or any live node — answer its own
+            # error rather than sweeping the cluster.
+            node = self._primary_for_job(job) if job else None
+        if node is None:
+            candidates = self._live_candidates(conn, None)
+            if not candidates:
+                return _error_frame(
+                    frame.request_id, "Unavailable", "no live nodes in the cluster"
+                )
+            node = candidates[0]
+        if job:
+            doc["job"] = job
+            frame = Frame(m.FORGET, frame.request_id, m.encode_json(doc))
+        return await self._forward(conn, node, frame)
+
     async def _proxy_with_failover(
-        self, conn: _Connection, frame: Frame, preferred: Optional[str] = None
+        self,
+        conn: _Connection,
+        frame: Frame,
+        preferred: Optional[str] = None,
+        job: Optional[str] = None,
     ) -> Frame:
         """Try each live node until one answers without error.
 
@@ -725,7 +885,7 @@ class FrontDoorRouter:
                 return split
         if frame.msg_type == m.META_GET:
             synthesized = await self._meta_get_from_catalogs(
-                conn, frame, extra_down=unreachable
+                conn, frame, extra_down=unreachable, job=job
             )
             if synthesized is not None:
                 self._t_failovers.inc()
@@ -772,7 +932,11 @@ class FrontDoorRouter:
         )
 
     async def _meta_get_from_catalogs(
-        self, conn: _Connection, frame: Frame, extra_down: Optional[set] = None
+        self,
+        conn: _Connection,
+        frame: Frame,
+        extra_down: Optional[set] = None,
+        job: Optional[str] = None,
     ) -> Optional[Frame]:
         """Synthesize META_ENTRIES for a dead origin's run from a mirrored
         catalog on a surviving replica.
@@ -780,17 +944,24 @@ class FrontDoorRouter:
         The replicator ships the full run catalog (file metadata + hex
         fingerprint indices) alongside containers, so any node holding the
         dead origin's replicas can describe its runs even though only the
-        origin's vault ever recorded them.
+        origin's vault ever recorded them.  Catalog runs are matched on
+        (job, run id) when the job is known; without one, a run id that
+        two dead origins' catalogs both record under different jobs is
+        answered as ambiguous rather than guessed.
         """
         try:
-            run_id = int(m.decode_json(frame.payload).get("run_id", -1))
+            doc = m.decode_json(frame.payload)
+            run_id = int(doc.get("run_id", -1))
         except (m.MessageError, TypeError, ValueError):
             return None
+        job = job or str(doc.get("job") or "")
         reachable = set(self.membership.live_names()) - (extra_down or set())
         down = [
             n for n in self.membership.names() if n not in reachable
         ]
+        matches: Dict[str, list] = {}  # job -> catalog file list
         for origin in down:
+            catalog = None
             for node in self._live_candidates(conn, None):
                 if node not in reachable:
                     continue
@@ -807,27 +978,39 @@ class FrontDoorRouter:
                 if response.msg_type == m.ERROR:
                     continue
                 catalog = m.decode_json(response.payload).get("catalog") or {}
-                for run in catalog.get("runs", []):
-                    if int(run.get("run_id", -1)) != run_id:
-                        continue
-                    entries = [
-                        (
-                            {
-                                "path": f["path"],
-                                "size": f["size"],
-                                "mode": f["mode"],
-                                "mtime": f["mtime"],
-                            },
-                            [bytes.fromhex(h) for h in f["fingerprints"]],
-                        )
-                        for f in run.get("files", [])
-                    ]
-                    return Frame(
-                        m.META_ENTRIES,
-                        frame.request_id,
-                        m.encode_file_entries(entries),
-                    )
-        return None
+                break
+            for run in (catalog or {}).get("runs", []):
+                if int(run.get("run_id", -1)) != run_id:
+                    continue
+                run_job = str(run.get("job", ""))
+                if job and run_job != job:
+                    continue
+                matches.setdefault(run_job, run.get("files", []))
+        if len(matches) > 1:
+            return _error_frame(
+                frame.request_id, "AmbiguousRun",
+                f"run {run_id} is mirrored for jobs {sorted(matches)}; "
+                "qualify the request with a job",
+            )
+        if not matches:
+            return None
+        entries = [
+            (
+                {
+                    "path": f["path"],
+                    "size": f["size"],
+                    "mode": f["mode"],
+                    "mtime": f["mtime"],
+                },
+                [bytes.fromhex(h) for h in f["fingerprints"]],
+            )
+            for f in next(iter(matches.values()))
+        ]
+        return Frame(
+            m.META_ENTRIES,
+            frame.request_id,
+            m.encode_file_entries(entries),
+        )
 
 
 _LOCAL_HANDLERS = {

@@ -598,9 +598,19 @@ class RemoteBackupClient:
         )
 
     # -- restore ------------------------------------------------------------------
-    def run_entries(self, run_id: int) -> List[FileIndexEntry]:
-        """The run's file indices (``META_GET``)."""
-        payload = self.net.call(m.META_GET, m.encode_json({"run_id": run_id}))
+    def run_entries(
+        self, run_id: int, job: Optional[str] = None
+    ) -> List[FileIndexEntry]:
+        """The run's file indices (``META_GET``).
+
+        Run ids are per-vault; pass ``job`` when talking to a router or a
+        node that may hold several vaults' ids so the lookup is pinned to
+        one job's chain.
+        """
+        doc = {"run_id": run_id}
+        if job:
+            doc["job"] = job
+        payload = self.net.call(m.META_GET, m.encode_json(doc))
         entries, _ = m.decode_file_entries(payload)
         return [
             FileIndexEntry(
@@ -616,10 +626,14 @@ class RemoteBackupClient:
         ]
 
     def restore(
-        self, run_id: int, dest: PathLike, strip_prefix: PathLike = "/"
+        self,
+        run_id: int,
+        dest: PathLike,
+        strip_prefix: PathLike = "/",
+        job: Optional[str] = None,
     ) -> List[Path]:
         """Restore one run into ``dest`` through batched chunk reads."""
-        entries = self.run_entries(run_id)
+        entries = self.run_entries(run_id, job=job)
         reader = RemoteChunkReader(self.net)
         reader.plan([fp for e in entries for fp in e.fingerprints])
         return self.engine.restore_run(entries, reader, dest, strip_prefix)
@@ -641,5 +655,8 @@ class RemoteBackupClient:
     def verify(self, deep: bool = False) -> dict:
         return self.net.call_json(m.VERIFY, {"deep": deep})
 
-    def forget(self, run_id: int) -> dict:
-        return self.net.call_json(m.FORGET, {"run_id": run_id})
+    def forget(self, run_id: int, job: Optional[str] = None) -> dict:
+        doc = {"run_id": run_id}
+        if job:
+            doc["job"] = job
+        return self.net.call_json(m.FORGET, doc)

@@ -631,11 +631,17 @@ class VaultServerCore:
     def _on_meta_get(self, payload: bytes) -> Tuple[int, bytes]:
         doc = m.decode_json(payload)
         run_id = int(doc["run_id"])
+        # Run ids are per-vault: two nodes can both hold a run 3.  A
+        # cluster caller therefore qualifies the lookup with the job name,
+        # and a mismatched run answers "not here" instead of handing out
+        # another job's data.
+        job = doc.get("job") or None
         with self.vault_lock:
-            for run in self.vault.runs():
+            for run in self.vault.runs(job=job):
                 if run.run_id == run_id:
                     return m.META_ENTRIES, m.encode_file_entries(self._run_payload(run))
-        raise VaultError(f"no run {run_id} in this vault")
+        scope = f"job {job!r}" if job else "this vault"
+        raise VaultError(f"no run {run_id} for {scope}")
 
     def _on_runs(self, payload: bytes) -> Tuple[int, bytes]:
         doc = m.decode_json(payload)
@@ -684,8 +690,11 @@ class VaultServerCore:
 
     def _on_forget(self, payload: bytes) -> Tuple[int, bytes]:
         doc = m.decode_json(payload)
+        # Same per-vault-run-id guard as META_GET — forgetting is
+        # destructive, so a job-qualified forget must never land on an
+        # unrelated job's run that shares the id.
         with self.vault_lock:
-            self.vault.forget(int(doc["run_id"]))
+            self.vault.forget(int(doc["run_id"]), job=doc.get("job") or None)
         return m.FORGET_OK, m.encode_json({"forgotten": int(doc["run_id"])})
 
     # -- replication (DESIGN.md §11) ----------------------------------------------

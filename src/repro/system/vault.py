@@ -436,14 +436,20 @@ class DebarVault:
         run_id: int,
         dest: PathLike,
         strip_prefix: PathLike = "/",
+        job: Optional[str] = None,
     ) -> List[Path]:
-        """Restore every file of a recorded run into ``dest``."""
+        """Restore every file of a recorded run into ``dest``.
+
+        ``job`` narrows the lookup to that job's chain — run ids are
+        only unique per vault, so cluster callers qualify them.
+        """
         for payload in self._catalog["runs"]:
-            if payload["run_id"] == run_id:
+            if payload["run_id"] == run_id and (job is None or payload["job"] == job):
                 run = self._load_run(payload)
                 break
         else:
-            raise VaultError(f"no run {run_id} in this vault")
+            scope = f"job {job!r}" if job else "this vault"
+            raise VaultError(f"no run {run_id} for {scope}")
         source = self.chunk_store
         if self.repository.cold is not None:
             # Cold-capable reader: hot chunks still flow through the LPC,
@@ -565,21 +571,23 @@ class DebarVault:
         return len(fresh)
 
     # -- retention and garbage collection ---------------------------------------
-    def forget(self, run_id: int) -> None:
+    def forget(self, run_id: int, job: Optional[str] = None) -> None:
         """Drop a run from the catalog; its chunks remain until :meth:`gc`.
 
         This is the retention operation the paper leaves open: deletion in
         a de-duplicating store cannot remove chunks inline because later
         runs may share them — reclamation is a separate, reference-counted
-        sweep.
+        sweep.  ``job`` pins the (per-vault) run id to one job's chain so
+        a cluster-routed forget cannot delete an unrelated job's run.
         """
         runs = self._catalog["runs"]
         for i, payload in enumerate(runs):
-            if payload["run_id"] == run_id:
+            if payload["run_id"] == run_id and (job is None or payload["job"] == job):
                 del runs[i]
                 self._save_catalog()
                 return
-        raise VaultError(f"no run {run_id} in this vault")
+        scope = f"job {job!r}" if job else "this vault"
+        raise VaultError(f"no run {run_id} for {scope}")
 
     def live_fingerprints(self) -> set:
         """Fingerprints referenced by any catalogued run."""

@@ -29,14 +29,16 @@ from repro.frontdoor.client import RouterClient
 from repro.frontdoor.health import HealthMonitor
 from repro.frontdoor.membership import ClusterMembership, MembershipError
 from repro.frontdoor.rebalance import build_plan, execute_plan
-from repro.frontdoor.router import FrontDoorRouter
+from repro.frontdoor.router import FrontDoorRouter, _Downstream
 from repro.net import messages as m
 from repro.net.client import (
     NetClient,
     RemoteBackupClient,
     RemoteChunkReader,
+    RemoteError,
     RetryPolicy,
 )
+from repro.net.framing import Frame
 from repro.net.server import serve_vault
 from repro.replication.replicator import Replicator
 from repro.replication.ring import PlacementRing
@@ -381,6 +383,193 @@ class TestProxy:
             assert any(r.run_id == run.run_id for r in cluster.vaults["b"].runs())
         finally:
             client.close()
+
+
+class TestRunIdCollision:
+    """Run ids are per-vault — every node numbers its own runs from 1 —
+    so a two-node cluster holds two different "run 1"s.  Routed reads
+    must be (job, run id)-addressed, bare colliding ids refused rather
+    than guessed, and the destructive FORGET must never fail over."""
+
+    def _seed(self, cluster, tmp_path):
+        """One run in each vault, both with run id 1, different data."""
+        s = SimpleNamespace(
+            job_a=job_owned_by(cluster.membership, "a"),
+            job_b=job_owned_by(cluster.membership, "b"),
+        )
+        s.data_a = write_dataset(tmp_path / "da", seed=21)
+        s.data_b = write_dataset(tmp_path / "db", seed=42)
+        client = RemoteBackupClient(
+            cluster.router.host, cluster.router.port, retry=FAST_RETRY
+        )
+        try:
+            run_a = client.backup(s.job_a, [s.data_a])
+            run_b = client.backup(s.job_b, [s.data_b])
+        finally:
+            client.close()
+        assert run_a.run_id == run_b.run_id == 1, "collision is the premise"
+        return s
+
+    def test_proxied_restore_routes_by_job_not_run_id(self, cluster, tmp_path):
+        s = self._seed(cluster, tmp_path)
+        client = RemoteBackupClient(
+            cluster.router.host, cluster.router.port, retry=FAST_RETRY
+        )
+        try:
+            # Job-qualified restores each land on their own vault even
+            # though both runs share id 1 (and b's job must not be
+            # answered by a, whatever order failover tries nodes in).
+            client.restore(1, tmp_path / "rb", job=s.job_b)
+            assert dataset_bytes(tmp_path / "rb") == dataset_bytes(s.data_b)
+            client.restore(1, tmp_path / "ra", job=s.job_a)
+            assert dataset_bytes(tmp_path / "ra") == dataset_bytes(s.data_a)
+            # A bare colliding run id is refused, not guessed.
+            with pytest.raises(RemoteError) as err:
+                client.run_entries(1)
+            assert err.value.error == "AmbiguousRun"
+        finally:
+            client.close()
+
+    def test_node_validates_job_on_meta_get_and_forget(self, cluster, tmp_path):
+        s = self._seed(cluster, tmp_path)
+        server = cluster.servers["a"]
+        client = RemoteBackupClient(server.host, server.port, retry=FAST_RETRY)
+        try:
+            assert client.run_entries(1, job=s.job_a)
+            with pytest.raises(RemoteError):
+                client.run_entries(1, job=s.job_b)  # b's id collides on a
+            with pytest.raises(RemoteError):
+                client.forget(1, job=s.job_b)
+            assert any(r.run_id == 1 for r in client.runs()), (
+                "a mismatched forget must not delete the colliding run"
+            )
+        finally:
+            client.close()
+
+    def test_forget_routes_to_one_owner_and_never_fails_over(
+        self, cluster, tmp_path
+    ):
+        s = self._seed(cluster, tmp_path)
+        client = RemoteBackupClient(
+            cluster.router.host, cluster.router.port, retry=FAST_RETRY
+        )
+        try:
+            # Bare colliding id: refused.
+            with pytest.raises(RemoteError) as err:
+                client.forget(1)
+            assert err.value.error == "AmbiguousRun"
+            assert cluster.vaults["a"].runs() and cluster.vaults["b"].runs()
+            # Qualified: deletes exactly the owning vault's run.
+            client.forget(1, job=s.job_a)
+            assert not cluster.vaults["a"].runs()
+            assert [r.job for r in cluster.vaults["b"].runs()] == [s.job_b]
+            # Owner down: the forget errors instead of failing over onto
+            # the surviving vault's unrelated run 1.
+            cluster.kill("b")
+            cluster.router.health.probe_once()
+            cluster.router.health.probe_once()
+            with pytest.raises(RemoteError):
+                client.forget(1, job=s.job_b)
+        finally:
+            client.close()
+
+    def test_client_for_run_locates_by_job(self, cluster, tmp_path):
+        s = self._seed(cluster, tmp_path)
+        rc = RouterClient(cluster.router.host, cluster.router.port, retry=FAST_RETRY)
+        try:
+            located = rc.client_for_run(1, job=s.job_b, retry=FAST_RETRY)
+            assert (located.net.host, located.net.port) == (
+                cluster.servers["b"].host, cluster.servers["b"].port
+            )
+            located.close()
+            with pytest.raises(KeyError, match="jobs"):
+                rc.client_for_run(1, retry=FAST_RETRY)
+        finally:
+            rc.close()
+
+
+class TestDownstreamLifecycle:
+    @staticmethod
+    def _fake_router():
+        from itertools import count
+
+        rids = count(1)
+        return SimpleNamespace(
+            connect_timeout=2.0,
+            _next_rid=lambda: (0xAB << 32) + next(rids),
+        )
+
+    def test_concurrent_ensure_opens_one_connection(self, tmp_path, monkeypatch):
+        import asyncio
+
+        vault = DebarVault(tmp_path / "v")
+        server = start_daemon(vault, "a")
+        opened = 0
+        orig_open = asyncio.open_connection
+
+        async def counting_open(*args, **kwargs):
+            nonlocal opened
+            opened += 1
+            return await orig_open(*args, **kwargs)
+
+        monkeypatch.setattr(asyncio, "open_connection", counting_open)
+        try:
+
+            async def go():
+                d = _Downstream(
+                    "a", f"{server.host}:{server.port}", self._fake_router()
+                )
+                await asyncio.gather(
+                    d.ensure({"client": "t"}), d.ensure({"client": "t"})
+                )
+                await d.close()
+
+            asyncio.run(go())
+            assert opened == 1, "concurrent ensure() must share one connection"
+        finally:
+            server.shutdown()
+            server.server_close()
+            vault.close()
+
+    def test_pump_death_drops_transport_for_instant_reconnect(self, tmp_path):
+        import asyncio
+
+        vault = DebarVault(tmp_path / "v")
+        server = start_daemon(vault, "a")
+        survivors = []
+
+        async def go():
+            d = _Downstream(
+                "a", f"{server.host}:{server.port}", self._fake_router()
+            )
+            await d.ensure({"client": "t"})
+            assert d._writer is not None
+            server.shutdown()
+            server.server_close()
+            for _ in range(250):
+                if d._writer is None:
+                    break
+                await asyncio.sleep(0.02)
+            assert d._writer is None, (
+                "a dead pump must drop the transport so the next frame "
+                "reconnects instead of timing out against a dead socket"
+            )
+            # The same downstream object reconnects immediately.
+            server2 = start_daemon(vault, "a")
+            survivors.append(server2)
+            d.address = f"{server2.host}:{server2.port}"
+            await d.ensure({"client": "t"})
+            response = await d.call(Frame(m.PING, 7, b""), timeout=5.0)
+            assert response.msg_type == m.PONG
+            await d.close()
+
+        try:
+            asyncio.run(go())
+        finally:
+            for server2 in survivors:
+                server2.shutdown()
+                server2.server_close()
+            vault.close()
 
 
 class TestRebalance:
