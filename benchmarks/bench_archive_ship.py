@@ -1,0 +1,240 @@
+"""Archive shipping overhead + point-in-time restore cost.
+
+The archive shipper cuts and pushes per-run deltas *after* dedup-2
+commits, on worker threads — the inline backup path only enqueues one
+``(job, run)`` tuple per peer.  This bench backs up the same synthetic
+dataset with no shipper, with a live shipper, and with the queue
+deliberately stalled (``ArchiveShipper.pause``), and reports inline
+throughput per config.  The stall probe is the adversarial check: the
+backup must finish at baseline speed while ``archive.lag`` exposes the
+growing backlog; synchronous shipping would show up as ~2x, not the
+noise-level regression the loose 1.5x assert tolerates (budget: < 5%).
+
+The second half prices the restore side of the merge algebra
+(DESIGN.md §15.2): a chain of per-run deltas is restored point-in-time,
+then compacted to a single merged segment and restored again.  Folding
+one segment should never cost more than folding the whole chain, and
+both must materialize byte-identical trees.
+
+No paper counterpart; the archive is our extension (DESIGN.md §15).
+"""
+
+import random
+import threading
+import time
+from pathlib import Path
+
+from harness import save_result, telemetry_session
+from conftest import print_table, volume_scale
+
+from repro.archive.delta import cut_delta, pack_delta
+from repro.archive.restore import restore_local
+from repro.archive.shipper import ArchiveShipper
+from repro.archive.store import ArchiveStore
+from repro.net.server import serve_vault
+from repro.system.vault import DebarVault
+
+#: Dataset volume at scale 1.0 (files x bytes each, ~10 MB).
+N_FILES = 10
+FILE_BYTES = 1 << 20
+REPEATS = 3  # best-of to damp scheduler noise
+CHAIN_RUNS = 6  # restore-cost chain length
+
+
+def _write_dataset(root: Path, scale: float) -> Path:
+    rng = random.Random(1612)
+    data = root / "data"
+    data.mkdir()
+    for i in range(max(2, int(N_FILES * scale))):
+        head = rng.randbytes(FILE_BYTES // 2)
+        (data / f"f{i:03d}.bin").write_bytes(head + head[: FILE_BYTES // 2])
+    return data
+
+
+def _mutate(data: Path, r: int) -> None:
+    rng = random.Random(1700 + r)
+    (data / "f000.bin").write_bytes(rng.randbytes(FILE_BYTES // 2))
+    (data / f"new{r}.bin").write_bytes(rng.randbytes(FILE_BYTES // 4))
+
+
+def _start_archive(tmp: Path, name: str):
+    vault = DebarVault(tmp / f"keep-{name}")
+    server = serve_vault(vault, node_name=name)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return vault, server
+
+
+def _stop_archive(vault, server) -> None:
+    server.shutdown()
+    server.server_close()
+    vault.close()
+
+
+def _measure(tmp: Path, tag: str, data: Path, registry, mode: str):
+    """One backup; returns (inline_s, drain_s, lag_peak).
+
+    mode: "none" (no shipper), "live" (shipping to a loopback archive),
+    "stalled" (shipper attached but paused for the inline window).
+    """
+    vault = DebarVault(tmp / tag / "vault")
+    shipper = None
+    handles = None
+    lag_peak = 0
+    try:
+        if mode != "none":
+            kv, ks = _start_archive(tmp / tag, "keep")
+            handles = (kv, ks)
+            shipper = ArchiveShipper(
+                vault, "origin", {"keep": ("127.0.0.1", ks.port)},
+                registry=registry,
+            )
+            vault.archive_shipper = shipper
+            if mode == "stalled":
+                shipper.pause()
+        t0 = time.perf_counter()
+        run = vault.backup("bench", [str(data)])
+        inline_s = time.perf_counter() - t0
+        drain_s = 0.0
+        if shipper is not None:
+            lag_peak = shipper.lag()
+            if mode == "stalled":
+                shipper.resume()
+            t0 = time.perf_counter()
+            assert shipper.drain(timeout=120.0), "archive never drained"
+            drain_s = time.perf_counter() - t0
+            chain = handles[1].archive_store.chain("origin", "bench")
+            assert chain and chain[-1].run == run.run_id, (
+                f"{tag}: archive tip {chain[-1].run if chain else 0}"
+            )
+        return inline_s, drain_s, lag_peak
+    finally:
+        if shipper is not None:
+            vault.archive_shipper = None
+            shipper.close(drain=False)
+        vault.close()
+        if handles is not None:
+            _stop_archive(*handles)
+
+
+def _restored_map(dest: Path) -> dict:
+    return {p.name: p.read_bytes() for p in dest.rglob("*.bin")}
+
+
+def _measure_restore(store, as_of: int, dest_root: Path, tag: str, registry):
+    best = None
+    result = None
+    for rep in range(REPEATS):
+        dest = dest_root / f"{tag}-{rep}"
+        t0 = time.perf_counter()
+        restore_local(store, as_of, dest, registry=registry)
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best, result = elapsed, _restored_map(dest)
+    return best, result
+
+
+def bench_archive_ship(results_dir, tmp_path):
+    scale = volume_scale()
+    data = _write_dataset(tmp_path, scale)
+    logical = sum(p.stat().st_size for p in data.iterdir())
+
+    configs = ["none", "live", "stalled"]
+    best = {}
+    with telemetry_session() as (registry, tracer):
+        for mode in configs:
+            runs = [
+                _measure(tmp_path, f"{mode}-{rep}", data, registry, mode)
+                for rep in range(REPEATS)
+            ]
+            best[mode] = {
+                "inline_seconds": min(r[0] for r in runs),
+                "drain_seconds": min(r[1] for r in runs),
+                "inline_mb_per_s": logical / min(r[0] for r in runs) / 1e6,
+                "lag_peak": max(r[2] for r in runs),
+            }
+
+        # The stalled queue really was stalled (lag visible), yet the
+        # backup finished — the inline path never waits on an archive.
+        assert best["stalled"]["lag_peak"] > 0
+        live_ratio = (best["live"]["inline_seconds"]
+                      / best["none"]["inline_seconds"])
+        stall_ratio = (best["stalled"]["inline_seconds"]
+                       / best["none"]["inline_seconds"])
+        # Sanity floor, not the 5% budget: synchronous shipping is >2x.
+        assert live_ratio < 1.5, f"shipping backup regressed {live_ratio:.2f}x"
+        assert stall_ratio < 1.5, f"stalled backup regressed {stall_ratio:.2f}x"
+
+        metrics = {row["name"]: row for row in registry.snapshot_metrics()}
+        shipped = sum(
+            s["value"] for s in metrics["archive.deltas_shipped"]["samples"]
+        )
+        assert shipped > 0
+
+        # -- restore cost: per-delta chain vs one merged segment ------------
+        chain_vault = DebarVault(tmp_path / "chain" / "vault")
+        store = ArchiveStore(tmp_path / "chain" / "archive", registry=registry)
+        chain_data = tmp_path / "chain" / "data"
+        chain_data.mkdir()
+        (chain_data / "f000.bin").write_bytes(b"s" * (FILE_BYTES // 2))
+        base = 0
+        for r in range(1, CHAIN_RUNS + 1):
+            _mutate(chain_data, r)
+            run = chain_vault.backup("bench", [str(chain_data)])
+            delta = cut_delta(chain_vault, run, base_run_id=base,
+                              origin="origin")
+            store.ingest("origin", "bench", pack_delta(delta), delta)
+            base = run.run_id
+        chain_vault.close()
+        tip = store.chain("origin", "bench")[-1].run
+
+        per_delta_s, per_delta_tree = _measure_restore(
+            store, tip, tmp_path / "out", "chain", registry
+        )
+        expired = store.compact("origin", "bench", keep={tip})
+        assert len(store.chain("origin", "bench")) == 1, "compaction left a chain"
+        merged_s, merged_tree = _measure_restore(
+            store, tip, tmp_path / "out", "merged", registry
+        )
+        assert merged_tree == per_delta_tree, "merge changed restored bytes"
+        restore_ratio = merged_s / per_delta_s
+        # Folding one segment must not cost more than folding the chain.
+        assert restore_ratio < 1.5, f"merged restore regressed {restore_ratio:.2f}x"
+
+    print_table(
+        "archive shipping overhead (inline backup path)",
+        ["config", "inline MB/s", "inline s", "drain s", "lag peak"],
+        [
+            (mode, f"{best[mode]['inline_mb_per_s']:,.1f}",
+             f"{best[mode]['inline_seconds']:.3f}",
+             f"{best[mode]['drain_seconds']:.3f}",
+             best[mode]["lag_peak"])
+            for mode in configs
+        ],
+    )
+    print_table(
+        "point-in-time restore cost",
+        ["chain", "segments", "restore s"],
+        [
+            ("per-delta", CHAIN_RUNS, f"{per_delta_s:.3f}"),
+            ("merged", 1, f"{merged_s:.3f}"),
+        ],
+    )
+    save_result(
+        results_dir,
+        "archive_ship",
+        params={"scale": scale, "files": len(list(data.iterdir())),
+                "logical_bytes": logical, "repeats": REPEATS,
+                "chain_runs": CHAIN_RUNS},
+        metrics={
+            **{f"{mode}_{k}": v for mode in best for k, v in best[mode].items()},
+            "ship_overhead_pct": (live_ratio - 1.0) * 100.0,
+            "stall_regression_pct": (stall_ratio - 1.0) * 100.0,
+            "deltas_shipped": shipped,
+            "per_delta_restore_seconds": per_delta_s,
+            "merged_restore_seconds": merged_s,
+            "merged_vs_chain_ratio": restore_ratio,
+            "runs_expired_by_merge": len(expired),
+        },
+        registry=registry,
+        tracer=tracer,
+    )

@@ -1,0 +1,43 @@
+"""repro.archive: incremental-forever delta shipping, archive merge/
+compaction, retention, and point-in-time restore (DESIGN.md §15).
+
+The origin cuts one self-describing delta object per committed run
+(:mod:`repro.archive.delta`) and ships it asynchronously
+(:mod:`repro.archive.shipper`); the archive appends it to the job's
+chain, merges and expires out-of-line (:mod:`repro.archive.store`,
+:mod:`repro.archive.retention`); any retained run restores byte-
+identically from base + merged deltas alone
+(:mod:`repro.archive.restore`) — the walb-tools-style storage→archive
+pipeline the ROADMAP names, with the heavy rewriting kept off the
+inline backup path per the hybrid inline/out-of-line argument.
+"""
+
+from repro.archive.delta import (
+    KIND_DELTA,
+    Delta,
+    cut_delta,
+    fold,
+    merge_deltas,
+    pack_delta,
+    unpack_delta,
+)
+from repro.archive.restore import restore_local, restore_remote
+from repro.archive.retention import RetentionPolicy
+from repro.archive.shipper import ArchiveShipper
+from repro.archive.store import ArchiveError, ArchiveStore
+
+__all__ = [
+    "KIND_DELTA",
+    "Delta",
+    "cut_delta",
+    "fold",
+    "merge_deltas",
+    "pack_delta",
+    "unpack_delta",
+    "restore_local",
+    "restore_remote",
+    "RetentionPolicy",
+    "ArchiveShipper",
+    "ArchiveError",
+    "ArchiveStore",
+]

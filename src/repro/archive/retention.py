@@ -1,0 +1,105 @@
+"""Retention policies over archive chains (DESIGN.md §15.3).
+
+A :class:`RetentionPolicy` decides which restore points of a job's delta
+chain survive: the most recent ``keep_last`` runs, plus the newest run of
+each of the last ``keep_daily`` distinct UTC days, plus the newest run of
+each of the last ``keep_weekly`` distinct ISO weeks.  The chain tip is
+always kept — expiring it would orphan the shipper's FIFO contract
+(every push applies against the archive's current tip).
+
+Expiry never deletes data a survivor needs: an expired run's delta is
+merged *forward* into its successor (``repro.archive.delta.merge_deltas``)
+before the merged-away point disappears, so every surviving ``--as-of``
+point stays restorable from the compacted chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import List, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """keep-last-K / keep-daily / keep-weekly chains."""
+
+    keep_last: int = 1
+    keep_daily: int = 0
+    keep_weekly: int = 0
+
+    def __post_init__(self) -> None:
+        if self.keep_last < 1:
+            raise ValueError("keep_last must be >= 1 (the tip always survives)")
+        if self.keep_daily < 0 or self.keep_weekly < 0:
+            raise ValueError("keep_daily/keep_weekly must be >= 0")
+
+    @classmethod
+    def parse(cls, spec: str) -> "RetentionPolicy":
+        """Parse ``keep-last=K[,daily=D][,weekly=W]`` (CLI ``--retention``)."""
+        fields = {"keep-last": 1, "daily": 0, "weekly": 0}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip().lower()
+            if not sep or key not in fields or not value.strip().isdigit():
+                raise ValueError(
+                    f"bad retention spec {spec!r}: expected "
+                    "keep-last=K[,daily=D][,weekly=W]"
+                )
+            fields[key] = int(value.strip())
+        return cls(
+            keep_last=fields["keep-last"],
+            keep_daily=fields["daily"],
+            keep_weekly=fields["weekly"],
+        )
+
+    def spec(self) -> str:
+        out = f"keep-last={self.keep_last}"
+        if self.keep_daily:
+            out += f",daily={self.keep_daily}"
+        if self.keep_weekly:
+            out += f",weekly={self.keep_weekly}"
+        return out
+
+    def keep(self, points: Sequence[Tuple[int, float]]) -> Set[int]:
+        """The run ids that survive, given ``(run_id, wall timestamp)``
+        restore points of one job's chain (any order)."""
+        ordered = sorted(points, key=lambda p: p[0])
+        if not ordered:
+            return set()
+        keep: Set[int] = {ordered[-1][0]}  # the tip, unconditionally
+        keep.update(run_id for run_id, _ in ordered[-self.keep_last:])
+        if self.keep_daily:
+            keep.update(
+                self._newest_per_bucket(ordered, self.keep_daily, self._day)
+            )
+        if self.keep_weekly:
+            keep.update(
+                self._newest_per_bucket(ordered, self.keep_weekly, self._week)
+            )
+        return keep
+
+    def expired(self, points: Sequence[Tuple[int, float]]) -> List[int]:
+        """The run ids :meth:`keep` does not retain, oldest first."""
+        keep = self.keep(points)
+        return sorted(run_id for run_id, _ in points if run_id not in keep)
+
+    @staticmethod
+    def _day(ts: float) -> str:
+        return datetime.fromtimestamp(ts, tz=timezone.utc).strftime("%Y-%m-%d")
+
+    @staticmethod
+    def _week(ts: float) -> str:
+        iso = datetime.fromtimestamp(ts, tz=timezone.utc).isocalendar()
+        return f"{iso[0]}-W{iso[1]:02d}"
+
+    @staticmethod
+    def _newest_per_bucket(ordered, count: int, bucket) -> Set[int]:
+        newest: dict = {}
+        for run_id, ts in ordered:  # ascending: later runs overwrite
+            newest[bucket(ts)] = run_id
+        recent = sorted(newest)[-count:]
+        return {newest[b] for b in recent}

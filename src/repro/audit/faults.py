@@ -27,6 +27,21 @@ Checkpoints (in dedup-2 order):
     crash here must leave the index exactly as before scaling began.
 ``post_siu``
     After SIU registered everything and drained the checking file.
+
+The archive subsystem (repro.archive) announces three more checkpoints
+through the same convention (``store.fault_hook``/``shipper.fault_hook``):
+
+``archive_merge_prepublish``
+    A merged segment is written to its temp file; the cursor names it;
+    the atomic rename has not happened.  Recovery discards the temp —
+    the sources (and every restore point) are untouched.
+``archive_merge_precleanup``
+    The merged segment is published; its shadowed sources still exist.
+    Recovery deletes the sources — the merge is complete either way.
+``archive_ship_preack``
+    The archive accepted a ``DELTA_PUSH`` but the shipper died before
+    persisting the ack.  Recovery re-pushes; the archive's tip check
+    makes the duplicate a no-op, and the ack lands on the retry.
 """
 
 from __future__ import annotations
@@ -39,14 +54,21 @@ CONTAINER_SEALED = "container_sealed"
 PRE_SIU = "pre_siu"
 SCALE_BUCKET = "scale_bucket"
 POST_SIU = "post_siu"
+ARCHIVE_MERGE_PREPUBLISH = "archive_merge_prepublish"
+ARCHIVE_MERGE_PRECLEANUP = "archive_merge_precleanup"
+ARCHIVE_SHIP_PREACK = "archive_ship_preack"
 
-#: Every checkpoint the TPDS engine announces, in pipeline order.
+#: Every checkpoint the TPDS engine announces, in pipeline order,
+#: followed by the archive subsystem's checkpoints.
 CRASH_POINTS: Tuple[str, ...] = (
     POST_SIL,
     CONTAINER_SEALED,
     PRE_SIU,
     SCALE_BUCKET,
     POST_SIU,
+    ARCHIVE_MERGE_PREPUBLISH,
+    ARCHIVE_MERGE_PRECLEANUP,
+    ARCHIVE_SHIP_PREACK,
 )
 
 

@@ -26,6 +26,14 @@
     python -m repro backup  --route host:7700 --job homedirs /data/home
     python -m repro cluster-status --connect host:7700 --json cluster.json
     python -m repro rebalance --route host:7700
+    python -m repro serve   --vault /srv/archive --port 7080 --archive \\
+                            --retention keep-last=7,daily=14
+    python -m repro serve   --vault ~/.debar --port 7070 --node-name a \\
+                            --archive-to vaultkeep=host:7080
+    python -m repro archive-status --connect host:7080 --json archive.json
+    python -m repro restore --connect host:7080 --as-of 3 --dest /restore
+    python -m repro runs    --connect host:7070 --json
+    python -m repro forget  --vault ~/.debar --run 2 --gc
 
 ``--telemetry`` (on ``backup``, ``restore``, ``gc`` and ``stats``) turns on
 the metrics registry for the invocation; ``backup``/``restore``/``gc``
@@ -238,9 +246,33 @@ def cmd_backup(args) -> int:
     return EXIT_OK
 
 
+def _run_chunk_count(run) -> Optional[int]:
+    """Per-run chunk count: RemoteRun carries it from the wire (None from
+    a pre-archive server); VaultRun derives it from the file entries."""
+    chunks = getattr(run, "chunks", None)
+    if chunks is None and not isinstance(run.files, int):
+        chunks = sum(len(e.fingerprints) for e in run.files)
+    return chunks
+
+
 def cmd_list(args) -> int:
     with _open(args) as target:
         runs = target.runs(job=args.job)
+        if getattr(args, "json", False):
+            rows = [
+                {
+                    "run_id": run.run_id,
+                    "job": run.job,
+                    "timestamp": run.timestamp,
+                    "files": _file_count(run),
+                    "logical_bytes": run.logical_bytes,
+                    "transferred_bytes": run.transferred_bytes,
+                    "chunks": _run_chunk_count(run),
+                }
+                for run in runs
+            ]
+            print(json.dumps(rows, indent=1, sort_keys=True))
+            return EXIT_OK
         if not runs:
             print("no runs recorded")
             return EXIT_OK
@@ -256,6 +288,21 @@ def cmd_list(args) -> int:
 
 def cmd_restore(args) -> int:
     registry, tracer = _telemetry_begin(args)
+    as_of = getattr(args, "as_of", None)
+    if (args.run is None) == (as_of is None):
+        print(
+            "error: exactly one of --run or --as-of is required",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if as_of is not None:
+        try:
+            return _restore_as_of(args, registry, tracer)
+        except (KeyError, ValueError) as exc:
+            print(
+                f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr
+            )
+            return EXIT_ERROR
     replicas = getattr(args, "replica", None) or []
     with _open(args) as target:
         if replicas:
@@ -267,6 +314,90 @@ def cmd_restore(args) -> int:
             )
         print(f"restored {len(paths)} files to {args.dest}")
         _telemetry_finish(args, registry, tracer)
+    return EXIT_OK
+
+
+def _restore_as_of(args, registry, tracer) -> int:
+    """Point-in-time restore (``--as-of``, DESIGN.md §15.5).
+
+    Resolution order: the live catalog first when it still records the
+    run (the same bytes, without folding a delta chain), then the
+    archived chain — locally at ``<vault>/archive``, over ``--connect``
+    via ``ARCHIVE_STATUS``/``DELTA_FETCH``, or through ``--route`` by
+    sweeping the live nodes' archives.  The archive path works with the
+    origin vault destroyed, which is the disaster-recovery story.
+    """
+    job = getattr(args, "job", None)
+    origin = getattr(args, "origin", None)
+    if getattr(args, "route", None):
+        from repro.frontdoor.client import RouterClient
+
+        host, port = _parse_connect(args.route)
+        retry = _retry_from(args)
+        kwargs = {
+            "client_name": getattr(args, "client", None) or "remote",
+            "token": getattr(args, "token", None),
+            "retry": retry,
+        }
+        with RouterClient(host, port, retry=retry) as rc:
+            client = None
+            try:
+                client = rc.client_for_run(args.as_of, job=job, **kwargs)
+            except (KeyError, ConnectionError):
+                client = None  # origin gone: fall through to the archives
+            if client is not None:
+                try:
+                    paths = client.restore(
+                        args.as_of, args.dest,
+                        strip_prefix=args.strip_prefix, job=job,
+                    )
+                finally:
+                    client.close()
+            else:
+                client, o, j = rc.locate_archive_point(
+                    args.as_of, job=job, origin=origin, **kwargs
+                )
+                try:
+                    paths = client.restore_as_of(
+                        args.as_of, args.dest,
+                        strip_prefix=args.strip_prefix, job=j, origin=o,
+                    )
+                finally:
+                    client.close()
+    elif getattr(args, "connect", None):
+        with _open(args) as client:
+            if any(r.run_id == args.as_of for r in client.runs(job=job)):
+                paths = client.restore(
+                    args.as_of, args.dest,
+                    strip_prefix=args.strip_prefix, job=job,
+                )
+            else:
+                paths = client.restore_as_of(
+                    args.as_of, args.dest,
+                    strip_prefix=args.strip_prefix, job=job, origin=origin,
+                )
+    else:
+        from repro.archive import ArchiveStore, restore_local
+
+        with DebarVault(args.vault) as vault:
+            if any(r.run_id == args.as_of for r in vault.runs(job=job)):
+                paths = vault.restore(
+                    args.as_of, args.dest,
+                    strip_prefix=args.strip_prefix, job=job,
+                )
+            else:
+                store = ArchiveStore(
+                    Path(args.vault) / "archive", registry=registry
+                )
+                paths = restore_local(
+                    store, args.as_of, args.dest,
+                    strip_prefix=args.strip_prefix, job=job, origin=origin,
+                    registry=registry,
+                )
+    print(
+        f"restored {len(paths)} files to {args.dest} (as of run {args.as_of})"
+    )
+    _telemetry_finish(args, registry, tracer)
     return EXIT_OK
 
 
@@ -369,7 +500,24 @@ def cmd_stats(args) -> int:
 def cmd_forget(args) -> int:
     with _open(args) as target:
         target.forget(args.run, job=getattr(args, "job", None))
-        print(f"run {args.run} dropped from the catalog (space reclaimed on gc)")
+        if not getattr(args, "gc", False):
+            print(
+                f"run {args.run} dropped from the catalog "
+                "(space reclaimed on gc)"
+            )
+            return EXIT_OK
+        # --gc: close the orphan window (DESIGN.md §15.6) in the same
+        # invocation — the run's now-unreferenced chunks are copy-forward
+        # collected before the command returns.
+        report = target.gc(rewrite_threshold=args.rewrite_threshold)
+        if isinstance(report, dict):  # the daemon returns the report's fields
+            report = SimpleNamespace(**report)
+        print(
+            f"run {args.run} dropped; gc reclaimed "
+            f"{fmt_bytes(report.bytes_reclaimed)} "
+            f"({report.containers_removed} containers removed, "
+            f"{report.containers_rewritten} rewritten)"
+        )
     return EXIT_OK
 
 
@@ -579,6 +727,57 @@ def cmd_serve(args) -> int:
                 + ", ".join(sorted(peers)),
                 flush=True,
             )
+        if args.archive or args.retention:
+            # Archive role: the server's delta handlers are always live;
+            # the flag wires the retention director so stored chains are
+            # compacted (expired points merged forward) after each push.
+            from repro.archive.retention import RetentionPolicy
+            from repro.director.director import Director
+
+            try:
+                retention = (
+                    RetentionPolicy.parse(args.retention)
+                    if args.retention else None
+                )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                server.shutdown_gracefully(timeout=1.0)
+                return EXIT_USAGE
+            server.archive_director = Director(retention=retention)
+            print(
+                "archive role enabled "
+                + (f"(retention {retention.spec()})" if retention
+                   else "(keeping every restore point)"),
+                flush=True,
+            )
+        if args.archive_to:
+            from repro.archive.shipper import ArchiveShipper
+
+            peers = {}
+            for spec in args.archive_to:
+                name, peer_host, peer_port = _parse_peer(spec)
+                peers[name] = (peer_host, peer_port)
+            try:
+                shipper = ArchiveShipper(
+                    vault,
+                    node_name=args.node_name,
+                    peers=peers,
+                    registry=registry,
+                )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                server.shutdown_gracefully(timeout=1.0)
+                return EXIT_USAGE
+            vault.archive_shipper = shipper
+            server.archive_shipper = shipper
+            # Runs sealed before these peers were configured (or while
+            # the daemon was down) are owed too.
+            shipper.sync()
+            print(
+                f"shipping deltas as {args.node_name!r} to: "
+                + ", ".join(sorted(peers)),
+                flush=True,
+            )
         host, port = server.server_address
         if args.port_file:
             # Written after bind so a supervisor polling the file never
@@ -637,6 +836,7 @@ def cmd_serve(args) -> int:
             # flush the replication queue, then close the sockets.
             drained = server.shutdown_gracefully(timeout=args.drain_timeout)
             vault.replicator = None
+            vault.archive_shipper = None
             if not drained:
                 print("drain timed out; forced close", flush=True)
             thread.join(timeout=5)
@@ -710,6 +910,44 @@ def cmd_repl_status(args) -> int:
     if args.json:
         Path(args.json).write_text(json.dumps(status, indent=1, sort_keys=True))
         print(f"replication status written to {args.json}")
+    return EXIT_OK
+
+
+def cmd_archive_status(args) -> int:
+    """Archive state: stored delta chains + outbound shipping queue."""
+    if getattr(args, "connect", None) or getattr(args, "route", None):
+        from repro.net import messages as m
+        from repro.net.client import NetClient
+
+        host, port = _parse_connect(args.connect or args.route)
+        with NetClient(
+            host, port,
+            client_name="archive-status", retry=_retry_from(args),
+        ) as net:
+            status = net.call_json(m.ARCHIVE_STATUS, {})
+    else:
+        if not Path(args.vault).is_dir():
+            print(f"error: no vault at {args.vault}", file=sys.stderr)
+            return EXIT_ERROR
+        from repro.archive.shipper import STATE_FILE
+        from repro.archive.store import ArchiveStore
+
+        state_path = Path(args.vault) / STATE_FILE
+        outbound = None
+        if state_path.exists():
+            try:
+                outbound = json.loads(state_path.read_text())
+            except ValueError:
+                outbound = {"error": "archive state unreadable"}
+        status = {
+            "node": (outbound or {}).get("node"),
+            **ArchiveStore(Path(args.vault) / "archive").status(),
+            "outbound": outbound,
+        }
+    print(json.dumps(status, indent=1, sort_keys=True))
+    if args.json:
+        Path(args.json).write_text(json.dumps(status, indent=1, sort_keys=True))
+        print(f"archive status written to {args.json}")
     return EXIT_OK
 
 
@@ -929,11 +1167,23 @@ def build_parser() -> argparse.ArgumentParser:
     def add_restore(parent, trace: bool):
         p = parent.add_parser("restore", help="restore one run")
         common(p, remote_ok=True)
-        p.add_argument("--run", type=int, required=True)
+        p.add_argument("--run", type=int, default=None,
+                       help="run to restore from the live catalog")
+        p.add_argument(
+            "--as-of", type=int, default=None, dest="as_of", metavar="RUN",
+            help="point-in-time restore: the live catalog when it still "
+            "records RUN, else the archived delta chain (works with the "
+            "origin vault destroyed); exactly one of --run/--as-of",
+        )
         p.add_argument(
             "--job", default=None,
             help="job whose chain records --run (run ids are per-vault: "
             "required to disambiguate a colliding id behind a router)",
+        )
+        p.add_argument(
+            "--origin", default=None, metavar="NODE",
+            help="origin node of the archived chain (disambiguates "
+            "--as-of when two origins retain the same run id)",
         )
         p.add_argument("--dest", required=True)
         p.add_argument("--strip-prefix", default="/")
@@ -951,9 +1201,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_backup(sub, trace=False)
 
-    p = sub.add_parser("list", help="list recorded runs")
+    p = sub.add_parser("list", aliases=["runs"], help="list recorded runs")
     common(p, remote_ok=True)
     p.add_argument("--job", default=None)
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON object per run (run_id, job, timestamp, "
+        "files, logical_bytes, transferred_bytes, chunks)",
+    )
     p.set_defaults(func=cmd_list)
 
     add_restore(sub, trace=False)
@@ -987,6 +1242,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="job whose chain records --run (run ids are per-vault: "
         "required to disambiguate a colliding id behind a router)",
     )
+    p.add_argument(
+        "--gc", action="store_true",
+        help="run copy-forward GC in the same invocation, closing the "
+        "orphan window between forget and the next gc (DESIGN.md §15.6)",
+    )
+    p.add_argument("--rewrite-threshold", type=float, default=0.5,
+                   help="gc rewrite threshold (with --gc)")
     p.set_defaults(func=cmd_forget)
 
     p = sub.add_parser("gc", help="reclaim space from unreferenced chunks")
@@ -1107,6 +1369,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--replication-factor", type=int, default=2,
                    help="copies per container, this node included")
+    p.add_argument(
+        "--archive", action="store_true",
+        help="archive role: accept DELTA_PUSH chains from origin vaults "
+        "and serve point-in-time restores from them (DESIGN.md §15)",
+    )
+    p.add_argument(
+        "--archive-to",
+        action="append",
+        default=None,
+        metavar="[NAME=]HOST:PORT",
+        help="archive daemon to ship per-run deltas to (repeatable); "
+        "enables the async incremental-forever shipping queue",
+    )
+    p.add_argument(
+        "--retention", default=None, metavar="SPEC",
+        help="archive retention policy, e.g. keep-last=7,daily=14,"
+        "weekly=8; expired points merge forward so every surviving "
+        "--as-of stays restorable (implies --archive)",
+    )
     p.add_argument("--drain-timeout", type=float, default=30.0,
                    metavar="SECONDS",
                    help="graceful-shutdown budget for draining in-flight "
@@ -1176,6 +1457,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write the status JSON to PATH")
     p.set_defaults(func=cmd_repl_status)
+
+    p = sub.add_parser(
+        "archive-status",
+        help="archive state: stored delta chains + outbound shipping queue",
+    )
+    common(p, remote_ok=True)
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the status JSON to PATH")
+    p.set_defaults(func=cmd_archive_status)
 
     p = sub.add_parser(
         "route", help="run the cluster front door (hash-routed request router)"

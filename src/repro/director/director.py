@@ -16,17 +16,22 @@ from repro.director.scheduler import Dedup2Policy, JobScheduler
 
 
 class Director:
-    """Global management: jobs, chains, metadata, scheduling, dedup-2."""
+    """Global management: jobs, chains, metadata, scheduling, dedup-2,
+    and archive retention."""
 
     def __init__(
         self,
         n_servers: int = 1,
         policy: Optional[Dedup2Policy] = None,
         metadata_store: Optional[MetadataStore] = None,
+        retention=None,
     ) -> None:
         self.scheduler = JobScheduler(n_servers)
         self.policy = policy if policy is not None else Dedup2Policy()
         self.metadata = MetadataManager(store=metadata_store)
+        #: Archive retention policy (repro.archive.retention); None means
+        #: the archive keeps every restore point forever.
+        self.retention = retention
         self._jobs: Dict[int, JobObject] = {}
         self._chains: Dict[int, JobChain] = {}
         self.dedup2_runs = 0
@@ -98,3 +103,23 @@ class Director:
 
     def record_dedup2(self) -> None:
         self.dedup2_runs += 1
+
+    # -- archive retention -------------------------------------------------------------
+    def runs_to_expire(self, points: Sequence) -> List[int]:
+        """Which restore points of one chain the retention policy expires.
+
+        ``points`` is ``(run_id, wall timestamp)`` pairs; returns run ids,
+        oldest first, empty with no policy (keep forever).
+        """
+        if self.retention is None:
+            return []
+        return self.retention.expired(list(points))
+
+    def expire_archive(self, store, origin: str, job: str) -> List[int]:
+        """Evaluate retention for one archived chain and apply it: expired
+        runs merge forward (``repro.archive.store``) before dropping, so
+        every surviving point stays restorable.  Returns the expired ids.
+        """
+        if self.retention is None:
+            return []
+        return store.apply_retention(origin, job, self.retention)

@@ -173,6 +173,70 @@ class RouterClient:
             + (f" (last error: {last})" if last else "")
         )
 
+    def locate_archive_point(
+        self,
+        run_id: int,
+        job: Optional[str] = None,
+        origin: Optional[str] = None,
+        **kwargs,
+    ) -> Tuple[RemoteBackupClient, str, str]:
+        """A direct client to the live node whose archive retains restore
+        point ``run_id``, plus the (origin, job) naming its chain.
+
+        The sweep mirrors :meth:`client_for_run` but asks each node's
+        ``ARCHIVE_STATUS`` instead of its catalog, so it still resolves
+        after the origin vault (and its catalog) is destroyed — the whole
+        point of a point-in-time archive restore.  A run id retained by
+        two different chains raises instead of picking one.
+        """
+        self.ensure_ring()
+        kwargs.setdefault("client_name", self.client_name)
+        kwargs.setdefault("retry", self.retry)
+        kwargs.setdefault("registry", self.registry)
+        live = [
+            n for n in sorted(self.nodes)
+            if self.nodes[n].get("state") == "up"
+        ]
+        last: Optional[Exception] = None
+        hits: Dict[Tuple[str, str], str] = {}  # (origin, job) -> node
+        for node in live:
+            host, port = self.address_of(node)
+            try:
+                client = RemoteBackupClient(host, port, **kwargs)
+            except Exception as exc:
+                last = exc
+                continue
+            try:
+                status = client.archive_status()
+            except Exception as exc:
+                last = exc
+                client.close()
+                continue
+            client.close()
+            for o, jobs in (status.get("origins") or {}).items():
+                if origin and o != origin:
+                    continue
+                for j, chain in jobs.items():
+                    if job and j != job:
+                        continue
+                    if run_id in chain.get("points", []):
+                        hits.setdefault((o, j), node)
+        if len(hits) > 1:
+            names = sorted(f"{o}/{j}" for o, j in hits)
+            raise KeyError(
+                f"run {run_id} is retained by archived chains {names}; "
+                "qualify the lookup with a job"
+            )
+        if hits:
+            (o, j), node = next(iter(hits.items()))
+            host, port = self.address_of(node)
+            return RemoteBackupClient(host, port, **kwargs), o, j
+        scope = f" for job {job!r}" if job else ""
+        raise KeyError(
+            f"no archived chain retains run {run_id}{scope}"
+            + (f" (last error: {last})" if last else "")
+        )
+
     # -- cluster admin ------------------------------------------------------------
     def cluster_status(self) -> dict:
         return self.net.call_json(m.CLUSTER_STATUS, {})

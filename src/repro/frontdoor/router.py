@@ -85,7 +85,10 @@ _SESSION_JSON = frozenset({m.SESSION_COMMIT, m.SESSION_ABORT})
 #: that collide across nodes (every vault numbers its own runs from 1),
 #: so they route through the job-qualified paths below instead —
 #: and FORGET, being destructive, never fails over at all.
-_FAILOVER_READS = frozenset({m.CHUNK_READ})
+#: DELTA_FETCH qualifies: its key (origin, job, base, run) names one
+#: archive segment globally, so any node holding the chain answers with
+#: the right bytes.
+_FAILOVER_READS = frozenset({m.CHUNK_READ, m.DELTA_FETCH})
 
 
 class RouteError(Exception):
@@ -657,6 +660,8 @@ class FrontDoorRouter:
             return response
         if frame.msg_type == m.RUNS:
             return await self._proxy_runs(conn, frame)
+        if frame.msg_type == m.ARCHIVE_STATUS:
+            return await self._proxy_archive_status(conn, frame)
         if frame.msg_type == m.META_GET:
             return await self._proxy_meta_get(conn, frame)
         if frame.msg_type == m.FORGET:
@@ -714,6 +719,36 @@ class FrontDoorRouter:
             )
         merged.sort(key=lambda r: (r.get("job", ""), r.get("run_id", 0)))
         return Frame(m.RUNS_OK, frame.request_id, m.encode_json(merged))
+
+    async def _proxy_archive_status(self, conn: _Connection, frame: Frame) -> Frame:
+        """``ARCHIVE_STATUS`` fans out to every live node and merges: the
+        cluster view unions each node's archived chains (an origin+job chain
+        lives on one archive node, so the union is disjoint), keeping the
+        per-node detail under ``nodes``.  The merged ``origins`` map keeps
+        the response shape of a single archive node, so a point-in-time
+        restore pointed at the router resolves chains cluster-wide and the
+        DELTA_FETCHes that follow fail over to whichever node holds them."""
+        nodes: Dict[str, dict] = {}
+        origins: Dict[str, dict] = {}
+        for node in self._live_candidates(conn, None):
+            try:
+                response = await self._forward(
+                    conn, node, Frame(m.ARCHIVE_STATUS, self._next_rid(), frame.payload)
+                )
+            except (ConnectionError, OSError, asyncio.TimeoutError, RouteError):
+                continue
+            if response.msg_type == m.ERROR:
+                continue
+            doc = m.decode_json(response.payload)
+            nodes[node] = doc
+            for origin, jobs in (doc.get("origins") or {}).items():
+                origins.setdefault(origin, {}).update(jobs)
+        if not nodes:
+            return _error_frame(
+                frame.request_id, "Unavailable", "no live node answered ARCHIVE_STATUS"
+            )
+        merged = {"nodes": nodes, "origins": origins}
+        return Frame(m.ARCHIVE_STATUS_OK, frame.request_id, m.encode_json(merged))
 
     async def _resolve_run_job(
         self, conn: _Connection, run_id: int, job: Optional[str] = None

@@ -387,6 +387,8 @@ class RemoteRun:
     files: int
     logical_bytes: int
     transferred_bytes: int
+    #: Per-run chunk count (None when talking to a pre-archive server).
+    chunks: Optional[int] = None
 
 
 class RemoteChunkReader:
@@ -660,3 +662,49 @@ class RemoteBackupClient:
         if job:
             doc["job"] = job
         return self.net.call_json(m.FORGET, doc)
+
+    # -- archive (DESIGN.md §15) ---------------------------------------------------
+    def archive_status(self) -> dict:
+        """The server's delta-chain inventory (``ARCHIVE_STATUS``)."""
+        return self.net.call_json(m.ARCHIVE_STATUS, {})
+
+    def fetch_delta(self, origin: str, job: str, base: int, run: int) -> bytes:
+        """One raw chain segment (``DELTA_FETCH``); self-describing bytes."""
+        return self.net.call(
+            m.DELTA_FETCH,
+            m.encode_json(
+                {"origin": origin, "job": job, "base": base, "run": run}
+            ),
+        )
+
+    def archive_merge(
+        self,
+        retention: Optional[str] = None,
+        origin: Optional[str] = None,
+        job: Optional[str] = None,
+    ) -> dict:
+        """Trigger retention/compaction at the archive (``ARCHIVE_MERGE``)."""
+        doc: dict = {}
+        if retention:
+            doc["retention"] = retention
+        if origin:
+            doc["origin"] = origin
+        if job:
+            doc["job"] = job
+        return self.net.call_json(m.ARCHIVE_MERGE, doc)
+
+    def restore_as_of(
+        self,
+        as_of: int,
+        dest: PathLike,
+        strip_prefix: PathLike = "/",
+        job: Optional[str] = None,
+        origin: Optional[str] = None,
+    ) -> List[Path]:
+        """Point-in-time restore from this server's archived chains —
+        the primary vault need not exist (repro.archive.restore)."""
+        from repro.archive.restore import restore_remote
+
+        return restore_remote(
+            self.net, as_of, dest, strip_prefix, job=job, origin=origin
+        )

@@ -110,6 +110,20 @@ REBALANCE_PLAN_OK = 0x5B
 REBALANCE_ACK = 0x5C
 REBALANCE_ACK_OK = 0x5D
 
+# Archive (DESIGN.md §15): per-run delta shipping, chain fetches for
+# point-in-time restore, archive inventory, and manual merge/retention.
+# DELTA_PUSH carries an envelope + packed delta (the container-image
+# layout); the rest are JSON control messages, except DELTA_DATA whose
+# body is a raw, self-describing delta blob.
+DELTA_PUSH = 0x60
+DELTA_PUSH_OK = 0x61
+DELTA_FETCH = 0x62
+DELTA_DATA = 0x63
+ARCHIVE_STATUS = 0x64
+ARCHIVE_STATUS_OK = 0x65
+ARCHIVE_MERGE = 0x66
+ARCHIVE_MERGE_OK = 0x67
+
 #: Request type -> its success response type (the dispatch contract).
 RESPONSE_OF: Dict[int, int] = {
     HELLO: HELLO_OK,
@@ -141,6 +155,10 @@ RESPONSE_OF: Dict[int, int] = {
     CLUSTER_STATUS: CLUSTER_STATUS_OK,
     REBALANCE_PLAN: REBALANCE_PLAN_OK,
     REBALANCE_ACK: REBALANCE_ACK_OK,
+    DELTA_PUSH: DELTA_PUSH_OK,
+    DELTA_FETCH: DELTA_DATA,
+    ARCHIVE_STATUS: ARCHIVE_STATUS_OK,
+    ARCHIVE_MERGE: ARCHIVE_MERGE_OK,
 }
 
 #: Message code -> stable name (telemetry labels, error text).
@@ -204,6 +222,14 @@ MSG_NAMES: Dict[int, str] = {
     REBALANCE_PLAN_OK: "rebalance_plan_ok",
     REBALANCE_ACK: "rebalance_ack",
     REBALANCE_ACK_OK: "rebalance_ack_ok",
+    DELTA_PUSH: "delta_push",
+    DELTA_PUSH_OK: "delta_push_ok",
+    DELTA_FETCH: "delta_fetch",
+    DELTA_DATA: "delta_data",
+    ARCHIVE_STATUS: "archive_status",
+    ARCHIVE_STATUS_OK: "archive_status_ok",
+    ARCHIVE_MERGE: "archive_merge",
+    ARCHIVE_MERGE_OK: "archive_merge_ok",
 }
 
 

@@ -69,6 +69,7 @@ from repro.net.framing import (
     decode_header,
     read_frame,
 )
+from repro.archive.store import ArchiveStore
 from repro.replication.store import ReplicaStore
 from repro.system.vault import DebarVault, VaultError
 from repro.telemetry.clock import wall_now
@@ -87,6 +88,8 @@ IDEMPOTENT_CACHED = frozenset({
     m.FORGET,
     m.CONTAINER_PUSH,
     m.CATALOG_PUSH,
+    m.DELTA_PUSH,
+    m.ARCHIVE_MERGE,
 })
 
 #: Response-cache capacity (entries); old responses fall off the end.
@@ -231,6 +234,18 @@ class VaultServerCore:
         self._draining = False
         registry = registry if registry is not None else get_registry()
         self.registry = registry
+        #: Delta chains pushed by origin vaults (vault/archive/<origin>/...).
+        #: Created unconditionally, like the replica store — a node serves
+        #: what it holds; the --archive role only adds retention.
+        self.archive_store = ArchiveStore(
+            Path(vault.root) / "archive", registry=registry
+        )
+        #: Outbound delta shipper, attached by the CLI when --archive-to
+        #: is given; None on a standalone daemon.
+        self.archive_shipper = None
+        #: Retention-evaluating director (repro.director) for the archive
+        #: role, attached by the CLI when --archive --retention is given.
+        self.archive_director = None
         self._t_bytes_in = registry.counter(
             "net.bytes_received", "protocol bytes received, by role"
         ).labels(role="server")
@@ -336,6 +351,16 @@ class VaultServerCore:
                 None if deadline is None else max(0.0, deadline - time.monotonic())
             )
             drained = self.replicator.close(drain=True, timeout=remaining) and drained
+        if self.archive_shipper is not None:
+            # Same contract as the replicator: an in-flight commit may have
+            # recorded runs that still owe their deltas to the archive.
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            drained = (
+                self.archive_shipper.close(drain=True, timeout=remaining)
+                and drained
+            )
         self._finalize_shutdown()
         return drained
 
@@ -655,6 +680,9 @@ class VaultServerCore:
                     "files": len(r.files),
                     "logical_bytes": r.logical_bytes,
                     "transferred_bytes": r.transferred_bytes,
+                    # Chunk count, so retention policies and operators can
+                    # reason about run size without opening catalogs.
+                    "chunks": sum(len(e.fingerprints) for e in r.files),
                 }
                 for r in runs
             ]
@@ -772,6 +800,89 @@ class VaultServerCore:
             catalog = self.replica_store.catalog(origin)
         return m.CATALOG_DATA, m.encode_json({"origin": origin, "catalog": catalog})
 
+    # -- archive (DESIGN.md §15) ----------------------------------------------------
+    def _on_delta_push(self, payload: bytes) -> Tuple[int, bytes]:
+        envelope, blob = m.decode_container_image(payload)
+        origin = str(envelope.get("origin", ""))
+        job = str(envelope.get("job", ""))
+        if origin == self.node_name:
+            raise ValueError(
+                f"refusing an archived delta of this node's own runs ({origin!r})"
+            )
+        # ingest fully CRC-verifies the blob and enforces the chain's FIFO
+        # contract; a re-push of an applied run is an idempotent no-op.
+        stored, tip = self.archive_store.ingest(origin, job, blob)
+        expired: List[int] = []
+        if stored and self.archive_director is not None:
+            # Out-of-line retention, at the archive: expired points merge
+            # forward before dropping, off the origin's inline path.
+            expired = self.archive_director.expire_archive(
+                self.archive_store, origin, job
+            )
+        return m.DELTA_PUSH_OK, m.encode_json({
+            "origin": origin,
+            "job": job,
+            "run_id": int(envelope.get("run_id", 0)),
+            "stored": stored,
+            "tip": tip,
+            "expired": expired,
+        })
+
+    def _on_delta_fetch(self, payload: bytes) -> Tuple[int, bytes]:
+        doc = m.decode_json(payload)
+        blob = self.archive_store.read_blob(
+            str(doc["origin"]), str(doc["job"]),
+            int(doc["base"]), int(doc["run"]),
+        )
+        return m.DELTA_DATA, blob
+
+    def _on_archive_status(self, payload: bytes) -> Tuple[int, bytes]:
+        retention = None
+        if self.archive_director is not None and self.archive_director.retention:
+            retention = self.archive_director.retention.spec()
+        status = {
+            "node": self.node_name,
+            **self.archive_store.status(),
+            "outbound": (
+                self.archive_shipper.status()
+                if self.archive_shipper is not None
+                else None
+            ),
+            "retention": retention,
+        }
+        return m.ARCHIVE_STATUS_OK, m.encode_json(status)
+
+    def _on_archive_merge(self, payload: bytes) -> Tuple[int, bytes]:
+        from repro.archive.retention import RetentionPolicy
+
+        doc = m.decode_json(payload)
+        policy = None
+        if doc.get("retention"):
+            policy = RetentionPolicy.parse(str(doc["retention"]))
+        elif self.archive_director is not None:
+            policy = self.archive_director.retention
+        if policy is None:
+            raise ValueError(
+                "no retention policy: pass one or serve with --retention"
+            )
+        origins = (
+            [str(doc["origin"])] if doc.get("origin")
+            else self.archive_store.origins()
+        )
+        expired: Dict[str, Dict[str, List[int]]] = {}
+        for origin in origins:
+            jobs = (
+                [str(doc["job"])] if doc.get("job")
+                else self.archive_store.jobs(origin)
+            )
+            for job in jobs:
+                gone = self.archive_store.apply_retention(origin, job, policy)
+                if gone:
+                    expired.setdefault(origin, {})[job] = gone
+        return m.ARCHIVE_MERGE_OK, m.encode_json(
+            {"retention": policy.spec(), "expired": expired}
+        )
+
     def _on_exchange(self, payload: bytes) -> Tuple[int, bytes]:
         # The daemon is single-vault; EXCHANGE belongs to the cluster
         # loopback transport (repro.net.exchange), which runs its own
@@ -803,6 +914,10 @@ _HANDLERS: Dict[int, Callable[[VaultServerCore, bytes], Tuple[int, bytes]]] = {
     m.REPL_STATUS: VaultServerCore._on_repl_status,
     m.CONTAINER_FETCH: VaultServerCore._on_container_fetch,
     m.CATALOG_FETCH: VaultServerCore._on_catalog_fetch,
+    m.DELTA_PUSH: VaultServerCore._on_delta_push,
+    m.DELTA_FETCH: VaultServerCore._on_delta_fetch,
+    m.ARCHIVE_STATUS: VaultServerCore._on_archive_status,
+    m.ARCHIVE_MERGE: VaultServerCore._on_archive_merge,
 }
 
 

@@ -183,6 +183,10 @@ class DebarVault:
         #: When set, every committed run (and gc pass) notifies it so new
         #: sealed containers are queued for asynchronous shipment.
         self.replicator: Optional[object] = None
+        #: Outbound archive shipper (repro.archive), attached by the serve
+        #: CLI when --archive-to is configured; ``None`` standalone.  Same
+        #: contract: notified strictly after dedup-2 + catalog commit.
+        self.archive_shipper: Optional[object] = None
         #: What the open-time recovery pass found (``None`` when disabled).
         self.recovery_report: Optional[RecoveryReport] = None
         if auto_recover:
@@ -415,6 +419,11 @@ class DebarVault:
             # done; shipment of the newly sealed containers is queued
             # asynchronously (DESIGN.md §11.2).
             self.replicator.notify_run(run)
+        if self.archive_shipper is not None:
+            # Same timing for the archive: the run's delta is cut and
+            # shipped asynchronously (DESIGN.md §15.4), so the inline
+            # backup cost of archiving stays ~0%.
+            self.archive_shipper.notify_run(run)
         return run
 
     def _sync_index_geometry(self) -> None:

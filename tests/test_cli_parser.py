@@ -12,10 +12,10 @@ class TestParser:
             a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
         )
         assert set(sub.choices) == {
-            "backup", "list", "restore", "verify", "audit", "stats",
+            "backup", "list", "runs", "restore", "verify", "audit", "stats",
             "forget", "gc", "scrub", "recover-index", "serve", "trace",
-            "rebuild", "repl-status", "migrate", "tier-status",
-            "route", "cluster-status", "rebalance",
+            "rebuild", "repl-status", "archive-status", "migrate",
+            "tier-status", "route", "cluster-status", "rebalance",
         }
 
     def test_backup_requires_job_and_paths(self):
